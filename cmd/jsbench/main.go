@@ -1,0 +1,53 @@
+// Command jsbench regenerates every experiment table of DESIGN.md's
+// experiment index (E1–E14) and prints them — the harness behind
+// EXPERIMENTS.md. Run a subset with -only (comma-separated IDs).
+//
+// Usage:
+//
+//	jsbench [-only E1,E6,E10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	runners := map[string]func() *experiments.Table{
+		"E1":  experiments.E1SchemaSizes,
+		"E2":  experiments.E2SparkImprecision,
+		"E3":  experiments.E3ParallelSpeedup,
+		"E4":  experiments.E4MongoVsStudio3T,
+		"E5":  experiments.E5SkinferArrayGap,
+		"E6":  experiments.E6MisonProjection,
+		"E7":  experiments.E7FadjsSpeculation,
+		"E8":  experiments.E8SkeletonCoverage,
+		"E9":  experiments.E9ValidatorThroughput,
+		"E10": experiments.E10SchemaTranslation,
+		"E11": experiments.E11Normalization,
+		"E12": experiments.E12CountingTypes,
+		"E13": experiments.E13SchemaProfiling,
+		"E14": experiments.E14Codegen,
+		"E15": experiments.E15JaqlOutputSchema,
+		"E16": experiments.E16SchemaDiscovery,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
+	for _, id := range order {
+		if len(want) > 0 && !want[id] {
+			continue
+		}
+		fmt.Println(runners[id]().String())
+	}
+}

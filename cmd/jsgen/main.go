@@ -1,0 +1,65 @@
+// Command jsgen emits synthetic JSON collections (NDJSON on stdout)
+// from the workload generators used by the experiment harness, so the
+// other CLI tools can be exercised end to end:
+//
+//	jsgen -kind twitter -n 1000 | jsinfer -engine parametric-L
+//	jsgen -kind orders  -n 5000 | jstranslate -format columnar -out o.col
+//
+// Usage:
+//
+//	jsgen -kind twitter|github|opendata|orders|typedrift|skewed|nested|nyt
+//	      [-n 1000] [-seed 1] [-indent]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/genjson"
+	"repro/internal/jsontext"
+)
+
+func main() {
+	kind := flag.String("kind", "twitter", "generator: twitter, github, opendata, orders, typedrift, skewed, nested, nyt")
+	n := flag.Int("n", 1000, "number of documents")
+	seed := flag.Int64("seed", 1, "generator seed")
+	indent := flag.Bool("indent", false, "pretty-print each document (multi-line, not NDJSON)")
+	flag.Parse()
+
+	var g genjson.Generator
+	switch *kind {
+	case "twitter":
+		g = genjson.Twitter{Seed: *seed}
+	case "github":
+		g = genjson.GitHub{Seed: *seed}
+	case "opendata":
+		g = genjson.OpenData{Seed: *seed}
+	case "orders":
+		g = genjson.Orders{Seed: *seed}
+	case "typedrift":
+		g = genjson.TypeDrift{Seed: *seed}
+	case "skewed":
+		g = genjson.SkewedOptional{Seed: *seed}
+	case "nested":
+		g = genjson.NestedArrays{Seed: *seed}
+	case "nyt":
+		g = genjson.NYTArticles{Seed: *seed}
+	default:
+		fmt.Fprintf(os.Stderr, "jsgen: unknown kind %q\n", *kind)
+		os.Exit(1)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i := 0; i < *n; i++ {
+		doc := g.Generate(i)
+		if *indent {
+			w.Write(jsontext.MarshalIndent(doc, "  "))
+		} else {
+			w.Write(jsontext.Marshal(doc))
+		}
+		w.WriteByte('\n')
+	}
+}

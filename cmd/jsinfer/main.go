@@ -1,0 +1,110 @@
+// Command jsinfer infers a schema from an NDJSON collection on stdin
+// (or files given as arguments) with a selectable engine, and prints
+// the result as a type expression, a JSON Schema document, or
+// generated TypeScript/Swift declarations.
+//
+// Usage:
+//
+//	jsinfer [-engine parametric-L|parametric-K|spark|skinfer]
+//	        [-output type|jsonschema|typescript|swift|report]
+//	        [-counted] [file.ndjson ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/infer"
+	"repro/internal/jsontext"
+	"repro/internal/jsonvalue"
+	"repro/internal/typelang"
+)
+
+func main() {
+	engine := flag.String("engine", "parametric-L", "inference engine: parametric-L, parametric-K, spark, skinfer")
+	output := flag.String("output", "type", "output form: type, jsonschema, typescript, swift, report")
+	counted := flag.Bool("counted", false, "render counting annotations (type output only)")
+	simplify := flag.Bool("simplify", false, "drop union alternatives subsumed by others")
+	flag.Parse()
+
+	docs, err := readInput(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if len(docs) == 0 {
+		fatal(fmt.Errorf("no input documents"))
+	}
+
+	var eng core.Engine
+	switch *engine {
+	case "parametric-L":
+		eng = core.ParametricL
+	case "parametric-K":
+		eng = core.ParametricK
+	case "spark":
+		eng = core.Spark
+	case "skinfer":
+		eng = core.Skinfer
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	result, err := core.InferSchema(docs, eng)
+	if err != nil {
+		fatal(err)
+	}
+	if *simplify {
+		result.Type = typelang.Simplify(result.Type)
+	}
+
+	switch *output {
+	case "type":
+		if *counted {
+			// Counting annotations come from the parametric engines.
+			ty := infer.Infer(docs, infer.Options{Equiv: typelang.EquivKind})
+			fmt.Println(ty.StringCounted())
+		} else {
+			fmt.Println(result.Type)
+		}
+	case "jsonschema":
+		fmt.Println(string(core.MarshalIndent(result.JSONSchema, "  ")))
+	case "typescript":
+		fmt.Print(core.TypeToTypeScript("Root", result.Type))
+	case "swift":
+		fmt.Print(core.TypeToSwift("Root", result.Type))
+	case "report":
+		fmt.Printf("engine:    %s\n", result.Engine)
+		fmt.Printf("documents: %d\n", len(docs))
+		fmt.Printf("size:      %d nodes\n", result.Size)
+		fmt.Printf("precision: %.3f\n", result.Precision)
+		fmt.Printf("type:      %s\n", result.Type)
+	default:
+		fatal(fmt.Errorf("unknown output %q", *output))
+	}
+}
+
+func readInput(files []string) ([]*jsonvalue.Value, error) {
+	if len(files) == 0 {
+		return jsontext.NewDecoder(os.Stdin).DecodeAll()
+	}
+	var docs []*jsonvalue.Value
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		part, err := jsontext.NewDecoder(f).DecodeAll()
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		docs = append(docs, part...)
+	}
+	return docs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jsinfer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,125 @@
+// payments: §2's "compare their capabilities in a few scenarios",
+// executable. One payment-intake contract is expressed in all three
+// surveyed schema languages — JSON Schema (with draft-07 conditionals
+// and negation), Joi (with co-occurrence, mutual exclusion and
+// value-dependent types, the features the tutorial highlights), and
+// JSound (as far as its restrictive core allows) — then the same
+// request corpus is pushed through all three, showing where each
+// formalism can and cannot draw the line.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/joi"
+	"repro/internal/jsontext"
+)
+
+func main() {
+	// The contract:
+	//   - amount: positive number, required
+	//   - currency: one of EUR, USD; required
+	//   - exactly one of card / iban (mutual exclusion)
+	//   - card payments require billing_zip (co-occurrence)
+	//   - kind selects the shape of meta: kind=recurring needs
+	//     meta.interval_days (value-dependent typing)
+	//   - guest payments must not carry a customer_id
+
+	jsonSchema, err := core.CompileJSONSchema(jsontext.MustParse(`{
+		"type": "object",
+		"required": ["amount", "currency"],
+		"properties": {
+			"amount":   {"type": "number", "exclusiveMinimum": 0},
+			"currency": {"enum": ["EUR", "USD"]},
+			"card":     {"type": "string", "pattern": "^[0-9]{16}$"},
+			"iban":     {"type": "string", "pattern": "^[A-Z]{2}[0-9]{2}"},
+			"billing_zip": {"type": "string"},
+			"kind":     {"enum": ["oneoff", "recurring"]},
+			"meta":     {"type": "object"},
+			"guest":    {"type": "boolean"},
+			"customer_id": {"type": "integer"}
+		},
+		"oneOf": [
+			{"required": ["card"], "not": {"required": ["iban"]}},
+			{"required": ["iban"], "not": {"required": ["card"]}}
+		],
+		"dependencies": {"card": ["billing_zip"]},
+		"if":   {"properties": {"kind": {"const": "recurring"}}, "required": ["kind"]},
+		"then": {"properties": {"meta": {"required": ["interval_days"]}}, "required": ["meta"]},
+		"allOf": [{
+			"if":   {"properties": {"guest": {"const": true}}, "required": ["guest"]},
+			"then": {"not": {"required": ["customer_id"]}}
+		}]
+	}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	joiSchema := core.WrapJoi(joi.Object().Unknown(true).Keys(joi.K{
+		"amount":      joi.Number().Positive().Required(),
+		"currency":    joi.String().Valid("EUR", "USD").Required(),
+		"card":        joi.String().Pattern(`^[0-9]{16}$`),
+		"iban":        joi.String().Pattern(`^[A-Z]{2}[0-9]{2}`),
+		"billing_zip": joi.String(),
+		"kind":        joi.String().Valid("oneoff", "recurring"),
+		"meta": joi.When("kind", joi.String().Valid("recurring"),
+			joi.Object().Unknown(true).Keys(joi.K{
+				"interval_days": joi.Number().Integer().Required(),
+			}).Required(),
+			joi.Object().Unknown(true)),
+		"guest":       joi.Boolean(),
+		"customer_id": joi.Number().Integer(),
+	}).Xor("card", "iban").With("card", "billing_zip").Without("guest", "customer_id"))
+
+	// JSound cannot say "exactly one of", "requires", or "depends on a
+	// sibling's value" — its contract is necessarily weaker: just the
+	// field types, required amount/currency, closed record.
+	jsound, err := core.CompileJSound(jsontext.MustParse(`{
+		"!amount": "decimal",
+		"!currency": "string",
+		"card": "string",
+		"iban": "string",
+		"billing_zip": "string",
+		"kind": "string",
+		"meta": {"interval_days": "integer"},
+		"guest": "boolean",
+		"customer_id": "integer"
+	}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	requests := []string{
+		`{"amount": 25, "currency": "EUR", "card": "4111111111111111", "billing_zip": "75005"}`,
+		`{"amount": 25, "currency": "EUR", "iban": "FR7630006000011234567890189"}`,
+		`{"amount": 25, "currency": "EUR", "card": "4111111111111111"}`,                                             // card without zip
+		`{"amount": 25, "currency": "EUR", "card": "4111111111111111", "billing_zip": "1", "iban": "FR7612345678"}`, // both instruments
+		`{"amount": 25, "currency": "EUR"}`,                                                                         // no instrument
+		`{"amount": -1, "currency": "EUR", "iban": "FR7612345678"}`,                                                 // bad amount
+		`{"amount": 9, "currency": "USD", "iban": "DE44123456", "kind": "recurring", "meta": {"interval_days": 30}}`,
+		`{"amount": 9, "currency": "USD", "iban": "DE44123456", "kind": "recurring", "meta": {}}`, // missing interval
+		`{"amount": 9, "currency": "USD", "iban": "DE44123456", "guest": true, "customer_id": 7}`, // guest w/ id
+	}
+
+	fmt.Printf("%-4s  %-11s  %-5s  %-7s\n", "req", "jsonschema", "joi", "jsound")
+	for i, raw := range requests {
+		doc, err := core.ParseString(raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("#%-3d  %-11v  %-5v  %-7v\n", i,
+			jsonSchema.Accepts(doc), joiSchema.Accepts(doc), jsound.Accepts(doc))
+	}
+	fmt.Println("\nWhere the formalisms diverge (the tutorial's point):")
+	fmt.Println("  - requests 2-4, 7-8: mutual exclusion, co-occurrence and value-")
+	fmt.Println("    dependent typing are expressible in JSON Schema (via oneOf/not/")
+	fmt.Println("    dependencies/if-then) and native in Joi (xor/with/when), but")
+	fmt.Println("    JSound's restrictive core cannot state them and accepts.")
+	doc, _ := core.ParseString(requests[2])
+	fmt.Println("\nJoi's explanation for request #2:")
+	for _, reason := range joiSchema.Explain(doc) {
+		fmt.Println("  ", reason)
+	}
+}

@@ -1,0 +1,31 @@
+// typegen: §3's "types in programming languages", executable. One
+// schema is inferred from tweet-like data and emitted as TypeScript
+// declarations and Swift Codable types, making the tutorial's
+// comparison concrete: TypeScript absorbs union types structurally
+// (A | B), Swift needs nominal enums with associated values, and
+// optional fields land as `?` in both but mean different things.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/genjson"
+)
+
+func main() {
+	docs := genjson.Collection(genjson.Twitter{Seed: 99, OptionalP: 0.5}, 500)
+	inf, err := core.InferSchema(docs, core.ParametricK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("inferred type:")
+	fmt.Println(" ", inf.Type)
+
+	fmt.Println("\n================ TypeScript ================")
+	fmt.Print(core.TypeToTypeScript("Tweet", inf.Type))
+
+	fmt.Println("\n=================== Swift ==================")
+	fmt.Print(core.TypeToSwift("Tweet", inf.Type))
+}

@@ -1,0 +1,174 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/genjson"
+	"repro/internal/infer"
+	"repro/internal/typelang"
+)
+
+func sampleType() *typelang.Type {
+	return typelang.NewRecord(
+		typelang.Field{Name: "id", Type: typelang.Int},
+		typelang.Field{Name: "name", Type: typelang.Str},
+		typelang.Field{Name: "score", Type: typelang.Union(typelang.Null, typelang.Num), Optional: true},
+		typelang.Field{Name: "tags", Type: typelang.NewArray(typelang.Str)},
+		typelang.Field{Name: "payload", Type: typelang.Union(typelang.Int, typelang.Str)},
+		typelang.Field{Name: "meta", Type: typelang.NewRecord(
+			typelang.Field{Name: "ok", Type: typelang.Bool},
+		)},
+	)
+}
+
+func TestTypeScriptOutput(t *testing.T) {
+	src := TypeScript("Doc", sampleType())
+	for _, want := range []string{
+		"export interface Doc {",
+		"id: number;",
+		"score?: null | number;",
+		"tags: string[];",
+		"payload: number | string;",
+		"meta: DocMeta;",
+		"export interface DocMeta {",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("TypeScript output missing %q:\n%s", want, src)
+		}
+	}
+	if err := CheckBalanced(src); err != nil {
+		t.Errorf("unbalanced TS: %v", err)
+	}
+}
+
+func TestTypeScriptNonIdentifierKeysQuoted(t *testing.T) {
+	ty := typelang.NewRecord(
+		typelang.Field{Name: "weird key", Type: typelang.Int},
+		typelang.Field{Name: "a-b", Type: typelang.Str},
+	)
+	src := TypeScript("Odd", ty)
+	if !strings.Contains(src, `"weird key": number;`) || !strings.Contains(src, `"a-b": string;`) {
+		t.Errorf("quoting missing:\n%s", src)
+	}
+	if err := CheckBalanced(src); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwiftOutput(t *testing.T) {
+	src := Swift("Doc", sampleType())
+	for _, want := range []string{
+		"struct Doc: Codable {",
+		"let id: Int",
+		"let score: Double?", // Null+Num union -> optional Double
+		"let tags: [String]",
+		"enum DocPayload: Codable", // general union -> enum
+		"case int(Int)",
+		"case string(String)",
+		"let meta: DocMeta",
+		"struct DocMeta: Codable {",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("Swift output missing %q:\n%s", want, src)
+		}
+	}
+	if err := CheckBalanced(src); err != nil {
+		t.Errorf("unbalanced Swift: %v", err)
+	}
+}
+
+func TestSwiftReservedAndIllegalNames(t *testing.T) {
+	ty := typelang.NewRecord(
+		typelang.Field{Name: "class", Type: typelang.Int},
+		typelang.Field{Name: "my field", Type: typelang.Str},
+	)
+	src := Swift("Odd", ty)
+	if !strings.Contains(src, "enum CodingKeys") {
+		t.Errorf("CodingKeys expected for renamed fields:\n%s", src)
+	}
+	if strings.Contains(src, "let class:") {
+		t.Error("reserved word leaked as property name")
+	}
+	if err := CheckBalanced(src); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptionalNotDoubled(t *testing.T) {
+	// Optional field whose type is already Null+T must not become T??.
+	ty := typelang.NewRecord(
+		typelang.Field{Name: "x", Type: typelang.Union(typelang.Null, typelang.Str), Optional: true},
+	)
+	src := Swift("D", ty)
+	if strings.Contains(src, "String??") {
+		t.Errorf("double optional:\n%s", src)
+	}
+}
+
+func TestGeneratedFromInference(t *testing.T) {
+	// E14's oracle: codegen over inferred types stays well-formed for
+	// every generator under both equivalences.
+	gens := []genjson.Generator{
+		genjson.Twitter{Seed: 91},
+		genjson.GitHub{Seed: 92},
+		genjson.NestedArrays{Seed: 93},
+		genjson.TypeDrift{Seed: 94},
+		genjson.OpenData{Seed: 95},
+	}
+	for _, g := range gens {
+		docs := genjson.Collection(g, 60)
+		for _, e := range []typelang.Equiv{typelang.EquivKind, typelang.EquivLabel} {
+			ty := infer.Infer(docs, infer.Options{Equiv: e})
+			ts := TypeScript("Root", ty)
+			if err := CheckBalanced(ts); err != nil {
+				t.Errorf("%s/%v TS: %v", g.Name(), e, err)
+			}
+			sw := Swift("Root", ty)
+			if err := CheckBalanced(sw); err != nil {
+				t.Errorf("%s/%v Swift: %v", g.Name(), e, err)
+			}
+			if !strings.Contains(ts, "export") || !strings.Contains(sw, "Codable") {
+				t.Errorf("%s/%v: outputs look empty", g.Name(), e)
+			}
+		}
+	}
+}
+
+func TestCheckBalanced(t *testing.T) {
+	good := []string{
+		`interface A { x: string; }`,
+		`let s = "a { not counted }"`,
+		"type T = `tpl {` ",
+	}
+	for _, src := range good {
+		if err := CheckBalanced(src); err != nil {
+			t.Errorf("CheckBalanced(%q) = %v", src, err)
+		}
+	}
+	bad := []string{
+		`interface A { x: string;`,
+		`}`,
+		`( ]`,
+		`let s = "unterminated`,
+	}
+	for _, src := range bad {
+		if err := CheckBalanced(src); err == nil {
+			t.Errorf("CheckBalanced(%q) passed, want error", src)
+		}
+	}
+}
+
+func TestNameCollisionsGetSuffixes(t *testing.T) {
+	// Two sibling records that would both be named RootItem.
+	ty := typelang.NewRecord(
+		typelang.Field{Name: "item", Type: typelang.NewRecord(
+			typelang.Field{Name: "a", Type: typelang.Int})},
+		typelang.Field{Name: "Item", Type: typelang.NewRecord(
+			typelang.Field{Name: "b", Type: typelang.Str})},
+	)
+	src := TypeScript("Root", ty)
+	if !strings.Contains(src, "RootItem") || !strings.Contains(src, "RootItem2") {
+		t.Errorf("collision handling missing:\n%s", src)
+	}
+}

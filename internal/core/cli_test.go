@@ -1,0 +1,71 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/genjson"
+	"repro/internal/jsontext"
+)
+
+// End-to-end pipeline tests mirroring the CLI tools' flows (the mains
+// themselves are thin argument parsing over these paths).
+
+func TestPipelineGenerateInferValidate(t *testing.T) {
+	// jsgen | jsinfer | jsvalidate in-process.
+	docs := genjson.Collection(genjson.OpenData{Seed: 111}, 120)
+	ndjson := jsontext.MarshalLines(docs)
+	parsed, err := ParseCollection(ndjson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, err := InferSchema(parsed, ParametricL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validator, err := CompileJSONSchema(inf.JSONSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range parsed {
+		if !validator.Accepts(d) {
+			t.Fatalf("doc %d fails its own inferred schema", i)
+		}
+	}
+}
+
+func TestPipelineGenerateTranslateRestore(t *testing.T) {
+	docs := genjson.Collection(genjson.NestedArrays{Seed: 112}, 90)
+	tr, err := Translate(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Columnar) == 0 || len(tr.RowBinary) == 0 {
+		t.Fatal("empty translation outputs")
+	}
+	back, err := RestoreColumnar(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(docs) {
+		t.Fatalf("restored %d of %d docs", len(back), len(docs))
+	}
+}
+
+func TestCodegenOutputsMentionEveryTopLevelField(t *testing.T) {
+	docs := genjson.Collection(genjson.Orders{Seed: 113}, 50)
+	inf, err := InferSchema(docs, ParametricK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := TypeToTypeScript("Order", inf.Type)
+	sw := TypeToSwift("Order", inf.Type)
+	for _, field := range []string{"order_id", "customer_id", "customer_name", "lines", "date"} {
+		if !strings.Contains(ts, field) {
+			t.Errorf("TypeScript output missing %s", field)
+		}
+		if !strings.Contains(sw, field) {
+			t.Errorf("Swift output missing %s", field)
+		}
+	}
+}

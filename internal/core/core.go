@@ -1,0 +1,285 @@
+// Package core is the public facade of the library: one coherent API
+// over everything the tutorial surveys — parsing (§1), the three schema
+// languages (§2), programming-language type mapping (§3), the schema
+// tools (§4), and schema-driven translation (§5). Downstream users
+// program against this package; the internal/* packages behind it stay
+// independently usable.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/codegen"
+	"repro/internal/infer"
+	"repro/internal/joi"
+	"repro/internal/jsonschema"
+	"repro/internal/jsontext"
+	"repro/internal/jsonvalue"
+	"repro/internal/jsound"
+	"repro/internal/mongoschema"
+	"repro/internal/skinfer"
+	"repro/internal/sparkinfer"
+	"repro/internal/translate"
+	"repro/internal/typelang"
+)
+
+// Value re-exports the JSON data model.
+type Value = jsonvalue.Value
+
+// Type re-exports the type algebra.
+type Type = typelang.Type
+
+// Parse parses one JSON text.
+func Parse(data []byte) (*Value, error) { return jsontext.Parse(data) }
+
+// ParseString parses one JSON string.
+func ParseString(s string) (*Value, error) { return jsontext.ParseString(s) }
+
+// ParseCollection parses NDJSON (one document per line).
+func ParseCollection(data []byte) ([]*Value, error) { return jsontext.ParseLines(data) }
+
+// ReadCollection streams a collection from a reader.
+func ReadCollection(r io.Reader) ([]*Value, error) {
+	return jsontext.NewDecoder(r).DecodeAll()
+}
+
+// Marshal serialises a value compactly.
+func Marshal(v *Value) []byte { return jsontext.Marshal(v) }
+
+// MarshalIndent serialises a value with indentation.
+func MarshalIndent(v *Value, indent string) []byte { return jsontext.MarshalIndent(v, indent) }
+
+// Validator is the common face of the §2 schema languages: JSON
+// Schema, Joi and JSound all validate the same documents with
+// different capability envelopes (E9 measures them side by side).
+type Validator interface {
+	// Name identifies the formalism.
+	Name() string
+	// Accepts reports whether the document satisfies the schema.
+	Accepts(v *Value) bool
+	// Explain returns human-readable violations (empty when valid).
+	Explain(v *Value) []string
+}
+
+type jsonSchemaValidator struct{ s *jsonschema.Schema }
+
+func (w jsonSchemaValidator) Name() string          { return "jsonschema" }
+func (w jsonSchemaValidator) Accepts(v *Value) bool { return w.s.Accepts(v) }
+func (w jsonSchemaValidator) Explain(v *Value) []string {
+	res := w.s.Validate(v)
+	out := make([]string, 0, len(res.Errors))
+	for _, e := range res.Errors {
+		out = append(out, e.Error())
+	}
+	return out
+}
+
+// CompileJSONSchema builds a Validator from a JSON Schema document.
+func CompileJSONSchema(doc *Value) (Validator, error) {
+	s, err := jsonschema.Compile(doc)
+	if err != nil {
+		return nil, err
+	}
+	return jsonSchemaValidator{s}, nil
+}
+
+type joiValidator struct{ s *joi.Schema }
+
+func (w joiValidator) Name() string          { return "joi" }
+func (w joiValidator) Accepts(v *Value) bool { return w.s.Accepts(v) }
+func (w joiValidator) Explain(v *Value) []string {
+	errs := w.s.Validate(v)
+	out := make([]string, 0, len(errs))
+	for _, e := range errs {
+		out = append(out, e.Error())
+	}
+	return out
+}
+
+// WrapJoi adapts a Joi builder schema to the Validator interface.
+func WrapJoi(s *joi.Schema) Validator { return joiValidator{s} }
+
+type jsoundValidator struct{ s *jsound.Schema }
+
+func (w jsoundValidator) Name() string          { return "jsound" }
+func (w jsoundValidator) Accepts(v *Value) bool { return w.s.Accepts(v) }
+func (w jsoundValidator) Explain(v *Value) []string {
+	errs := w.s.Validate(v)
+	out := make([]string, 0, len(errs))
+	for _, e := range errs {
+		out = append(out, e.Error())
+	}
+	return out
+}
+
+// CompileJSound builds a Validator from a JSound compact schema.
+func CompileJSound(doc *Value) (Validator, error) {
+	s, err := jsound.Compile(doc)
+	if err != nil {
+		return nil, err
+	}
+	return jsoundValidator{s}, nil
+}
+
+type typeValidator struct{ t *Type }
+
+func (w typeValidator) Name() string          { return "typelang" }
+func (w typeValidator) Accepts(v *Value) bool { return w.t.Matches(v) }
+func (w typeValidator) Explain(v *Value) []string {
+	if w.t.Matches(v) {
+		return nil
+	}
+	return []string{fmt.Sprintf("value does not match type %s", w.t)}
+}
+
+// WrapType adapts an inferred type to the Validator interface.
+func WrapType(t *Type) Validator { return typeValidator{t} }
+
+// Engine selects a schema-inference tool from §4.1.
+type Engine uint8
+
+// The inference engines the tutorial compares.
+const (
+	// ParametricK is Baazizi et al.'s inference under kind equivalence.
+	ParametricK Engine = iota
+	// ParametricL is the same under label equivalence.
+	ParametricL
+	// Spark is the Spark Dataframe schema extraction.
+	Spark
+	// Skinfer is Scrapinghub's record-only-merge inference.
+	Skinfer
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case ParametricK:
+		return "parametric-K"
+	case ParametricL:
+		return "parametric-L"
+	case Spark:
+		return "spark"
+	case Skinfer:
+		return "skinfer"
+	default:
+		return "unknown"
+	}
+}
+
+// Inference is the result of InferSchema: the same schema in every
+// representation the library speaks.
+type Inference struct {
+	Engine Engine
+	// Type is the schema in the shared algebra (for Skinfer this is a
+	// best-effort conversion of its JSON Schema output).
+	Type *Type
+	// JSONSchema is the schema as a JSON Schema document.
+	JSONSchema *Value
+	// Precision and Size are the E1/E2 metrics against the input.
+	Precision float64
+	Size      int
+}
+
+// InferSchema runs the selected engine over the collection.
+func InferSchema(docs []*Value, engine Engine) (*Inference, error) {
+	out := &Inference{Engine: engine}
+	switch engine {
+	case ParametricK, ParametricL:
+		eq := typelang.EquivKind
+		if engine == ParametricL {
+			eq = typelang.EquivLabel
+		}
+		out.Type = infer.InferParallel(docs, infer.Options{Equiv: eq})
+		out.JSONSchema = jsonschema.FromType(out.Type)
+	case Spark:
+		out.Type = sparkinfer.Infer(docs).ToTypelang()
+		out.JSONSchema = jsonschema.FromType(out.Type)
+	case Skinfer:
+		out.JSONSchema = skinfer.Infer(docs)
+		s, err := jsonschema.Compile(out.JSONSchema)
+		if err != nil {
+			return nil, fmt.Errorf("core: skinfer produced uncompilable schema: %w", err)
+		}
+		out.Type = jsonschema.ToType(s)
+	default:
+		return nil, fmt.Errorf("core: unknown engine %d", engine)
+	}
+	out.Precision = typelang.Precision(out.Type, docs)
+	out.Size = out.Type.Size()
+	return out, nil
+}
+
+// AnalyzeStreaming runs the mongodb-schema style analyzer over a
+// collection and returns its JSON report.
+func AnalyzeStreaming(docs []*Value) *Value {
+	a := mongoschema.NewAnalyzer()
+	for _, d := range docs {
+		a.Analyze(d)
+	}
+	return a.Schema()
+}
+
+// TypeToTypeScript emits TypeScript declarations for a type.
+func TypeToTypeScript(name string, t *Type) string { return codegen.TypeScript(name, t) }
+
+// TypeToSwift emits Swift declarations for a type.
+func TypeToSwift(name string, t *Type) string { return codegen.Swift(name, t) }
+
+// TypeToJSONSchema renders a type as a JSON Schema document.
+func TypeToJSONSchema(t *Type) *Value { return jsonschema.FromType(t) }
+
+// JSONSchemaToType converts a JSON Schema document into the type
+// algebra, best effort.
+func JSONSchemaToType(doc *Value) (*Type, error) {
+	s, err := jsonschema.Compile(doc)
+	if err != nil {
+		return nil, err
+	}
+	return jsonschema.ToType(s), nil
+}
+
+// Translation bundles the two schema-driven target formats of §5.
+type Translation struct {
+	Schema *Type
+	// RowBinary is the Avro-like row encoding of the collection.
+	RowBinary []byte
+	// Columnar is the Parquet-like column blob.
+	Columnar []byte
+	// RawJSON is the NDJSON baseline for size comparison.
+	RawJSON []byte
+}
+
+// Translate infers a schema (parametric L) and translates the
+// collection into both binary formats.
+func Translate(docs []*Value) (*Translation, error) {
+	schema := infer.Infer(docs, infer.Options{Equiv: typelang.EquivLabel})
+	rows, err := translate.EncodeCollection(docs, schema)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := translate.Shred(docs, schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Translation{
+		Schema:    schema,
+		RowBinary: rows,
+		Columnar:  cs.Bytes(),
+		RawJSON:   jsontext.MarshalLines(docs),
+	}, nil
+}
+
+// RestoreRows decodes a row-binary translation back into documents.
+func RestoreRows(tr *Translation) ([]*Value, error) {
+	return translate.DecodeCollection(tr.RowBinary, tr.Schema)
+}
+
+// RestoreColumnar decodes a columnar translation back into documents.
+func RestoreColumnar(tr *Translation) ([]*Value, error) {
+	cs, err := translate.FromBytes(tr.Columnar, tr.Schema)
+	if err != nil {
+		return nil, err
+	}
+	return cs.Reassemble()
+}

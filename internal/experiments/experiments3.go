@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/discovery"
+	"repro/internal/genjson"
+	"repro/internal/infer"
+	"repro/internal/jaql"
+	"repro/internal/typelang"
+)
+
+// E15JaqlOutputSchema verifies and measures Jaql-style static output
+// schema inference: the statically computed output type must cover the
+// actual query output exactly (soundness), data-free.
+func E15JaqlOutputSchema() *Table {
+	t := &Table{
+		ID:     "E15",
+		Title:  "Jaql-style static output schema inference",
+		Claim:  "schema info infers the output schema of a query without running it (§4.1 [13])",
+		Header: []string{"query", "in_type_nodes", "out_type_nodes", "outputs", "all_typed"},
+	}
+	docs := genjson.Collection(genjson.Orders{Seed: 31}, 1000)
+	inType := infer.Infer(docs, infer.Options{Equiv: typelang.EquivLabel})
+	queries := []*jaql.Query{
+		jaql.NewQuery().Filter(jaql.Cmp{Op: jaql.Gt, L: jaql.F("customer_id"), R: jaql.C(10)}),
+		jaql.NewQuery().Transform(jaql.R("id", jaql.F("order_id"), "city", jaql.F("customer_city"))),
+		jaql.NewQuery().Expand("lines").Transform(jaql.R(
+			"sku", jaql.F("sku"),
+			"total", jaql.Arith{Op: '*', L: jaql.F("unit_price"), R: jaql.F("qty")},
+		)),
+		jaql.NewQuery().GroupBy(jaql.F("customer_city")),
+	}
+	for _, q := range queries {
+		outType := q.OutputType(inType)
+		out := q.Eval(docs)
+		allTyped := true
+		for _, v := range out {
+			if !outType.Matches(v) {
+				allTyped = false
+				break
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			q.String(), d(inType.Size()), d(outType.Size()), d(len(out)), fmt.Sprint(allTyped),
+		})
+	}
+	return t
+}
+
+// E16SchemaDiscovery measures Couchbase-style discovery: flavor
+// classification and index suggestion quality on a collection with a
+// known best index (the unique, always-present order_id).
+func E16SchemaDiscovery() *Table {
+	t := &Table{
+		ID:     "E16",
+		Title:  "Couchbase-style schema discovery and index selection",
+		Claim:  "classify objects by structural and semantic information; select relevant indexes (§4.1 [3])",
+		Header: []string{"collection", "docs", "flavors", "scalar_paths", "top_index", "top_score"},
+	}
+	workloads := []struct {
+		name string
+		gen  genjson.Generator
+		n    int
+	}{
+		{"orders", genjson.Orders{Seed: 32}, 800},
+		{"github", genjson.GitHub{Seed: 33}, 800},
+		{"opendata", genjson.OpenData{Seed: 34}, 800},
+	}
+	for _, w := range workloads {
+		docs := genjson.Collection(w.gen, w.n)
+		r := discovery.Discover(docs)
+		sugg := r.SuggestIndexes(1, 0.5)
+		top, score := "-", 0.0
+		if len(sugg) > 0 {
+			top, score = sugg[0].Path, sugg[0].Score
+		}
+		t.Rows = append(t.Rows, []string{
+			w.name, d(r.TotalDocs), d(len(r.Flavors)), d(len(r.Fields)), top, f3(score),
+		})
+	}
+	return t
+}

@@ -1,0 +1,97 @@
+package fadjs
+
+import (
+	"repro/internal/jsontext"
+	"repro/internal/jsonvalue"
+)
+
+// Encoder is a speculative JSON encoder call site, mirroring Fad.js's
+// encoding side: it assumes consecutive objects share their property
+// layout and reuses pre-escaped key bytes (`,"name":`) instead of
+// re-escaping keys on every record. Objects that deviate from every
+// cached layout are encoded generically and their layout learned.
+type Encoder struct {
+	shapes []*encShape // MRU
+
+	// Hits and Deopts count layout-cache successes and fallbacks.
+	Hits, Deopts int
+}
+
+type encShape struct {
+	names []string
+	// prefixes[i] is the pre-rendered separator + quoted key + colon
+	// for field i: `{"a":` for the first field, `,"b":` after.
+	prefixes [][]byte
+}
+
+// NewEncoder returns a call-site encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Encode appends the serialisation of obj to dst.
+func (e *Encoder) Encode(dst []byte, obj *jsonvalue.Value) []byte {
+	if obj.Kind() != jsonvalue.Object {
+		return jsontext.AppendValue(dst, obj, jsontext.WriteOptions{})
+	}
+	for si, sh := range e.shapes {
+		if sh.matches(obj) {
+			e.Hits++
+			if si != 0 {
+				copy(e.shapes[1:si+1], e.shapes[:si])
+				e.shapes[0] = sh
+			}
+			return sh.encode(dst, obj)
+		}
+	}
+	e.Deopts++
+	e.learn(obj)
+	return jsontext.AppendValue(dst, obj, jsontext.WriteOptions{})
+}
+
+func (sh *encShape) matches(obj *jsonvalue.Value) bool {
+	fields := obj.Fields()
+	if len(fields) != len(sh.names) {
+		return false
+	}
+	for i, f := range fields {
+		if f.Name != sh.names[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (sh *encShape) encode(dst []byte, obj *jsonvalue.Value) []byte {
+	fields := obj.Fields()
+	if len(fields) == 0 {
+		return append(dst, "{}"...)
+	}
+	for i, f := range fields {
+		dst = append(dst, sh.prefixes[i]...)
+		dst = jsontext.AppendValue(dst, f.Value, jsontext.WriteOptions{})
+	}
+	return append(dst, '}')
+}
+
+func (e *Encoder) learn(obj *jsonvalue.Value) {
+	fields := obj.Fields()
+	sh := &encShape{
+		names:    make([]string, len(fields)),
+		prefixes: make([][]byte, len(fields)),
+	}
+	for i, f := range fields {
+		sh.names[i] = f.Name
+		var prefix []byte
+		if i == 0 {
+			prefix = append(prefix, '{')
+		} else {
+			prefix = append(prefix, ',')
+		}
+		prefix = jsontext.AppendQuoted(prefix, f.Name, false)
+		prefix = append(prefix, ':')
+		sh.prefixes[i] = prefix
+	}
+	if len(e.shapes) == maxShapes {
+		e.shapes = e.shapes[:maxShapes-1]
+	}
+	e.shapes = append([]*encShape{sh}, e.shapes...)
+}

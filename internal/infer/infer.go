@@ -1,0 +1,169 @@
+// Package infer implements the parametric schema inference of Baazizi,
+// Ben Lahmar, Colazzo, Ghelli and Sartiani ("Schema Inference for
+// Massive JSON Datasets", EDBT 2017; "Counting types for massive JSON
+// datasets", DBPL 2017; "Parametric schema inference for massive JSON
+// datasets", VLDB Journal 2019) — the inference approach the tutorial
+// presents in §4.1 as precise and concise at tunable abstraction levels.
+//
+// The algorithm is a map/reduce:
+//
+//   - the map phase types each value exactly (TypeOf), producing a type
+//     with counting annotations (every node counts the values it
+//     summarises, every record field counts its occurrences);
+//   - the reduce phase merges types pairwise with the least upper bound
+//     of internal/typelang, parameterised by an equivalence relation: K
+//     (kind equivalence, records always fuse) or L (label equivalence,
+//     records fuse only when they have the same field names).
+//
+// Because the merge is associative and commutative, the reduce can be
+// parallelised and distributed arbitrarily; InferParallel exercises
+// exactly the property the papers rely on for their Spark deployment.
+package infer
+
+import (
+	"errors"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/jsontext"
+	"repro/internal/jsonvalue"
+	"repro/internal/typelang"
+)
+
+// Options configure an inference run.
+type Options struct {
+	// Equiv is the merge equivalence: typelang.EquivKind (K) or
+	// typelang.EquivLabel (L). The zero value is K.
+	Equiv typelang.Equiv
+	// Workers bounds parallel reduce workers in InferParallel; 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// TypeOf computes the exact type of one value — the map phase. Every
+// node carries Count 1 (and record fields Count 1); array element types
+// are merged under e, as array contents form a collection of their own.
+func TypeOf(v *jsonvalue.Value, e typelang.Equiv) *typelang.Type {
+	switch v.Kind() {
+	case jsonvalue.Null:
+		return typelang.Atom(typelang.KNull, 1)
+	case jsonvalue.Bool:
+		return typelang.Atom(typelang.KBool, 1)
+	case jsonvalue.Number:
+		if v.IsInt() {
+			return typelang.Atom(typelang.KInt, 1)
+		}
+		return typelang.Atom(typelang.KNum, 1)
+	case jsonvalue.String:
+		return typelang.Atom(typelang.KStr, 1)
+	case jsonvalue.Array:
+		elems := v.Elems()
+		ts := make([]*typelang.Type, len(elems))
+		for i, el := range elems {
+			ts[i] = TypeOf(el, e)
+		}
+		return typelang.NewArrayCounted(typelang.MergeAll(ts, e), 1, len(elems), len(elems))
+	case jsonvalue.Object:
+		fields := make([]typelang.Field, 0, v.Len())
+		seen := make(map[string]struct{}, v.Len())
+		for _, f := range v.Fields() {
+			if _, dup := seen[f.Name]; dup {
+				continue // effective view: last binding wins below
+			}
+			seen[f.Name] = struct{}{}
+			fv, _ := v.Get(f.Name)
+			fields = append(fields, typelang.Field{
+				Name:  f.Name,
+				Type:  TypeOf(fv, e),
+				Count: 1,
+			})
+		}
+		return typelang.NewRecordCounted(1, fields...)
+	default:
+		return typelang.Bottom
+	}
+}
+
+// Infer runs map and sequential reduce over a materialised collection.
+func Infer(docs []*jsonvalue.Value, opts Options) *typelang.Type {
+	acc := typelang.Bottom
+	for _, d := range docs {
+		acc = typelang.Merge(acc, TypeOf(d, opts.Equiv), opts.Equiv)
+	}
+	return acc
+}
+
+// InferParallel splits the collection into chunks, types and reduces
+// each chunk in its own goroutine, then merges the partial types. By
+// associativity and commutativity of the merge the result is identical
+// to Infer's.
+func InferParallel(docs []*jsonvalue.Value, opts Options) *typelang.Type {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	if workers <= 1 {
+		return Infer(docs, opts)
+	}
+	partials := make([]*typelang.Type, workers)
+	var wg sync.WaitGroup
+	chunk := (len(docs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo > len(docs) {
+			lo = len(docs)
+		}
+		hi := lo + chunk
+		if hi > len(docs) {
+			hi = len(docs)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partials[w] = Infer(docs[lo:hi], opts)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return typelang.MergeAll(partials, opts.Equiv)
+}
+
+// InferStream types values from a streaming decoder without
+// materialising the collection, returning the inferred type and the
+// number of documents consumed.
+func InferStream(dec *jsontext.Decoder, opts Options) (*typelang.Type, int, error) {
+	acc := typelang.Bottom
+	n := 0
+	for {
+		v, err := dec.Decode()
+		if errors.Is(err, io.EOF) {
+			return acc, n, nil
+		}
+		if err != nil {
+			return acc, n, err
+		}
+		acc = typelang.Merge(acc, TypeOf(v, opts.Equiv), opts.Equiv)
+		n++
+	}
+}
+
+// InferSample infers from a deterministic 1-in-stride subsample, the
+// analogue of the samplingRatio knob on Spark's JSON source: trade
+// schema completeness for a cheaper pass. stride <= 1 means every
+// document. Rare variants absent from the sample are, by construction,
+// absent from the schema — callers validate accordingly.
+func InferSample(docs []*jsonvalue.Value, stride int, opts Options) (*typelang.Type, int) {
+	if stride <= 1 {
+		return Infer(docs, opts), len(docs)
+	}
+	acc := typelang.Bottom
+	sampled := 0
+	for i := 0; i < len(docs); i += stride {
+		acc = typelang.Merge(acc, TypeOf(docs[i], opts.Equiv), opts.Equiv)
+		sampled++
+	}
+	return acc, sampled
+}

@@ -1,0 +1,325 @@
+// Package jaql implements a Jaql-style query core with static output
+// schema inference, after Beyer et al., "Jaql: A Scripting Language for
+// Large Scale Semistructured Data Analysis" (PVLDB 2011) — the system
+// §4.1 of the tutorial describes as one that "exploit[s] schema
+// information for inferring the output schema of a query" given a
+// schema for the input.
+//
+// The package provides both semantics the tutorial juxtaposes:
+//
+//   - Eval: run a pipeline over a collection of JSON values;
+//   - OutputType: given the *type* of the input collection (typically
+//     produced by internal/infer), compute the type of the output
+//     without touching any data.
+//
+// The soundness property connecting them — every value produced by
+// Eval inhabits the inferred output type — is enforced by property
+// tests in jaql_test.go.
+package jaql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/jsonvalue"
+	"repro/internal/typelang"
+)
+
+// Expr is a side-effect-free expression evaluated on one document.
+type Expr interface {
+	// Eval computes the expression's value on doc. Missing fields
+	// yield JSON null (Jaql's semantics for absent data).
+	Eval(doc *jsonvalue.Value) *jsonvalue.Value
+	// TypeOf computes the expression's output type when doc has type
+	// in. The result over-approximates: every Eval result on a value
+	// of type in must match it.
+	TypeOf(in *typelang.Type) *typelang.Type
+	// String renders Jaql-ish concrete syntax.
+	String() string
+}
+
+// Field accesses a dotted path, yielding null when any step is absent.
+type Field struct{ Path string }
+
+// F is shorthand for a Field expression.
+func F(path string) Field { return Field{Path: path} }
+
+// Eval implements Expr.
+func (f Field) Eval(doc *jsonvalue.Value) *jsonvalue.Value {
+	cur := doc
+	for _, step := range strings.Split(f.Path, ".") {
+		next, ok := cur.Get(step)
+		if !ok {
+			return jsonvalue.NewNull()
+		}
+		cur = next
+	}
+	return cur
+}
+
+// TypeOf implements Expr.
+func (f Field) TypeOf(in *typelang.Type) *typelang.Type {
+	cur := in
+	for _, step := range strings.Split(f.Path, ".") {
+		cur = fieldType(cur, step)
+	}
+	return cur
+}
+
+// fieldType types one access step: record fields project, optional or
+// absent fields add Null, unions distribute.
+func fieldType(t *typelang.Type, name string) *typelang.Type {
+	switch t.Kind {
+	case typelang.KRecord:
+		ft, ok := t.Get(name)
+		if !ok {
+			return typelang.Null
+		}
+		if ft.Optional {
+			return typelang.Union(ft.Type, typelang.Null)
+		}
+		return ft.Type
+	case typelang.KUnion:
+		parts := make([]*typelang.Type, 0, len(t.Alts))
+		for _, a := range t.Alts {
+			parts = append(parts, fieldType(a, name))
+		}
+		return typelang.Union(parts...)
+	case typelang.KAny:
+		return typelang.Any
+	default:
+		// Accessing a field of a non-record yields null.
+		return typelang.Null
+	}
+}
+
+// String implements Expr.
+func (f Field) String() string { return "$." + f.Path }
+
+// Const is a literal value.
+type Const struct{ Value *jsonvalue.Value }
+
+// C wraps a Go value as a constant expression.
+func C(x any) Const { return Const{Value: jsonvalue.FromGo(x)} }
+
+// Eval implements Expr.
+func (c Const) Eval(*jsonvalue.Value) *jsonvalue.Value { return c.Value }
+
+// TypeOf implements Expr.
+func (c Const) TypeOf(*typelang.Type) *typelang.Type { return constType(c.Value) }
+
+func constType(v *jsonvalue.Value) *typelang.Type {
+	switch v.Kind() {
+	case jsonvalue.Null:
+		return typelang.Null
+	case jsonvalue.Bool:
+		return typelang.Bool
+	case jsonvalue.Number:
+		if v.IsInt() {
+			return typelang.Int
+		}
+		return typelang.Num
+	case jsonvalue.String:
+		return typelang.Str
+	case jsonvalue.Array:
+		elems := make([]*typelang.Type, v.Len())
+		for i, e := range v.Elems() {
+			elems[i] = constType(e)
+		}
+		return typelang.NewArray(typelang.Union(elems...))
+	case jsonvalue.Object:
+		fields := make([]typelang.Field, 0, v.Len())
+		for _, f := range v.Fields() {
+			fields = append(fields, typelang.Field{Name: f.Name, Type: constType(f.Value)})
+		}
+		return typelang.NewRecord(fields...)
+	default:
+		return typelang.Bottom
+	}
+}
+
+// String implements Expr.
+func (c Const) String() string { return c.Value.String() }
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (o CmpOp) String() string {
+	return [...]string{"==", "!=", "<", "<=", ">", ">="}[o]
+}
+
+// Cmp compares two expressions; non-comparable kinds yield false
+// (except Eq/Ne, which use deep equality).
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (c Cmp) Eval(doc *jsonvalue.Value) *jsonvalue.Value {
+	l, r := c.L.Eval(doc), c.R.Eval(doc)
+	switch c.Op {
+	case Eq:
+		return jsonvalue.NewBool(jsonvalue.Equal(l, r))
+	case Ne:
+		return jsonvalue.NewBool(!jsonvalue.Equal(l, r))
+	}
+	var result bool
+	switch {
+	case l.Kind() == jsonvalue.Number && r.Kind() == jsonvalue.Number:
+		a, b := l.Num(), r.Num()
+		result = cmpOrder(c.Op, a < b, a == b)
+	case l.Kind() == jsonvalue.String && r.Kind() == jsonvalue.String:
+		a, b := l.Str(), r.Str()
+		result = cmpOrder(c.Op, a < b, a == b)
+	default:
+		result = false
+	}
+	return jsonvalue.NewBool(result)
+}
+
+func cmpOrder(op CmpOp, lt, eq bool) bool {
+	switch op {
+	case Lt:
+		return lt
+	case Le:
+		return lt || eq
+	case Gt:
+		return !lt && !eq
+	case Ge:
+		return !lt
+	default:
+		return false
+	}
+}
+
+// TypeOf implements Expr.
+func (c Cmp) TypeOf(*typelang.Type) *typelang.Type { return typelang.Bool }
+
+// String implements Expr.
+func (c Cmp) String() string {
+	return fmt.Sprintf("(%s %s %s)", c.L, c.Op, c.R)
+}
+
+// Arith adds, subtracts or multiplies numbers; non-numbers yield null.
+type Arith struct {
+	Op   byte // '+', '-', '*'
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (a Arith) Eval(doc *jsonvalue.Value) *jsonvalue.Value {
+	l, r := a.L.Eval(doc), a.R.Eval(doc)
+	if l.Kind() != jsonvalue.Number || r.Kind() != jsonvalue.Number {
+		return jsonvalue.NewNull()
+	}
+	var f float64
+	switch a.Op {
+	case '+':
+		f = l.Num() + r.Num()
+	case '-':
+		f = l.Num() - r.Num()
+	case '*':
+		f = l.Num() * r.Num()
+	default:
+		return jsonvalue.NewNull()
+	}
+	if f == float64(int64(f)) && l.IsInt() && r.IsInt() {
+		return jsonvalue.NewInt(int64(f))
+	}
+	return jsonvalue.NewNumber(f)
+}
+
+// TypeOf implements Expr.
+func (a Arith) TypeOf(in *typelang.Type) *typelang.Type {
+	lt, rt := a.L.TypeOf(in), a.R.TypeOf(in)
+	// If either side can be non-numeric the result can be null.
+	num := typelang.Union(typelang.Int, typelang.Num)
+	if typelang.Subtype(lt, num) && typelang.Subtype(rt, num) {
+		if lt.Kind == typelang.KInt && rt.Kind == typelang.KInt {
+			// Integer arithmetic may still overflow into Num in our
+			// float-backed model; stay sound with the union.
+			return typelang.Union(typelang.Int, typelang.Num)
+		}
+		return typelang.Num
+	}
+	return typelang.Union(typelang.Int, typelang.Num, typelang.Null)
+}
+
+// String implements Expr.
+func (a Arith) String() string {
+	return fmt.Sprintf("(%s %c %s)", a.L, a.Op, a.R)
+}
+
+// Record constructs an object from named sub-expressions.
+type Record struct {
+	Names []string
+	Exprs []Expr
+}
+
+// R builds a Record expression from alternating name, expr pairs.
+func R(pairs ...any) Record {
+	if len(pairs)%2 != 0 {
+		panic("jaql: R needs name/expr pairs")
+	}
+	rec := Record{}
+	for i := 0; i < len(pairs); i += 2 {
+		rec.Names = append(rec.Names, pairs[i].(string))
+		rec.Exprs = append(rec.Exprs, pairs[i+1].(Expr))
+	}
+	return rec
+}
+
+// Eval implements Expr.
+func (r Record) Eval(doc *jsonvalue.Value) *jsonvalue.Value {
+	fields := make([]jsonvalue.Field, len(r.Names))
+	for i := range r.Names {
+		fields[i] = jsonvalue.Field{Name: r.Names[i], Value: r.Exprs[i].Eval(doc)}
+	}
+	return jsonvalue.NewObject(fields...)
+}
+
+// TypeOf implements Expr.
+func (r Record) TypeOf(in *typelang.Type) *typelang.Type {
+	fields := make([]typelang.Field, len(r.Names))
+	for i := range r.Names {
+		fields[i] = typelang.Field{Name: r.Names[i], Type: r.Exprs[i].TypeOf(in)}
+	}
+	return typelang.NewRecord(fields...)
+}
+
+// String implements Expr.
+func (r Record) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := range r.Names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %s", r.Names[i], r.Exprs[i])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Input is the identity expression: the whole current document.
+type Input struct{}
+
+// Eval implements Expr.
+func (Input) Eval(doc *jsonvalue.Value) *jsonvalue.Value { return doc }
+
+// TypeOf implements Expr.
+func (Input) TypeOf(in *typelang.Type) *typelang.Type { return in }
+
+// String implements Expr.
+func (Input) String() string { return "$" }

@@ -1,0 +1,203 @@
+package jaql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/jsonvalue"
+	"repro/internal/typelang"
+)
+
+// Query is a pipeline of collection operators, in the style of Jaql's
+// `source -> filter ... -> transform ... -> expand ... -> group ...`.
+type Query struct {
+	ops []op
+}
+
+type op interface {
+	run(docs []*jsonvalue.Value) []*jsonvalue.Value
+	outType(in *typelang.Type) *typelang.Type
+	String() string
+}
+
+// NewQuery starts an empty pipeline (the identity query).
+func NewQuery() *Query { return &Query{} }
+
+// Filter keeps documents for which pred evaluates to boolean true.
+func (q *Query) Filter(pred Expr) *Query {
+	q.ops = append(q.ops, filterOp{pred})
+	return q
+}
+
+// Transform maps every document through expr.
+func (q *Query) Transform(expr Expr) *Query {
+	q.ops = append(q.ops, transformOp{expr})
+	return q
+}
+
+// Expand unnests the array under the dotted path: each element of each
+// document's array becomes one output document. Documents where the
+// path is not an array produce nothing.
+func (q *Query) Expand(path string) *Query {
+	q.ops = append(q.ops, expandOp{path})
+	return q
+}
+
+// GroupBy groups by a key expression and aggregates each group:
+// output documents are {key: K, count: Int, items: [input]}.
+func (q *Query) GroupBy(key Expr) *Query {
+	q.ops = append(q.ops, groupOp{key})
+	return q
+}
+
+// Eval runs the pipeline.
+func (q *Query) Eval(docs []*jsonvalue.Value) []*jsonvalue.Value {
+	cur := docs
+	for _, o := range q.ops {
+		cur = o.run(cur)
+	}
+	return cur
+}
+
+// OutputType computes the element type of the pipeline's output from
+// the element type of its input — Jaql's static output schema
+// inference. No data is touched.
+func (q *Query) OutputType(in *typelang.Type) *typelang.Type {
+	cur := in
+	for _, o := range q.ops {
+		cur = o.outType(cur)
+	}
+	return cur
+}
+
+// String renders the pipeline.
+func (q *Query) String() string {
+	parts := make([]string, 0, len(q.ops)+1)
+	parts = append(parts, "$in")
+	for _, o := range q.ops {
+		parts = append(parts, o.String())
+	}
+	return strings.Join(parts, " -> ")
+}
+
+type filterOp struct{ pred Expr }
+
+func (f filterOp) run(docs []*jsonvalue.Value) []*jsonvalue.Value {
+	out := make([]*jsonvalue.Value, 0, len(docs))
+	for _, d := range docs {
+		v := f.pred.Eval(d)
+		if v.Kind() == jsonvalue.Bool && v.Bool() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Filtering never changes the element type (it may refine the set of
+// inhabitants, which an over-approximation is allowed to ignore).
+func (f filterOp) outType(in *typelang.Type) *typelang.Type { return in }
+
+func (f filterOp) String() string { return fmt.Sprintf("filter %s", f.pred) }
+
+type transformOp struct{ expr Expr }
+
+func (t transformOp) run(docs []*jsonvalue.Value) []*jsonvalue.Value {
+	out := make([]*jsonvalue.Value, len(docs))
+	for i, d := range docs {
+		out[i] = t.expr.Eval(d)
+	}
+	return out
+}
+
+func (t transformOp) outType(in *typelang.Type) *typelang.Type {
+	return t.expr.TypeOf(in)
+}
+
+func (t transformOp) String() string { return fmt.Sprintf("transform %s", t.expr) }
+
+type expandOp struct{ path string }
+
+func (e expandOp) run(docs []*jsonvalue.Value) []*jsonvalue.Value {
+	var out []*jsonvalue.Value
+	f := Field{Path: e.path}
+	for _, d := range docs {
+		arr := f.Eval(d)
+		if arr.Kind() != jsonvalue.Array {
+			continue
+		}
+		out = append(out, arr.Elems()...)
+	}
+	return out
+}
+
+func (e expandOp) outType(in *typelang.Type) *typelang.Type {
+	ft := Field{Path: e.path}.TypeOf(in)
+	return elementType(ft)
+}
+
+// elementType extracts the element type of any array branches of t;
+// non-array branches contribute nothing (they are skipped at runtime).
+func elementType(t *typelang.Type) *typelang.Type {
+	switch t.Kind {
+	case typelang.KArray:
+		return t.Elem
+	case typelang.KUnion:
+		parts := make([]*typelang.Type, 0, len(t.Alts))
+		for _, a := range t.Alts {
+			if et := elementType(a); et.Kind != typelang.KBottom {
+				parts = append(parts, et)
+			}
+		}
+		return typelang.Union(parts...)
+	case typelang.KAny:
+		return typelang.Any
+	default:
+		return typelang.Bottom
+	}
+}
+
+func (e expandOp) String() string { return fmt.Sprintf("expand $.%s", e.path) }
+
+type groupOp struct{ key Expr }
+
+func (g groupOp) run(docs []*jsonvalue.Value) []*jsonvalue.Value {
+	type group struct {
+		key   *jsonvalue.Value
+		items []*jsonvalue.Value
+	}
+	index := map[string]*group{}
+	var order []string
+	for _, d := range docs {
+		k := g.key.Eval(d)
+		ks := k.String()
+		grp, ok := index[ks]
+		if !ok {
+			grp = &group{key: k}
+			index[ks] = grp
+			order = append(order, ks)
+		}
+		grp.items = append(grp.items, d)
+	}
+	sort.Strings(order)
+	out := make([]*jsonvalue.Value, 0, len(order))
+	for _, ks := range order {
+		grp := index[ks]
+		out = append(out, jsonvalue.NewObject(
+			jsonvalue.Field{Name: "key", Value: grp.key},
+			jsonvalue.Field{Name: "count", Value: jsonvalue.NewInt(int64(len(grp.items)))},
+			jsonvalue.Field{Name: "items", Value: jsonvalue.NewArray(grp.items...)},
+		))
+	}
+	return out
+}
+
+func (g groupOp) outType(in *typelang.Type) *typelang.Type {
+	return typelang.NewRecord(
+		typelang.Field{Name: "key", Type: g.key.TypeOf(in)},
+		typelang.Field{Name: "count", Type: typelang.Int},
+		typelang.Field{Name: "items", Type: typelang.NewArray(in)},
+	)
+}
+
+func (g groupOp) String() string { return fmt.Sprintf("group by %s", g.key) }

@@ -1,0 +1,245 @@
+package joi
+
+import (
+	"sort"
+
+	"repro/internal/jsonvalue"
+	"repro/internal/typelang"
+)
+
+// Describe renders the schema as a JSON description document, mirroring
+// Joi's .describe() API: a machine-readable view of the builder chain
+// that tools (form generators, documentation) consume. The layout
+// follows Joi's: a "type" name, "flags" (presence), "rules", "keys"
+// for objects, "matches" for alternatives.
+func (s *Schema) Describe() *jsonvalue.Value {
+	fields := []jsonvalue.Field{
+		{Name: "type", Value: jsonvalue.NewString(s.kindName())},
+	}
+	if s.required {
+		fields = append(fields, jsonvalue.Field{
+			Name:  "flags",
+			Value: jsonvalue.ObjectFromPairs("presence", "required"),
+		})
+	}
+	if len(s.valid) > 0 {
+		fields = append(fields, jsonvalue.Field{
+			Name:  "valid",
+			Value: jsonvalue.NewArray(append([]*jsonvalue.Value(nil), s.valid...)...),
+		})
+	}
+	if rules := s.describeRules(); rules.Len() > 0 {
+		fields = append(fields, jsonvalue.Field{Name: "rules", Value: rules})
+	}
+	switch s.kind {
+	case kObject:
+		if len(s.keys) > 0 {
+			names := make([]string, 0, len(s.keys))
+			for n := range s.keys {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			keyFields := make([]jsonvalue.Field, 0, len(names))
+			for _, n := range names {
+				keyFields = append(keyFields, jsonvalue.Field{Name: n, Value: s.keys[n].Describe()})
+			}
+			fields = append(fields, jsonvalue.Field{Name: "keys", Value: jsonvalue.NewObject(keyFields...)})
+		}
+		deps := s.describeDependencies()
+		if deps.Len() > 0 {
+			fields = append(fields, jsonvalue.Field{Name: "dependencies", Value: deps})
+		}
+	case kArray:
+		if s.items != nil {
+			fields = append(fields, jsonvalue.Field{Name: "items", Value: s.items.Describe()})
+		}
+	case kAlternatives:
+		alts := make([]*jsonvalue.Value, len(s.alts))
+		for i, a := range s.alts {
+			alts[i] = a.Describe()
+		}
+		fields = append(fields, jsonvalue.Field{Name: "matches", Value: jsonvalue.NewArray(alts...)})
+	case kWhen:
+		fields = append(fields, jsonvalue.Field{Name: "ref", Value: jsonvalue.NewString(s.whenRef)})
+		if s.whenIs != nil {
+			fields = append(fields, jsonvalue.Field{Name: "is", Value: s.whenIs.Describe()})
+		}
+		if s.whenThen != nil {
+			fields = append(fields, jsonvalue.Field{Name: "then", Value: s.whenThen.Describe()})
+		}
+		if s.whenOtherwise != nil {
+			fields = append(fields, jsonvalue.Field{Name: "otherwise", Value: s.whenOtherwise.Describe()})
+		}
+	}
+	return jsonvalue.NewObject(fields...)
+}
+
+func (s *Schema) describeRules() *jsonvalue.Value {
+	var rules []*jsonvalue.Value
+	rule := func(name string, args ...any) {
+		fields := []jsonvalue.Field{{Name: "name", Value: jsonvalue.NewString(name)}}
+		if len(args) == 1 {
+			fields = append(fields, jsonvalue.Field{Name: "args", Value: jsonvalue.FromGo(args[0])})
+		}
+		rules = append(rules, jsonvalue.NewObject(fields...))
+	}
+	if s.integer {
+		rule("integer")
+	}
+	if s.positive {
+		rule("positive")
+	}
+	if s.hasMin {
+		rule("min", s.min)
+	}
+	if s.hasMax {
+		rule("max", s.max)
+	}
+	if s.minLen >= 0 {
+		rule("min", s.minLen)
+	}
+	if s.maxLen >= 0 {
+		rule("max", s.maxLen)
+	}
+	if s.pattern != nil {
+		rule("pattern", s.pattern.String())
+	}
+	if s.minItems >= 0 {
+		rule("min", s.minItems)
+	}
+	if s.maxItems >= 0 {
+		rule("max", s.maxItems)
+	}
+	if s.unique {
+		rule("unique")
+	}
+	return jsonvalue.NewArray(rules...)
+}
+
+func (s *Schema) describeDependencies() *jsonvalue.Value {
+	var deps []*jsonvalue.Value
+	add := func(rel string, peers []string) {
+		ps := make([]*jsonvalue.Value, len(peers))
+		for i, p := range peers {
+			ps[i] = jsonvalue.NewString(p)
+		}
+		deps = append(deps, jsonvalue.ObjectFromPairs(
+			"rel", rel,
+			"peers", jsonvalue.NewArray(ps...),
+		))
+	}
+	for _, g := range s.andPeers {
+		add("and", g)
+	}
+	for _, g := range s.orPeers {
+		add("or", g)
+	}
+	for _, g := range s.xorPeers {
+		add("xor", g)
+	}
+	for _, g := range s.nandPeers {
+		add("nand", g)
+	}
+	keys := make([]string, 0, len(s.withPeers))
+	for k := range s.withPeers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		add("with:"+k, s.withPeers[k])
+	}
+	keys = keys[:0]
+	for k := range s.withoutPeers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		add("without:"+k, s.withoutPeers[k])
+	}
+	return jsonvalue.NewArray(deps...)
+}
+
+// ToType converts the Joi schema into the shared type algebra, best
+// effort — the §2 → §3 bridge for the third schema language. Peer
+// constraints (xor/with/without) and value constraints (min/max,
+// patterns, valid lists) have no type-algebra counterpart and are
+// dropped, so the result over-approximates: every document the Joi
+// schema accepts inhabits the returned type.
+func (s *Schema) ToType() *typelang.Type {
+	switch s.kind {
+	case kAny:
+		return typelang.Any
+	case kForbidden:
+		return typelang.Bottom
+	case kNull:
+		return typelang.Null
+	case kBool:
+		return typelang.Bool
+	case kNumber:
+		if s.integer {
+			return typelang.Int
+		}
+		return typelang.Num
+	case kString:
+		return typelang.Str
+	case kArray:
+		if s.items == nil {
+			return typelang.NewArray(typelang.Any)
+		}
+		return typelang.NewArray(s.items.ToType())
+	case kObject:
+		names := make([]string, 0, len(s.keys))
+		for n := range s.keys {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fields := make([]typelang.Field, 0, len(names))
+		for _, n := range names {
+			sub := s.keys[n]
+			if sub.kind == kForbidden {
+				continue
+			}
+			fields = append(fields, typelang.Field{
+				Name:     n,
+				Type:     sub.ToType(),
+				Optional: !sub.isRequiredForType(),
+			})
+		}
+		if s.unknown {
+			// Open objects cannot be a closed record; Any is the only
+			// sound over-approximation the algebra offers.
+			return typelang.Any
+		}
+		return typelang.NewRecord(fields...)
+	case kAlternatives:
+		alts := make([]*typelang.Type, len(s.alts))
+		for i, a := range s.alts {
+			alts[i] = a.ToType()
+		}
+		return typelang.Union(alts...)
+	case kWhen:
+		// Without the sibling context the type is the union of both
+		// branches (absent branches contribute Any).
+		branch := func(b *Schema) *typelang.Type {
+			if b == nil {
+				return typelang.Any
+			}
+			return b.ToType()
+		}
+		return typelang.Union(branch(s.whenThen), branch(s.whenOtherwise))
+	default:
+		return typelang.Any
+	}
+}
+
+// isRequiredForType approximates requiredness for the type conversion:
+// a when-schema is required only when both branches are (otherwise some
+// context admits absence).
+func (s *Schema) isRequiredForType() bool {
+	if s.kind == kWhen {
+		then := s.whenThen != nil && s.whenThen.isRequiredForType()
+		other := s.whenOtherwise != nil && s.whenOtherwise.isRequiredForType()
+		return then && other
+	}
+	return s.required
+}

@@ -1,0 +1,130 @@
+package joi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/jsontext"
+	"repro/internal/typelang"
+)
+
+func paymentSchema() *Schema {
+	return Object().Keys(K{
+		"amount":   Number().Positive().Required(),
+		"currency": String().Valid("EUR", "USD").Required(),
+		"card":     String().Pattern(`^[0-9]{16}$`),
+		"iban":     String(),
+		"tags":     Array().Items(String()).Min(1).Unique(),
+		"payload":  When("kind", String().Valid("a"), String().Required(), Number().Required()),
+		"alt":      Alternatives(String(), Number().Integer()),
+	}).Xor("card", "iban").With("card", "billing_zip")
+}
+
+func TestDescribeRendersJoiShape(t *testing.T) {
+	doc := paymentSchema().Describe()
+	out := jsontext.MarshalString(doc)
+	for _, want := range []string{
+		`"type":"object"`,
+		`"presence":"required"`,
+		`"name":"positive"`,
+		`"valid":["EUR","USD"]`,
+		`"name":"pattern"`,
+		`"rel":"xor"`,
+		`"rel":"with:card"`,
+		`"matches"`,
+		`"ref":"kind"`,
+		`"name":"unique"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %s:\n%s", want, out)
+		}
+	}
+	// The description is plain JSON: it round-trips.
+	if _, err := jsontext.Parse([]byte(out)); err != nil {
+		t.Fatalf("description not parseable: %v", err)
+	}
+}
+
+func TestDescribeDeterministic(t *testing.T) {
+	a := jsontext.MarshalString(paymentSchema().Describe())
+	b := jsontext.MarshalString(paymentSchema().Describe())
+	if a != b {
+		t.Error("Describe output not deterministic")
+	}
+}
+
+func TestToTypeAtoms(t *testing.T) {
+	cases := []struct {
+		s    *Schema
+		want *typelang.Type
+	}{
+		{Null(), typelang.Null},
+		{Boolean(), typelang.Bool},
+		{Number(), typelang.Num},
+		{Number().Integer(), typelang.Int},
+		{String(), typelang.Str},
+		{Any(), typelang.Any},
+		{Forbidden(), typelang.Bottom},
+	}
+	for i, c := range cases {
+		if got := c.s.ToType(); !typelang.Equal(got, c.want) {
+			t.Errorf("case %d: ToType = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestToTypeObjectAndUnion(t *testing.T) {
+	s := Object().Keys(K{
+		"id":   Number().Integer().Required(),
+		"name": String(),
+		"alt":  Alternatives(String(), Boolean()),
+	})
+	ty := s.ToType()
+	if ty.Kind != typelang.KRecord {
+		t.Fatalf("ToType = %v", ty)
+	}
+	id, _ := ty.Get("id")
+	if id.Optional || id.Type.Kind != typelang.KInt {
+		t.Errorf("id = %+v", id)
+	}
+	name, _ := ty.Get("name")
+	if !name.Optional {
+		t.Error("optional-by-default lost")
+	}
+	alt, _ := ty.Get("alt")
+	if alt.Type.Kind != typelang.KUnion {
+		t.Errorf("alt = %+v", alt)
+	}
+	// Unknown(true) opens the object: only Any is sound.
+	if got := s.Unknown(true).ToType(); got.Kind != typelang.KAny {
+		t.Errorf("open object ToType = %v", got)
+	}
+}
+
+func TestToTypeOverApproximates(t *testing.T) {
+	// Property: documents the Joi schema accepts inhabit the converted
+	// type. Constraint-only rejections (xor, patterns) may be admitted
+	// by the type — that is the documented direction.
+	s := Object().Keys(K{
+		"amount": Number().Positive().Required(),
+		"card":   String().Pattern(`^[0-9]{4}$`),
+		"kind":   String(),
+		"payload": When("kind", String().Valid("a"),
+			String().Required(), Number().Required()),
+	})
+	ty := s.ToType()
+	docs := []string{
+		`{"amount": 5, "kind": "a", "payload": "s"}`,
+		`{"amount": 5, "kind": "b", "payload": 7}`,
+		`{"amount": 5, "card": "1234", "kind": "b", "payload": 1}`,
+	}
+	for _, raw := range docs {
+		doc := jsontext.MustParse(raw)
+		if !s.Accepts(doc) {
+			t.Fatalf("setup: schema rejected %s: %v", raw, s.Validate(doc))
+		}
+		if !ty.Matches(doc) {
+			t.Errorf("accepted doc does not inhabit converted type: %s (type %v)", raw, ty)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package jsonschema
+
+import (
+	"testing"
+)
+
+func TestIfThenElse(t *testing.T) {
+	s := compile(t, `{
+		"if":   {"properties": {"country": {"const": "US"}}, "required": ["country"]},
+		"then": {"required": ["zip"]},
+		"else": {"required": ["postal_code"]}
+	}`)
+	if !accepts(t, s, `{"country": "US", "zip": "94110"}`) {
+		t.Error("then branch rejected valid doc")
+	}
+	if accepts(t, s, `{"country": "US"}`) {
+		t.Error("then branch accepted doc missing zip")
+	}
+	if !accepts(t, s, `{"country": "FR", "postal_code": "75005"}`) {
+		t.Error("else branch rejected valid doc")
+	}
+	if accepts(t, s, `{"country": "FR"}`) {
+		t.Error("else branch accepted doc missing postal_code")
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	s := compile(t, `{
+		"if": {"type": "integer"},
+		"then": {"minimum": 10}
+	}`)
+	if accepts(t, s, `5`) || !accepts(t, s, `15`) {
+		t.Error("if/then semantics wrong")
+	}
+	// Non-integers: if fails, no else, accept.
+	if !accepts(t, s, `"anything"`) {
+		t.Error("failed-if with no else should accept")
+	}
+}
+
+func TestFormats(t *testing.T) {
+	cases := []struct {
+		format string
+		good   []string
+		bad    []string
+	}{
+		{"date", []string{`"2019-03-26"`}, []string{`"26/03/2019"`, `"2019-3-26"`}},
+		{"date-time", []string{`"2019-03-26T10:00:00Z"`, `"2019-03-26T10:00:00.5+02:00"`}, []string{`"2019-03-26"`}},
+		{"email", []string{`"a@b.org"`}, []string{`"not an email"`, `"a@b"`}},
+		{"ipv4", []string{`"192.168.0.1"`, `"255.255.255.255"`}, []string{`"256.1.1.1"`, `"1.2.3"`}},
+		{"uri", []string{`"https://edbt.org"`, `"urn:isbn:123"`}, []string{`"no scheme here"`}},
+		{"uuid", []string{`"123e4567-e89b-12d3-a456-426614174000"`}, []string{`"123e4567"`}},
+		{"hostname", []string{`"db-1.example.org"`}, []string{`"-bad.example"`}},
+	}
+	for _, c := range cases {
+		s := compile(t, `{"format": "`+c.format+`"}`)
+		for _, g := range c.good {
+			if !accepts(t, s, g) {
+				t.Errorf("format %s rejected %s", c.format, g)
+			}
+		}
+		for _, b := range c.bad {
+			if accepts(t, s, b) {
+				t.Errorf("format %s accepted %s", c.format, b)
+			}
+		}
+	}
+}
+
+func TestUnknownFormatIsAnnotationOnly(t *testing.T) {
+	s := compile(t, `{"format": "chess-opening"}`)
+	if !accepts(t, s, `"ruy lopez"`) {
+		t.Error("unknown format must not validate")
+	}
+}
+
+func TestFormatIgnoresNonStrings(t *testing.T) {
+	s := compile(t, `{"format": "date"}`)
+	if !accepts(t, s, `42`) || !accepts(t, s, `null`) {
+		t.Error("format must ignore non-strings")
+	}
+}
+
+func TestConditionalWithFormatCombined(t *testing.T) {
+	// A realistic §2-style contract: events either carry a timestamp
+	// in date-time format or an epoch integer, selected by a tag.
+	s := compile(t, `{
+		"type": "object",
+		"required": ["ts_kind"],
+		"if": {"properties": {"ts_kind": {"const": "iso"}}, "required": ["ts_kind"]},
+		"then": {"properties": {"ts": {"type": "string", "format": "date-time"}}, "required": ["ts"]},
+		"else": {"properties": {"ts": {"type": "integer"}}, "required": ["ts"]}
+	}`)
+	if !accepts(t, s, `{"ts_kind": "iso", "ts": "2020-05-01T00:00:00Z"}`) {
+		t.Error("iso variant rejected")
+	}
+	if accepts(t, s, `{"ts_kind": "iso", "ts": 1588291200}`) {
+		t.Error("iso variant accepted epoch")
+	}
+	if !accepts(t, s, `{"ts_kind": "epoch", "ts": 1588291200}`) {
+		t.Error("epoch variant rejected")
+	}
+}

@@ -1,0 +1,349 @@
+package jsonschema
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+
+	"repro/internal/jsonvalue"
+)
+
+// ValidationError reports one violated constraint.
+type ValidationError struct {
+	// InstancePath is the JSON Pointer into the validated document.
+	InstancePath string
+	// Keyword is the violated schema keyword.
+	Keyword string
+	// Message is the human-readable explanation.
+	Message string
+}
+
+func (e ValidationError) Error() string {
+	where := e.InstancePath
+	if where == "" {
+		where = "(root)"
+	}
+	return fmt.Sprintf("%s: %s: %s", where, e.Keyword, e.Message)
+}
+
+// Result gathers validation errors.
+type Result struct {
+	Errors []ValidationError
+}
+
+// Valid reports whether no constraints were violated.
+func (r *Result) Valid() bool { return len(r.Errors) == 0 }
+
+func (r *Result) add(path, keyword, format string, args ...any) {
+	r.Errors = append(r.Errors, ValidationError{
+		InstancePath: path,
+		Keyword:      keyword,
+		Message:      fmt.Sprintf(format, args...),
+	})
+}
+
+// Validate checks v against the schema and returns the full error list.
+func (s *Schema) Validate(v *jsonvalue.Value) *Result {
+	res := &Result{}
+	s.validate(v, "", res)
+	return res
+}
+
+// Accepts reports whether v satisfies the schema (short form).
+func (s *Schema) Accepts(v *jsonvalue.Value) bool {
+	return s.Validate(v).Valid()
+}
+
+func (s *Schema) validate(v *jsonvalue.Value, path string, res *Result) {
+	if s.IsBool {
+		if !s.BoolValue {
+			res.add(path, "false", "schema 'false' accepts nothing")
+		}
+		return
+	}
+	if s.Ref != "" {
+		target, err := s.root.resolveRef(s.Ref)
+		if err != nil {
+			res.add(path, "$ref", "%v", err)
+			return
+		}
+		target.validate(v, path, res)
+		return
+	}
+
+	if len(s.Types) > 0 && !typeMatchesAny(s.Types, v) {
+		res.add(path, "type", "got %s, want %s", instanceTypeName(v), strings.Join(s.Types, " or "))
+	}
+	if s.Enum != nil {
+		found := false
+		for _, e := range s.Enum {
+			if jsonvalue.Equal(e, v) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			res.add(path, "enum", "value not in enumeration")
+		}
+	}
+	if s.Const != nil && !jsonvalue.Equal(s.Const, v) {
+		res.add(path, "const", "value differs from const")
+	}
+
+	switch v.Kind() {
+	case jsonvalue.Number:
+		s.validateNumber(v, path, res)
+	case jsonvalue.String:
+		s.validateString(v, path, res)
+	case jsonvalue.Array:
+		s.validateArray(v, path, res)
+	case jsonvalue.Object:
+		s.validateObject(v, path, res)
+	}
+
+	for i, sub := range s.AllOf {
+		sub.validate(v, path, res) // errors accumulate directly
+		_ = i
+	}
+	if s.AnyOf != nil {
+		ok := false
+		for _, sub := range s.AnyOf {
+			if sub.Accepts(v) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			res.add(path, "anyOf", "value matches none of %d alternatives", len(s.AnyOf))
+		}
+	}
+	if s.OneOf != nil {
+		matches := 0
+		for _, sub := range s.OneOf {
+			if sub.Accepts(v) {
+				matches++
+			}
+		}
+		if matches != 1 {
+			res.add(path, "oneOf", "value matches %d alternatives, want exactly 1", matches)
+		}
+	}
+	if s.Not != nil && s.Not.Accepts(v) {
+		res.add(path, "not", "value matches negated schema")
+	}
+	if s.If != nil {
+		if s.If.Accepts(v) {
+			if s.Then != nil {
+				s.Then.validate(v, path, res)
+			}
+		} else if s.Else != nil {
+			s.Else.validate(v, path, res)
+		}
+	}
+}
+
+func typeMatchesAny(types []string, v *jsonvalue.Value) bool {
+	for _, t := range types {
+		if typeMatches(t, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func typeMatches(t string, v *jsonvalue.Value) bool {
+	switch t {
+	case "null":
+		return v.Kind() == jsonvalue.Null
+	case "boolean":
+		return v.Kind() == jsonvalue.Bool
+	case "integer":
+		return v.IsInt()
+	case "number":
+		return v.Kind() == jsonvalue.Number
+	case "string":
+		return v.Kind() == jsonvalue.String
+	case "array":
+		return v.Kind() == jsonvalue.Array
+	case "object":
+		return v.Kind() == jsonvalue.Object
+	default:
+		return false
+	}
+}
+
+func instanceTypeName(v *jsonvalue.Value) string {
+	if v.IsInt() {
+		return "integer"
+	}
+	return v.Kind().String()
+}
+
+func (s *Schema) validateNumber(v *jsonvalue.Value, path string, res *Result) {
+	n := v.Num()
+	if !math.IsNaN(s.MultipleOf) {
+		q := n / s.MultipleOf
+		if q != math.Trunc(q) {
+			res.add(path, "multipleOf", "%v is not a multiple of %v", n, s.MultipleOf)
+		}
+	}
+	if !math.IsNaN(s.Minimum) && n < s.Minimum {
+		res.add(path, "minimum", "%v < %v", n, s.Minimum)
+	}
+	if !math.IsNaN(s.Maximum) && n > s.Maximum {
+		res.add(path, "maximum", "%v > %v", n, s.Maximum)
+	}
+	if !math.IsNaN(s.ExclusiveMinimum) && n <= s.ExclusiveMinimum {
+		res.add(path, "exclusiveMinimum", "%v <= %v", n, s.ExclusiveMinimum)
+	}
+	if !math.IsNaN(s.ExclusiveMaximum) && n >= s.ExclusiveMaximum {
+		res.add(path, "exclusiveMaximum", "%v >= %v", n, s.ExclusiveMaximum)
+	}
+}
+
+func (s *Schema) validateString(v *jsonvalue.Value, path string, res *Result) {
+	str := v.Str()
+	length := len([]rune(str)) // JSON Schema counts code points
+	if s.MinLength >= 0 && length < s.MinLength {
+		res.add(path, "minLength", "length %d < %d", length, s.MinLength)
+	}
+	if s.MaxLength >= 0 && length > s.MaxLength {
+		res.add(path, "maxLength", "length %d > %d", length, s.MaxLength)
+	}
+	if s.Pattern != nil && !s.Pattern.MatchString(str) {
+		res.add(path, "pattern", "%q does not match %q", str, s.Pattern.String())
+	}
+	if s.Format != "" {
+		if re, known := formatRes[s.Format]; known && !re.MatchString(str) {
+			res.add(path, "format", "%q is not a valid %s", str, s.Format)
+		}
+	}
+}
+
+// formatRes validates the recognised draft-07 formats; unknown formats
+// are annotations only, per the spec.
+var formatRes = map[string]*regexp.Regexp{
+	"date":      regexp.MustCompile(`^\d{4}-\d{2}-\d{2}$`),
+	"date-time": regexp.MustCompile(`^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}(\.\d+)?(Z|[+-]\d{2}:\d{2})$`),
+	"time":      regexp.MustCompile(`^\d{2}:\d{2}:\d{2}(\.\d+)?(Z|[+-]\d{2}:\d{2})?$`),
+	"email":     regexp.MustCompile(`^[^@\s]+@[^@\s]+\.[^@\s]+$`),
+	"hostname":  regexp.MustCompile(`^[A-Za-z0-9]([A-Za-z0-9-]{0,61}[A-Za-z0-9])?(\.[A-Za-z0-9]([A-Za-z0-9-]{0,61}[A-Za-z0-9])?)*$`),
+	"ipv4":      regexp.MustCompile(`^((25[0-5]|2[0-4]\d|1\d\d|[1-9]?\d)\.){3}(25[0-5]|2[0-4]\d|1\d\d|[1-9]?\d)$`),
+	"uri":       regexp.MustCompile(`^[A-Za-z][A-Za-z0-9+.-]*:`),
+	"uuid":      regexp.MustCompile(`^[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}$`),
+}
+
+func (s *Schema) validateArray(v *jsonvalue.Value, path string, res *Result) {
+	elems := v.Elems()
+	if s.MinItems >= 0 && len(elems) < s.MinItems {
+		res.add(path, "minItems", "%d items < %d", len(elems), s.MinItems)
+	}
+	if s.MaxItems >= 0 && len(elems) > s.MaxItems {
+		res.add(path, "maxItems", "%d items > %d", len(elems), s.MaxItems)
+	}
+	if s.UniqueItems {
+		for i := 0; i < len(elems); i++ {
+			for j := i + 1; j < len(elems); j++ {
+				if jsonvalue.Equal(elems[i], elems[j]) {
+					res.add(path, "uniqueItems", "items %d and %d are equal", i, j)
+					i = len(elems) // report once
+					break
+				}
+			}
+		}
+	}
+	switch {
+	case s.Items != nil:
+		for i, e := range elems {
+			s.Items.validate(e, childPath(path, fmt.Sprint(i)), res)
+		}
+	case s.TupleItems != nil:
+		for i, e := range elems {
+			if i < len(s.TupleItems) {
+				s.TupleItems[i].validate(e, childPath(path, fmt.Sprint(i)), res)
+			} else if s.AdditionalItems != nil {
+				s.AdditionalItems.validate(e, childPath(path, fmt.Sprint(i)), res)
+			}
+		}
+	}
+	if s.Contains != nil {
+		found := false
+		for _, e := range elems {
+			if s.Contains.Accepts(e) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			res.add(path, "contains", "no item matches the contains schema")
+		}
+	}
+}
+
+func (s *Schema) validateObject(v *jsonvalue.Value, path string, res *Result) {
+	nFields := len(distinctNames(v))
+	if s.MinProperties >= 0 && nFields < s.MinProperties {
+		res.add(path, "minProperties", "%d properties < %d", nFields, s.MinProperties)
+	}
+	if s.MaxProperties >= 0 && nFields > s.MaxProperties {
+		res.add(path, "maxProperties", "%d properties > %d", nFields, s.MaxProperties)
+	}
+	for _, req := range s.Required {
+		if !v.Has(req) {
+			res.add(path, "required", "missing required property %q", req)
+		}
+	}
+	for _, name := range distinctNames(v) {
+		fv, _ := v.Get(name)
+		matched := false
+		if sub, ok := s.Properties[name]; ok {
+			matched = true
+			sub.validate(fv, childPath(path, name), res)
+		}
+		for _, ps := range s.PatternProperties {
+			if ps.Pattern.MatchString(name) {
+				matched = true
+				ps.Schema.validate(fv, childPath(path, name), res)
+			}
+		}
+		if !matched && s.AdditionalProperties != nil {
+			s.AdditionalProperties.validate(fv, childPath(path, name), res)
+		}
+		if s.PropertyNames != nil {
+			s.PropertyNames.validate(jsonvalue.NewString(name), childPath(path, name), res)
+		}
+	}
+	for dep, needs := range s.DependencyKeys {
+		if v.Has(dep) {
+			for _, need := range needs {
+				if !v.Has(need) {
+					res.add(path, "dependencies", "property %q requires %q", dep, need)
+				}
+			}
+		}
+	}
+	for dep, sub := range s.DependencySchemas {
+		if v.Has(dep) {
+			sub.validate(v, path, res)
+		}
+	}
+}
+
+func distinctNames(v *jsonvalue.Value) []string {
+	seen := make(map[string]struct{}, v.Len())
+	names := make([]string, 0, v.Len())
+	for _, f := range v.Fields() {
+		if _, dup := seen[f.Name]; !dup {
+			seen[f.Name] = struct{}{}
+			names = append(names, f.Name)
+		}
+	}
+	return names
+}
+
+func childPath(base, token string) string {
+	token = strings.ReplaceAll(token, "~", "~0")
+	token = strings.ReplaceAll(token, "/", "~1")
+	return base + "/" + token
+}

@@ -1,0 +1,359 @@
+package jsontext
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/jsonvalue"
+)
+
+func TestParseAtoms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want *jsonvalue.Value
+	}{
+		{`null`, jsonvalue.NewNull()},
+		{`true`, jsonvalue.NewBool(true)},
+		{`false`, jsonvalue.NewBool(false)},
+		{`0`, jsonvalue.NewInt(0)},
+		{`-1`, jsonvalue.NewInt(-1)},
+		{`3.25`, jsonvalue.NewNumber(3.25)},
+		{`1e2`, jsonvalue.NewNumber(100)},
+		{`1E+2`, jsonvalue.NewNumber(100)},
+		{`1.5e-1`, jsonvalue.NewNumber(0.15)},
+		{`""`, jsonvalue.NewString("")},
+		{`"abc"`, jsonvalue.NewString("abc")},
+		{`"A"`, jsonvalue.NewString("A")},
+		{`"😀"`, jsonvalue.NewString("😀")},
+		{`"a\"b\\c\/d\n\t\r\b\f"`, jsonvalue.NewString("a\"b\\c/d\n\t\r\b\f")},
+		{`  42  `, jsonvalue.NewInt(42)},
+	}
+	for _, c := range cases {
+		got, err := ParseString(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if !jsonvalue.Equal(got, c.want) {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseContainers(t *testing.T) {
+	v := MustParse(`{"a": [1, {"b": null}, "x"], "c": {} , "d": []}`)
+	if v.Kind() != jsonvalue.Object || v.Len() != 3 {
+		t.Fatalf("bad top object: %v", v)
+	}
+	a, _ := v.Get("a")
+	if a.Len() != 3 {
+		t.Fatalf("a has %d elems", a.Len())
+	}
+	inner, _ := a.Elem(1).Get("b")
+	if !inner.IsNull() {
+		t.Error("a[1].b should be null")
+	}
+	if c, _ := v.Get("c"); c.Len() != 0 {
+		t.Error("c not empty object")
+	}
+	if d, _ := v.Get("d"); d.Kind() != jsonvalue.Array || d.Len() != 0 {
+		t.Error("d not empty array")
+	}
+}
+
+func TestParseFieldOrderPreserved(t *testing.T) {
+	v := MustParse(`{"z":1,"a":2,"m":3}`)
+	names := v.FieldNames()
+	if names[0] != "z" || names[1] != "a" || names[2] != "m" {
+		t.Errorf("field order not preserved: %v", names)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `tru`, `nul`, `falsy`, `+1`, `01`, `1.`, `1e`, `1e+`, `.5`,
+		`"unterminated`, `"bad \x escape"`, `"\u12"`, `"\uzzzz"`,
+		`[1,]`, `[1 2]`, `[`, `]`, `{`, `}`, `{"a"}`, `{"a":}`, `{"a":1,}`,
+		`{a:1}`, `{"a":1 "b":2}`, `1 2`, `{"a":1}x`, "\"ctrl\x01char\"",
+	}
+	for _, in := range bad {
+		if _, err := ParseString(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+	// Errors should carry offsets.
+	_, err := ParseString(`{"a": tru}`)
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T, want *SyntaxError", err)
+	}
+	if se.Offset != 6 {
+		t.Errorf("offset = %d, want 6", se.Offset)
+	}
+}
+
+func TestParseDeepNestingBounded(t *testing.T) {
+	depth := MaxDepth + 10
+	in := strings.Repeat("[", depth) + strings.Repeat("]", depth)
+	if _, err := ParseString(in); err == nil {
+		t.Error("expected depth error")
+	}
+	ok := strings.Repeat("[", 100) + "1" + strings.Repeat("]", 100)
+	if _, err := ParseString(ok); err != nil {
+		t.Errorf("depth-100 input rejected: %v", err)
+	}
+}
+
+func TestNumberRawPreserved(t *testing.T) {
+	v := MustParse(`1e2`)
+	if got := MarshalString(v); got != "1e2" {
+		t.Errorf("round-trip of 1e2 = %q", got)
+	}
+}
+
+func TestMarshalAtoms(t *testing.T) {
+	cases := []struct {
+		v    *jsonvalue.Value
+		want string
+	}{
+		{jsonvalue.NewNull(), "null"},
+		{jsonvalue.NewBool(true), "true"},
+		{jsonvalue.NewInt(-7), "-7"},
+		{jsonvalue.NewNumber(0.5), "0.5"},
+		{jsonvalue.NewNumber(math.NaN()), "null"},
+		{jsonvalue.NewString("a\"b"), `"a\"b"`},
+		{jsonvalue.NewString("tab\there"), `"tab\there"`},
+		{jsonvalue.NewString("\x01"), `"\u0001"`},
+	}
+	for _, c := range cases {
+		if got := MarshalString(c.v); got != c.want {
+			t.Errorf("Marshal(%v) = %s, want %s", c.v, got, c.want)
+		}
+	}
+}
+
+func TestMarshalEscapeHTML(t *testing.T) {
+	v := jsonvalue.NewString("<a>&</a>")
+	got := string(AppendValue(nil, v, WriteOptions{EscapeHTML: true}))
+	if got != `"\u003ca\u003e\u0026\u003c/a\u003e"` {
+		t.Errorf("EscapeHTML output = %s", got)
+	}
+	plain := MarshalString(v)
+	if plain != `"<a>&</a>"` {
+		t.Errorf("default output = %s", plain)
+	}
+}
+
+func TestMarshalIndent(t *testing.T) {
+	v := MustParse(`{"a":[1,2],"b":{}}`)
+	got := string(MarshalIndent(v, "  "))
+	want := "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {}\n}"
+	if got != want {
+		t.Errorf("MarshalIndent:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestMarshalSortFields(t *testing.T) {
+	v := MustParse(`{"b":1,"a":2}`)
+	got := string(AppendValue(nil, v, WriteOptions{SortFields: true}))
+	if got != `{"a":2,"b":1}` {
+		t.Errorf("sorted marshal = %s", got)
+	}
+}
+
+func TestRoundTripAgainstStdlib(t *testing.T) {
+	// Our serialisation of parsed input must be stdlib-parseable and
+	// semantically identical to stdlib's view of the same input.
+	inputs := []string{
+		`{"a":1,"b":[true,null,"x",1.5e3],"c":{"d":""}}`,
+		`[[],{},[[[1]]],"é😀"]`,
+		`{"num":-0.0031,"big":123456789012345}`,
+	}
+	for _, in := range inputs {
+		v := MustParse(in)
+		out := Marshal(v)
+		var ours, theirs any
+		if err := json.Unmarshal(out, &ours); err != nil {
+			t.Fatalf("stdlib cannot parse our output %s: %v", out, err)
+		}
+		if err := json.Unmarshal([]byte(in), &theirs); err != nil {
+			t.Fatal(err)
+		}
+		oj, _ := json.Marshal(ours)
+		tj, _ := json.Marshal(theirs)
+		if string(oj) != string(tj) {
+			t.Errorf("round trip of %s diverged: %s vs %s", in, oj, tj)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	// Property: Parse(Marshal(v)) == v for arbitrary generated values.
+	f := func(seed int64) bool {
+		v := randomValue(seed, 4)
+		got, err := Parse(Marshal(v))
+		if err != nil {
+			return false
+		}
+		return jsonvalue.Equal(got, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomValue builds a deterministic pseudo-random value from a seed
+// using a splitmix-style generator; shared with other packages' tests via
+// duplication to keep test helpers local.
+func randomValue(seed int64, depth int) *jsonvalue.Value {
+	s := uint64(seed)
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	var gen func(d int) *jsonvalue.Value
+	gen = func(d int) *jsonvalue.Value {
+		k := next() % 7
+		if d <= 0 && k >= 5 {
+			k = next() % 5
+		}
+		switch k {
+		case 0:
+			return jsonvalue.NewNull()
+		case 1:
+			return jsonvalue.NewBool(next()%2 == 0)
+		case 2:
+			return jsonvalue.NewInt(int64(next()%10000) - 5000)
+		case 3:
+			return jsonvalue.NewNumber(float64(next()%1000) / 8)
+		case 4:
+			runes := []rune("abc\"\\\n\tédç😀xyz")
+			n := int(next() % 8)
+			var sb strings.Builder
+			for i := 0; i < n; i++ {
+				sb.WriteRune(runes[int(next()%uint64(len(runes)))])
+			}
+			return jsonvalue.NewString(sb.String())
+		case 5:
+			n := int(next() % 4)
+			elems := make([]*jsonvalue.Value, n)
+			for i := range elems {
+				elems[i] = gen(d - 1)
+			}
+			return jsonvalue.NewArray(elems...)
+		default:
+			n := int(next() % 4)
+			fields := make([]jsonvalue.Field, n)
+			for i := range fields {
+				fields[i] = jsonvalue.Field{Name: string(rune('a' + i)), Value: gen(d - 1)}
+			}
+			return jsonvalue.NewObject(fields...)
+		}
+	}
+	return gen(depth)
+}
+
+func TestStreamingDecoder(t *testing.T) {
+	input := `{"a":1}
+	[1,2,3]   "str"
+	42 null true`
+	dec := NewDecoder(strings.NewReader(input))
+	vals, err := dec.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 6 {
+		t.Fatalf("decoded %d values, want 6", len(vals))
+	}
+	if vals[3].Num() != 42 {
+		t.Error("4th value wrong")
+	}
+}
+
+func TestStreamingDecoderSmallReads(t *testing.T) {
+	// One byte at a time exercises buffer growth and number termination.
+	input := `{"key":"value","n":12345}  678  [true]`
+	dec := NewDecoder(iotest{r: strings.NewReader(input)})
+	vals, err := dec.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 {
+		t.Fatalf("decoded %d values, want 3", len(vals))
+	}
+	if vals[1].Num() != 678 {
+		t.Errorf("number across reads = %v", vals[1])
+	}
+}
+
+type iotest struct{ r io.Reader }
+
+func (o iotest) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+func TestStreamingDecoderErrors(t *testing.T) {
+	dec := NewDecoder(strings.NewReader(`{"a":`))
+	if _, err := dec.Decode(); err == nil {
+		t.Error("truncated stream should fail")
+	}
+	dec = NewDecoder(strings.NewReader(``))
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Errorf("empty stream error = %v, want io.EOF", err)
+	}
+}
+
+func TestEncoderNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, s := range []string{`{"a":1}`, `[2]`} {
+		if err := enc.Encode(MustParse(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := buf.String(); got != "{\"a\":1}\n[2]\n" {
+		t.Errorf("NDJSON output = %q", got)
+	}
+}
+
+func TestParseLinesAndMarshalLines(t *testing.T) {
+	docs := []*jsonvalue.Value{MustParse(`{"a":1}`), MustParse(`2`)}
+	data := MarshalLines(docs)
+	back, err := ParseLines(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || !jsonvalue.Equal(back[0], docs[0]) || !jsonvalue.Equal(back[1], docs[1]) {
+		t.Errorf("ParseLines round trip failed: %v", back)
+	}
+	// Blank lines are skipped.
+	back, err = ParseLines([]byte("\n{\"x\":1}\n\n \n5\n"))
+	if err != nil || len(back) != 2 {
+		t.Errorf("ParseLines with blanks = %v, %v", back, err)
+	}
+}
+
+func TestQuote(t *testing.T) {
+	if got := Quote(`a"b`); got != `"a\"b"` {
+		t.Errorf("Quote = %s", got)
+	}
+}
+
+func TestInvalidUTF8Replaced(t *testing.T) {
+	v := jsonvalue.NewString(string([]byte{0xff, 'a'}))
+	out := MarshalString(v)
+	if out != `"\ufffda"` {
+		t.Errorf("invalid UTF-8 marshal = %s", out)
+	}
+}

@@ -1,0 +1,370 @@
+// Package jsontext implements JSON text processing from scratch: a
+// lexer, a recursive-descent parser producing jsonvalue.Value trees, a
+// serializer, and a streaming token decoder.
+//
+// It is the "conventional parser" of the tutorial's §4.2 — the baseline
+// that Mison-style structural-index parsing (internal/mison) and
+// Fad.js-style speculative parsing (internal/fadjs) are measured
+// against — and the front end for every schema tool in the repository.
+// The grammar is RFC 8259 JSON.
+package jsontext
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// TokenKind identifies a lexical token.
+type TokenKind uint8
+
+// Token kinds. Delimiters carry no payload; literals carry their decoded
+// payload in Token.
+const (
+	TokEOF TokenKind = iota
+	TokBeginObject
+	TokEndObject
+	TokBeginArray
+	TokEndArray
+	TokColon
+	TokComma
+	TokNull
+	TokTrue
+	TokFalse
+	TokNumber
+	TokString
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokBeginObject:
+		return "'{'"
+	case TokEndObject:
+		return "'}'"
+	case TokBeginArray:
+		return "'['"
+	case TokEndArray:
+		return "']'"
+	case TokColon:
+		return "':'"
+	case TokComma:
+		return "','"
+	case TokNull:
+		return "null"
+	case TokTrue:
+		return "true"
+	case TokFalse:
+		return "false"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	default:
+		return "unknown"
+	}
+}
+
+// Token is a lexical token with position and payload.
+type Token struct {
+	Kind TokenKind
+	// Str holds the decoded string for TokString.
+	Str string
+	// Num and NumRaw hold the numeric value and the literal spelling for
+	// TokNumber.
+	Num    float64
+	NumRaw string
+	// Offset is the byte offset of the token's first byte.
+	Offset int
+}
+
+// SyntaxError reports a JSON syntax violation with its byte offset.
+type SyntaxError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("json syntax error at offset %d: %s", e.Offset, e.Msg)
+}
+
+func errAt(off int, format string, args ...any) error {
+	return &SyntaxError{Offset: off, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer scans a complete in-memory JSON text.
+type lexer struct {
+	data []byte
+	pos  int
+}
+
+func newLexer(data []byte) *lexer { return &lexer{data: data} }
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.data) {
+		switch l.data[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+// next scans the next token.
+func (l *lexer) next() (Token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.data) {
+		return Token{Kind: TokEOF, Offset: l.pos}, nil
+	}
+	start := l.pos
+	switch c := l.data[l.pos]; c {
+	case '{':
+		l.pos++
+		return Token{Kind: TokBeginObject, Offset: start}, nil
+	case '}':
+		l.pos++
+		return Token{Kind: TokEndObject, Offset: start}, nil
+	case '[':
+		l.pos++
+		return Token{Kind: TokBeginArray, Offset: start}, nil
+	case ']':
+		l.pos++
+		return Token{Kind: TokEndArray, Offset: start}, nil
+	case ':':
+		l.pos++
+		return Token{Kind: TokColon, Offset: start}, nil
+	case ',':
+		l.pos++
+		return Token{Kind: TokComma, Offset: start}, nil
+	case 't':
+		if err := l.literal("true"); err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: TokTrue, Offset: start}, nil
+	case 'f':
+		if err := l.literal("false"); err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: TokFalse, Offset: start}, nil
+	case 'n':
+		if err := l.literal("null"); err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: TokNull, Offset: start}, nil
+	case '"':
+		s, err := l.scanString()
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: TokString, Str: s, Offset: start}, nil
+	default:
+		if c == '-' || (c >= '0' && c <= '9') {
+			f, raw, err := l.scanNumber()
+			if err != nil {
+				return Token{}, err
+			}
+			return Token{Kind: TokNumber, Num: f, NumRaw: raw, Offset: start}, nil
+		}
+		return Token{}, errAt(start, "unexpected byte %q", c)
+	}
+}
+
+func (l *lexer) literal(lit string) error {
+	if len(l.data)-l.pos < len(lit) || string(l.data[l.pos:l.pos+len(lit)]) != lit {
+		return errAt(l.pos, "invalid literal, want %q", lit)
+	}
+	l.pos += len(lit)
+	return nil
+}
+
+// scanString decodes a JSON string starting at the opening quote.
+func (l *lexer) scanString() (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	// Fast path: ASCII with no escapes and no control bytes. Non-ASCII
+	// drops to the slow path, which validates UTF-8 (invalid sequences
+	// become U+FFFD, as in encoding/json, keeping parse∘marshal a
+	// fixpoint).
+	i := l.pos
+	for i < len(l.data) {
+		c := l.data[i]
+		if c == '"' {
+			s := string(l.data[l.pos:i])
+			l.pos = i + 1
+			return s, nil
+		}
+		if c == '\\' || c < 0x20 || c >= utf8.RuneSelf {
+			break
+		}
+		i++
+	}
+	// Slow path with escape decoding.
+	var buf []byte
+	buf = append(buf, l.data[l.pos:i]...)
+	l.pos = i
+	for l.pos < len(l.data) {
+		c := l.data[l.pos]
+		switch {
+		case c == '"':
+			l.pos++
+			return string(buf), nil
+		case c < 0x20:
+			return "", errAt(l.pos, "unescaped control character 0x%02x in string", c)
+		case c == '\\':
+			l.pos++
+			if l.pos >= len(l.data) {
+				return "", errAt(l.pos, "unterminated escape")
+			}
+			esc := l.data[l.pos]
+			switch esc {
+			case '"', '\\', '/':
+				buf = append(buf, esc)
+				l.pos++
+			case 'b':
+				buf = append(buf, '\b')
+				l.pos++
+			case 'f':
+				buf = append(buf, '\f')
+				l.pos++
+			case 'n':
+				buf = append(buf, '\n')
+				l.pos++
+			case 'r':
+				buf = append(buf, '\r')
+				l.pos++
+			case 't':
+				buf = append(buf, '\t')
+				l.pos++
+			case 'u':
+				r, err := l.scanUnicodeEscape()
+				if err != nil {
+					return "", err
+				}
+				buf = utf8.AppendRune(buf, r)
+			default:
+				return "", errAt(l.pos, "invalid escape character %q", esc)
+			}
+		default:
+			// Copy one UTF-8 rune; invalid encoding is sanitised to
+			// U+FFFD so parsed strings are always valid UTF-8.
+			r, size := utf8.DecodeRune(l.data[l.pos:])
+			if r == utf8.RuneError && size == 1 {
+				buf = utf8.AppendRune(buf, utf8.RuneError)
+			} else {
+				buf = append(buf, l.data[l.pos:l.pos+size]...)
+			}
+			l.pos += size
+		}
+	}
+	return "", errAt(start, "unterminated string")
+}
+
+// scanUnicodeEscape decodes \uXXXX (with surrogate-pair handling); the
+// leading "\u" has been consumed up to the 'u'.
+func (l *lexer) scanUnicodeEscape() (rune, error) {
+	l.pos++ // 'u'
+	r1, err := l.hex4()
+	if err != nil {
+		return 0, err
+	}
+	if utf16.IsSurrogate(rune(r1)) {
+		// Expect a low surrogate.
+		if l.pos+1 < len(l.data) && l.data[l.pos] == '\\' && l.data[l.pos+1] == 'u' {
+			save := l.pos
+			l.pos += 2
+			r2, err := l.hex4()
+			if err != nil {
+				return 0, err
+			}
+			if dec := utf16.DecodeRune(rune(r1), rune(r2)); dec != utf8.RuneError {
+				return dec, nil
+			}
+			l.pos = save
+		}
+		return utf8.RuneError, nil
+	}
+	return rune(r1), nil
+}
+
+func (l *lexer) hex4() (uint32, error) {
+	if l.pos+4 > len(l.data) {
+		return 0, errAt(l.pos, "truncated \\u escape")
+	}
+	var v uint32
+	for i := 0; i < 4; i++ {
+		c := l.data[l.pos+i]
+		var d uint32
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint32(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint32(c-'A') + 10
+		default:
+			return 0, errAt(l.pos+i, "invalid hex digit %q in \\u escape", c)
+		}
+		v = v<<4 | d
+	}
+	l.pos += 4
+	return v, nil
+}
+
+// scanNumber validates and parses a JSON number literal.
+func (l *lexer) scanNumber() (float64, string, error) {
+	start := l.pos
+	if l.pos < len(l.data) && l.data[l.pos] == '-' {
+		l.pos++
+	}
+	// Integer part.
+	switch {
+	case l.pos < len(l.data) && l.data[l.pos] == '0':
+		l.pos++
+	case l.pos < len(l.data) && l.data[l.pos] >= '1' && l.data[l.pos] <= '9':
+		for l.pos < len(l.data) && isDigit(l.data[l.pos]) {
+			l.pos++
+		}
+	default:
+		return 0, "", errAt(l.pos, "invalid number: missing integer part")
+	}
+	// Fraction.
+	if l.pos < len(l.data) && l.data[l.pos] == '.' {
+		l.pos++
+		if l.pos >= len(l.data) || !isDigit(l.data[l.pos]) {
+			return 0, "", errAt(l.pos, "invalid number: missing fraction digits")
+		}
+		for l.pos < len(l.data) && isDigit(l.data[l.pos]) {
+			l.pos++
+		}
+	}
+	// Exponent.
+	if l.pos < len(l.data) && (l.data[l.pos] == 'e' || l.data[l.pos] == 'E') {
+		l.pos++
+		if l.pos < len(l.data) && (l.data[l.pos] == '+' || l.data[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos >= len(l.data) || !isDigit(l.data[l.pos]) {
+			return 0, "", errAt(l.pos, "invalid number: missing exponent digits")
+		}
+		for l.pos < len(l.data) && isDigit(l.data[l.pos]) {
+			l.pos++
+		}
+	}
+	raw := string(l.data[start:l.pos])
+	f, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		// Overflow is the only way a grammatical literal fails; clamp as
+		// encoding/json does not, so surface it.
+		if math.IsInf(f, 0) {
+			return 0, "", errAt(start, "number %q overflows float64", raw)
+		}
+		return 0, "", errAt(start, "invalid number %q", raw)
+	}
+	return f, raw, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

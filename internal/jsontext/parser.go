@@ -1,0 +1,175 @@
+package jsontext
+
+import (
+	"repro/internal/jsonvalue"
+)
+
+// MaxDepth bounds container nesting to keep the recursive-descent parser
+// safe on adversarial inputs (same order of magnitude as encoding/json's
+// limit).
+const MaxDepth = 10000
+
+// Parse parses a complete JSON text into a Value. Trailing
+// non-whitespace input is an error.
+func Parse(data []byte) (*jsonvalue.Value, error) {
+	p := &parser{lex: newLexer(data)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	v, err := p.parseValue(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, errAt(p.tok.Offset, "trailing data after top-level value")
+	}
+	return v, nil
+}
+
+// ParseString is Parse on a string.
+func ParseString(s string) (*jsonvalue.Value, error) { return Parse([]byte(s)) }
+
+// MustParse parses or panics; for tests and fixtures.
+func MustParse(s string) *jsonvalue.Value {
+	v, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+type parser struct {
+	lex *lexer
+	tok Token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) parseValue(depth int) (*jsonvalue.Value, error) {
+	if depth > MaxDepth {
+		return nil, errAt(p.tok.Offset, "nesting depth exceeds %d", MaxDepth)
+	}
+	switch p.tok.Kind {
+	case TokNull:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return jsonvalue.NewNull(), nil
+	case TokTrue:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return jsonvalue.NewBool(true), nil
+	case TokFalse:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return jsonvalue.NewBool(false), nil
+	case TokNumber:
+		v := jsonvalue.NewNumberRaw(p.tok.Num, p.tok.NumRaw)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case TokString:
+		v := jsonvalue.NewString(p.tok.Str)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case TokBeginArray:
+		return p.parseArray(depth)
+	case TokBeginObject:
+		return p.parseObject(depth)
+	case TokEOF:
+		return nil, errAt(p.tok.Offset, "unexpected end of input, want value")
+	default:
+		return nil, errAt(p.tok.Offset, "unexpected %s, want value", p.tok.Kind)
+	}
+}
+
+func (p *parser) parseArray(depth int) (*jsonvalue.Value, error) {
+	if err := p.advance(); err != nil { // consume '['
+		return nil, err
+	}
+	if p.tok.Kind == TokEndArray {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return jsonvalue.NewArray(), nil
+	}
+	var elems []*jsonvalue.Value
+	for {
+		e, err := p.parseValue(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+		switch p.tok.Kind {
+		case TokComma:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case TokEndArray:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return jsonvalue.NewArray(elems...), nil
+		default:
+			return nil, errAt(p.tok.Offset, "unexpected %s in array, want ',' or ']'", p.tok.Kind)
+		}
+	}
+}
+
+func (p *parser) parseObject(depth int) (*jsonvalue.Value, error) {
+	if err := p.advance(); err != nil { // consume '{'
+		return nil, err
+	}
+	if p.tok.Kind == TokEndObject {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return jsonvalue.NewObject(), nil
+	}
+	var fields []jsonvalue.Field
+	for {
+		if p.tok.Kind != TokString {
+			return nil, errAt(p.tok.Offset, "unexpected %s, want field name string", p.tok.Kind)
+		}
+		name := p.tok.Str
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != TokColon {
+			return nil, errAt(p.tok.Offset, "unexpected %s, want ':'", p.tok.Kind)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		val, err := p.parseValue(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, jsonvalue.Field{Name: name, Value: val})
+		switch p.tok.Kind {
+		case TokComma:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case TokEndObject:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return jsonvalue.NewObject(fields...), nil
+		default:
+			return nil, errAt(p.tok.Offset, "unexpected %s in object, want ',' or '}'", p.tok.Kind)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package jsontext
+
+import (
+	"testing"
+
+	"repro/internal/genjson"
+	"repro/internal/jsonvalue"
+)
+
+// Failure injection: no input mutation may panic the parser, and any
+// input it accepts must round-trip through the serializer.
+func TestParserRobustToMutations(t *testing.T) {
+	seeds := []string{
+		`{"a": [1, {"b": "x"}, null], "c": 1e-3}`,
+		`[true, false, "é😀", {}]`,
+		`{"deep": {"er": {"est": [[[1]]]}}}`,
+	}
+	s := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	for _, seed := range seeds {
+		base := []byte(seed)
+		for trial := 0; trial < 3000; trial++ {
+			buf := append([]byte(nil), base...)
+			// One to three random byte mutations.
+			for m := 0; m < 1+int(next()%3); m++ {
+				switch next() % 3 {
+				case 0: // overwrite
+					buf[next()%uint64(len(buf))] = byte(next())
+				case 1: // delete
+					i := int(next() % uint64(len(buf)))
+					buf = append(buf[:i], buf[i+1:]...)
+				default: // insert
+					i := int(next() % uint64(len(buf)+1))
+					buf = append(buf[:i], append([]byte{byte(next())}, buf[i:]...)...)
+				}
+				if len(buf) == 0 {
+					buf = []byte("x")
+				}
+			}
+			v, err := Parse(buf) // must not panic
+			if err != nil {
+				continue
+			}
+			back, err := Parse(Marshal(v))
+			if err != nil {
+				t.Fatalf("accepted input %q did not re-parse: %v", buf, err)
+			}
+			if !jsonvalue.Equal(v, back) {
+				t.Fatalf("round trip changed value for %q", buf)
+			}
+		}
+	}
+}
+
+// Truncation sweep: every prefix of a valid document must either error
+// or (for prefixes that happen to be valid JSON) round-trip.
+func TestParserTruncationSweep(t *testing.T) {
+	doc := []byte(`{"name": "ada", "xs": [1, 2.5e2, null], "ok": true}`)
+	for i := 0; i < len(doc); i++ {
+		v, err := Parse(doc[:i])
+		if err != nil {
+			continue
+		}
+		if !jsonvalue.Equal(v, MustParse(MarshalString(v))) {
+			t.Fatalf("prefix %d: unstable round trip", i)
+		}
+	}
+}
+
+// The generators produce valid documents whose serialisations our own
+// parser and decoder agree on with stdlib-compatible framing.
+func TestGeneratorCorpusStability(t *testing.T) {
+	for _, g := range []genjson.Generator{
+		genjson.Twitter{Seed: 201},
+		genjson.OpenData{Seed: 202},
+	} {
+		docs := genjson.Collection(g, 40)
+		data := MarshalLines(docs)
+		back, err := ParseLines(data)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		again := MarshalLines(back)
+		if string(again) != string(data) {
+			t.Fatalf("%s: serialisation not a fixpoint", g.Name())
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package jsontext
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/jsonvalue"
+)
+
+// Decoder reads a stream of JSON values from an io.Reader, in the style
+// of the streaming processing that mongodb-schema applies to collections
+// pulled from MongoDB (§4.1): values are consumed one at a time without
+// materialising the whole input.
+type Decoder struct {
+	r      io.Reader
+	buf    []byte
+	start  int // unconsumed region is buf[start:end]
+	end    int
+	eof    bool
+	offset int // bytes consumed before buf[start]
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: r, buf: make([]byte, 0, 64<<10)}
+}
+
+// Decode parses and returns the next JSON value in the stream. Values
+// may be separated by arbitrary whitespace (covering both NDJSON and
+// concatenated-JSON layouts). It returns io.EOF when the stream is
+// exhausted.
+func (d *Decoder) Decode() (*jsonvalue.Value, error) {
+	if err := d.skipSpace(); err != nil {
+		return nil, err
+	}
+	// Grow the window until a complete value parses or input ends.
+	for {
+		v, consumed, err := d.tryParsePrefix()
+		if err == nil {
+			d.start += consumed
+			return v, nil
+		}
+		if !d.eof {
+			if ferr := d.fill(); ferr != nil && !errors.Is(ferr, io.EOF) {
+				return nil, ferr
+			}
+			continue
+		}
+		return nil, fmt.Errorf("decode value at offset %d: %w", d.offset+d.start, err)
+	}
+}
+
+// tryParsePrefix attempts to parse one complete value from the start of
+// the window. The returned count covers the value and any whitespace up
+// to the parser's lookahead token, which stays in the buffer.
+func (d *Decoder) tryParsePrefix() (*jsonvalue.Value, int, error) {
+	window := d.buf[d.start:d.end]
+	p := &parser{lex: newLexer(window)}
+	if err := p.advance(); err != nil {
+		return nil, 0, err
+	}
+	if p.tok.Kind == TokEOF {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	v, err := p.parseValue(0)
+	if err != nil {
+		return nil, 0, err
+	}
+	// A value that ends exactly at the window edge may be a truncated
+	// prefix of a longer token (e.g. number "12" of "123"); require more
+	// input unless the reader hit EOF or a delimiter already ended it.
+	if p.tok.Kind == TokEOF && !d.eof && isOpenEnded(v) && endsInNumberByte(window) {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	// p.tok is unconsumed lookahead; everything before it is done.
+	return v, p.tok.Offset, nil
+}
+
+// endsInNumberByte reports whether the window's final byte could be the
+// interior of a number literal.
+func endsInNumberByte(window []byte) bool {
+	if len(window) == 0 {
+		return false
+	}
+	switch c := window[len(window)-1]; {
+	case c >= '0' && c <= '9':
+		return true
+	case c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-':
+		return true
+	default:
+		return false
+	}
+}
+
+// isOpenEnded reports whether the serialised form of v could extend if
+// more bytes arrived (numbers and bare literals can; strings, arrays
+// and objects self-terminate).
+func isOpenEnded(v *jsonvalue.Value) bool {
+	switch v.Kind() {
+	case jsonvalue.Number:
+		return true
+	default:
+		return false
+	}
+}
+
+func (d *Decoder) skipSpace() error {
+	for {
+		for d.start < d.end {
+			switch d.buf[d.start] {
+			case ' ', '\t', '\n', '\r':
+				d.start++
+			default:
+				return nil
+			}
+		}
+		if d.eof {
+			return io.EOF
+		}
+		if err := d.fill(); err != nil && !errors.Is(err, io.EOF) {
+			return err
+		}
+		if d.start == d.end && d.eof {
+			return io.EOF
+		}
+	}
+}
+
+// fill reads more input, compacting or growing the buffer as needed.
+func (d *Decoder) fill() error {
+	if d.start > 0 {
+		// Compact consumed bytes away.
+		n := copy(d.buf[0:cap(d.buf)], d.buf[d.start:d.end])
+		d.offset += d.start
+		d.start, d.end = 0, n
+		d.buf = d.buf[:n]
+	}
+	if d.end == cap(d.buf) {
+		grown := make([]byte, d.end, 2*cap(d.buf)+1024)
+		copy(grown, d.buf[:d.end])
+		d.buf = grown
+	}
+	n, err := d.r.Read(d.buf[d.end:cap(d.buf)])
+	d.buf = d.buf[:d.end+n]
+	d.end += n
+	if errors.Is(err, io.EOF) {
+		d.eof = true
+		return io.EOF
+	}
+	return err
+}
+
+// DecodeAll drains the stream, returning every value.
+func (d *Decoder) DecodeAll() ([]*jsonvalue.Value, error) {
+	var out []*jsonvalue.Value
+	for {
+		v, err := d.Decode()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, v)
+	}
+}
+
+// Encoder writes a stream of JSON values to an io.Writer, one per line.
+type Encoder struct {
+	w    io.Writer
+	opts WriteOptions
+	buf  []byte
+}
+
+// NewEncoder returns an Encoder writing NDJSON to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// SetOptions replaces the encoder's write options.
+func (e *Encoder) SetOptions(opts WriteOptions) { e.opts = opts }
+
+// Encode writes one value followed by a newline.
+func (e *Encoder) Encode(v *jsonvalue.Value) error {
+	e.buf = e.buf[:0]
+	e.buf = AppendValue(e.buf, v, e.opts)
+	e.buf = append(e.buf, '\n')
+	_, err := e.w.Write(e.buf)
+	return err
+}

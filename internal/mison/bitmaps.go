@@ -1,0 +1,169 @@
+// Package mison implements the structural-index JSON parsing of Li,
+// Katsipoulakis, Chandramouli, Goldstein and Kossmann, "Mison: A Fast
+// JSON Parser for Data Analytics" (VLDB 2017) — the §4.2 tool that
+// "exploits AVX instructions to speed up data parsing and discarding
+// unused objects ... infers structural information of data on the fly
+// in order to detect and prune parts of the data that are not needed by
+// a given analytics task".
+//
+// Substitution note (recorded in DESIGN.md): the original uses AVX2
+// SIMD to build per-character bitmaps. Go with stdlib only has no
+// vector intrinsics, so the bitmap pipeline here is word-at-a-time over
+// packed uint64 bitmaps (SWAR): the same four-phase structure — (1)
+// character bitmaps, (2) escaped-character removal, (3) string-mask
+// construction by bit-parallel prefix XOR, (4) leveled structural
+// positions — with the SIMD byte-compare replaced by a scalar byte scan
+// feeding the packed words. Every later phase is genuinely
+// bit-parallel, and the algorithmic speedups (no tokenisation of
+// skipped content, speculative field lookup) are preserved.
+package mison
+
+import "math/bits"
+
+// Bitmaps holds the per-character structural bitmaps of one JSON
+// record, one bit per input byte, packed little-endian into uint64
+// words (bit i of word w describes byte w*64+i).
+type Bitmaps struct {
+	// N is the input length in bytes.
+	N int
+
+	Backslash []uint64
+	Quote     []uint64 // structural (unescaped) quotes
+	Colon     []uint64
+	Comma     []uint64
+	LBrace    []uint64
+	RBrace    []uint64
+	LBracket  []uint64
+	RBracket  []uint64
+
+	// StringMask has bit i set when byte i lies inside a string
+	// literal (the opening quote's bit is set, the closing quote's bit
+	// is clear) — phase 3's prefix-XOR product.
+	StringMask []uint64
+}
+
+func words(n int) int { return (n + 63) / 64 }
+
+// BuildBitmaps runs phases 1–3 of the Mison pipeline.
+func BuildBitmaps(data []byte) *Bitmaps {
+	b := &Bitmaps{}
+	b.build(data)
+	return b
+}
+
+// build (re)initialises the bitmaps for data, reusing the word slices
+// across records — the amortisation that keeps per-record projection
+// allocation-free on a warm parser.
+func (b *Bitmaps) build(data []byte) {
+	nw := words(len(data))
+	b.N = len(data)
+	b.Backslash = resetWords(b.Backslash, nw)
+	b.Quote = resetWords(b.Quote, nw)
+	b.Colon = resetWords(b.Colon, nw)
+	b.Comma = resetWords(b.Comma, nw)
+	b.LBrace = resetWords(b.LBrace, nw)
+	b.RBrace = resetWords(b.RBrace, nw)
+	b.LBracket = resetWords(b.LBracket, nw)
+	b.RBracket = resetWords(b.RBracket, nw)
+	// Phase 1+2: character bitmaps with escaped characters removed.
+	// The byte scan is the SWAR stand-in for the SIMD compares; escape
+	// tracking folds phase 2 into the same pass.
+	escaped := false
+	for i, c := range data {
+		w, bit := i>>6, uint(i&63)
+		if escaped {
+			escaped = false
+			if c == '\\' {
+				b.Backslash[w] |= 1 << bit
+			}
+			continue
+		}
+		switch c {
+		case '\\':
+			b.Backslash[w] |= 1 << bit
+			escaped = true
+		case '"':
+			b.Quote[w] |= 1 << bit
+		case ':':
+			b.Colon[w] |= 1 << bit
+		case ',':
+			b.Comma[w] |= 1 << bit
+		case '{':
+			b.LBrace[w] |= 1 << bit
+		case '}':
+			b.RBrace[w] |= 1 << bit
+		case '[':
+			b.LBracket[w] |= 1 << bit
+		case ']':
+			b.RBracket[w] |= 1 << bit
+		}
+	}
+	// Phase 3: string mask via bit-parallel prefix XOR over the
+	// structural quote bitmap, with an inter-word parity carry.
+	b.StringMask = resetWords(b.StringMask, nw)
+	carry := uint64(0) // all-ones while inside a string across words
+	for w := 0; w < nw; w++ {
+		m := prefixXor(b.Quote[w]) ^ carry
+		b.StringMask[w] = m
+		if bits.OnesCount64(b.Quote[w])%2 == 1 {
+			carry = ^carry
+		}
+	}
+	// Filter structural characters that lie inside strings.
+	for w := 0; w < nw; w++ {
+		keep := ^b.StringMask[w]
+		b.Colon[w] &= keep
+		b.Comma[w] &= keep
+		b.LBrace[w] &= keep
+		b.RBrace[w] &= keep
+		b.LBracket[w] &= keep
+		b.RBracket[w] &= keep
+	}
+}
+
+// resetWords returns a zeroed slice of n words, reusing capacity.
+func resetWords(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// prefixXor computes, for every bit position i, the XOR of bits 0..i —
+// the carry-less multiply by ~0 that SIMD implementations get from
+// PCLMULQDQ, here in log-steps of shifts.
+func prefixXor(x uint64) uint64 {
+	x ^= x << 1
+	x ^= x << 2
+	x ^= x << 4
+	x ^= x << 8
+	x ^= x << 16
+	x ^= x << 32
+	return x
+}
+
+// InString reports whether byte position i lies inside a string
+// literal.
+func (b *Bitmaps) InString(i int) bool {
+	return b.StringMask[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// iterate calls fn for every set bit position of the packed bitmap, in
+// increasing order.
+func iterate(bm []uint64, n int, fn func(pos int)) {
+	for w, word := range bm {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			pos := w*64 + bit
+			if pos >= n {
+				return
+			}
+			fn(pos)
+			word &= word - 1
+		}
+	}
+}

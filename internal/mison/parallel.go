@@ -1,0 +1,94 @@
+package mison
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/jsonvalue"
+)
+
+// ParseLinesParallel projects fields from an NDJSON buffer using one
+// independent Parser per worker (each learns its own pattern tree, as
+// Mison's per-thread speculation does). Results are returned in input
+// order. workers <= 0 means GOMAXPROCS.
+func ParseLinesParallel(data []byte, workers int, paths ...string) ([][]*jsonvalue.Value, error) {
+	// Split into lines first so results can be placed by index.
+	var lines [][]byte
+	for start := 0; start < len(data); {
+		end := start
+		for end < len(data) && data[end] != '\n' {
+			end++
+		}
+		if line := data[start:end]; !allSpace(line) {
+			lines = append(lines, line)
+		}
+		start = end + 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(lines) {
+		workers = len(lines)
+	}
+	out := make([][]*jsonvalue.Value, len(lines))
+	if workers <= 1 {
+		p, err := NewParser(paths...)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range lines {
+			row, err := p.ParseRecord(line)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = row
+		}
+		return out, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	chunk := (len(lines) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo > len(lines) {
+			lo = len(lines)
+		}
+		hi := lo + chunk
+		if hi > len(lines) {
+			hi = len(lines)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			p, err := NewParser(paths...)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			for i := lo; i < hi; i++ {
+				row, err := p.ParseRecord(lines[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = row
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package mison
+
+import (
+	"testing"
+
+	"repro/internal/genjson"
+	"repro/internal/jsontext"
+	"repro/internal/jsonvalue"
+)
+
+// Failure injection: mutated records must never panic the projecting
+// parser; when it succeeds despite mutation, the projected value must
+// still be a structurally valid jsonvalue.
+func TestParserRobustToCorruption(t *testing.T) {
+	p := MustNewParser("id", "user.screen_name")
+	g := genjson.Twitter{Seed: 301}
+	s := uint64(12345)
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	for trial := 0; trial < 2000; trial++ {
+		raw := jsontext.Marshal(g.Generate(trial % 50))
+		buf := append([]byte(nil), raw...)
+		for m := 0; m < 2; m++ {
+			buf[next()%uint64(len(buf))] = byte(next())
+		}
+		vals, err := p.ParseRecord(buf) // must not panic
+		if err != nil {
+			continue
+		}
+		for _, v := range vals {
+			if v != nil && v.Kind() == jsonvalue.Invalid {
+				t.Fatalf("invalid value projected from %q", buf)
+			}
+		}
+	}
+}
+
+// Index reuse across records of very different sizes must not leak
+// state between records.
+func TestIndexReuseIsolation(t *testing.T) {
+	p := MustNewParser("x")
+	big := `{"pad": "` + string(make([]byte, 500)) + `", "x": 1}`
+	bigClean := make([]byte, 0, len(big))
+	for _, c := range []byte(big) {
+		if c == 0 {
+			c = 'p'
+		}
+		bigClean = append(bigClean, c)
+	}
+	small := []byte(`{"x": 2}`)
+	for round := 0; round < 10; round++ {
+		v1, err := p.ParseRecord(bigClean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := p.ParseRecord(small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v1[0].Int() != 1 || v2[0].Int() != 2 {
+			t.Fatalf("round %d: state leaked between records: %v %v", round, v1[0], v2[0])
+		}
+	}
+}
+
+// Records arriving with wildly different nesting depths exercise the
+// colon-map reset.
+func TestDepthChurn(t *testing.T) {
+	p := MustNewParser("a.b.c")
+	deep := []byte(`{"a": {"b": {"c": 42}}}`)
+	flat := []byte(`{"a": 1}`)
+	for i := 0; i < 6; i++ {
+		v, err := p.ParseRecord(deep)
+		if err != nil || v[0].Int() != 42 {
+			t.Fatalf("deep: %v %v", v, err)
+		}
+		v, err = p.ParseRecord(flat)
+		if err != nil || v[0] != nil {
+			t.Fatalf("flat: %v %v", v, err)
+		}
+	}
+}

@@ -1,0 +1,408 @@
+// Package normalize implements the schema-generation pipeline of
+// DiScala and Abadi, "Automatic Generation of Normalized Relational
+// Schemas from Nested Key-Value Data" (SIGMOD 2016) — [16] in the
+// tutorial: transforming "denormalised, nested JSON data into
+// normalised relational data". As the tutorial notes, the approach
+// "ignores the original structure of the JSON input dataset and,
+// instead, depends on patterns in the attribute data values
+// (functional dependencies) to guide its schema generation".
+//
+// Pipeline: (1) flatten documents into a root relation plus one child
+// relation per array-of-records path; (2) mine single-attribute
+// functional dependencies from the data; (3) cluster dependents under
+// determinants with value duplication into entities; (4) decompose
+// each relation into a fact table referencing deduplicated dimension
+// tables.
+package normalize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/jsontext"
+	"repro/internal/jsonvalue"
+)
+
+// Relation is a flat table of JSON atoms.
+type Relation struct {
+	Name    string
+	Columns []string
+	// Rows hold one value per column; nil marks absence (SQL NULL).
+	Rows [][]*jsonvalue.Value
+	// ParentKey names the column referencing the parent relation's row
+	// number ("" for the root relation).
+	ParentKey string
+}
+
+func (r *Relation) colIndex(name string) int {
+	for i, c := range r.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// CellCount counts stored non-nil cells — the storage measure of E11.
+func (r *Relation) CellCount() int {
+	n := 0
+	for _, row := range r.Rows {
+		for _, v := range row {
+			if v != nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Flatten shreds documents into a root relation plus child relations
+// for arrays of records (one level of nesting per array path, applied
+// recursively). Scalar fields flatten to dotted paths; arrays of atoms
+// are serialised in place as JSON text.
+func Flatten(docs []*jsonvalue.Value) []*Relation {
+	root := &Relation{Name: "root"}
+	children := map[string]*Relation{}
+	colIdx := map[string]int{}
+	ensureCol := func(rel *Relation, idx map[string]int, name string) int {
+		if i, ok := idx[name]; ok {
+			return i
+		}
+		idx[name] = len(rel.Columns)
+		rel.Columns = append(rel.Columns, name)
+		return len(rel.Columns) - 1
+	}
+	childIdx := map[string]map[string]int{}
+
+	var flattenInto func(rel *Relation, idx map[string]int, row *[]*jsonvalue.Value, v *jsonvalue.Value, prefix string, parentRow int)
+	flattenInto = func(rel *Relation, idx map[string]int, row *[]*jsonvalue.Value, v *jsonvalue.Value, prefix string, parentRow int) {
+		switch v.Kind() {
+		case jsonvalue.Object:
+			for _, f := range v.Fields() {
+				p := f.Name
+				if prefix != "" {
+					p = prefix + "." + f.Name
+				}
+				flattenInto(rel, idx, row, f.Value, p, parentRow)
+			}
+		case jsonvalue.Array:
+			if allObjects(v) && v.Len() > 0 {
+				childName := rel.Name + "." + prefix
+				child, ok := children[childName]
+				if !ok {
+					child = &Relation{Name: childName, ParentKey: "_parent"}
+					children[childName] = child
+					childIdx[childName] = map[string]int{}
+					ensureCol(child, childIdx[childName], "_parent")
+				}
+				cidx := childIdx[childName]
+				for _, e := range v.Elems() {
+					childRow := make([]*jsonvalue.Value, len(child.Columns))
+					childRow[0] = jsonvalue.NewInt(int64(parentRow))
+					flattenChild(child, cidx, &childRow, e, "")
+					child.Rows = append(child.Rows, childRow)
+				}
+				return
+			}
+			// Array of atoms (or empty/mixed): keep as JSON text.
+			i := ensureCol(rel, idx, prefix)
+			growRow(row, len(rel.Columns))
+			(*row)[i] = jsonvalue.NewString(jsontext.MarshalString(v))
+		default:
+			i := ensureCol(rel, idx, prefix)
+			growRow(row, len(rel.Columns))
+			(*row)[i] = v
+		}
+	}
+
+	for docNum, d := range docs {
+		row := make([]*jsonvalue.Value, len(root.Columns))
+		flattenInto(root, colIdx, &row, d, "", docNum)
+		growRow(&row, len(root.Columns))
+		root.Rows = append(root.Rows, row)
+	}
+	// Rows created before later columns appeared may be short.
+	for i := range root.Rows {
+		growRow(&root.Rows[i], len(root.Columns))
+	}
+	out := []*Relation{root}
+	names := make([]string, 0, len(children))
+	for n := range children {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		child := children[n]
+		for i := range child.Rows {
+			growRow(&child.Rows[i], len(child.Columns))
+		}
+		out = append(out, child)
+	}
+	return out
+}
+
+// flattenChild flattens one array element into a child-relation row
+// (nested arrays inside children are serialised as JSON text — one
+// level of child tables per array path, as in the paper's
+// presentation).
+func flattenChild(rel *Relation, idx map[string]int, row *[]*jsonvalue.Value, v *jsonvalue.Value, prefix string) {
+	switch v.Kind() {
+	case jsonvalue.Object:
+		for _, f := range v.Fields() {
+			p := f.Name
+			if prefix != "" {
+				p = prefix + "." + f.Name
+			}
+			flattenChild(rel, idx, row, f.Value, p)
+		}
+	default:
+		i, ok := idx[prefix]
+		if !ok {
+			idx[prefix] = len(rel.Columns)
+			rel.Columns = append(rel.Columns, prefix)
+			i = len(rel.Columns) - 1
+		}
+		growRow(row, len(rel.Columns))
+		if v.Kind() == jsonvalue.Array {
+			(*row)[i] = jsonvalue.NewString(jsontext.MarshalString(v))
+		} else {
+			(*row)[i] = v
+		}
+	}
+}
+
+func allObjects(v *jsonvalue.Value) bool {
+	for _, e := range v.Elems() {
+		if e.Kind() != jsonvalue.Object {
+			return false
+		}
+	}
+	return true
+}
+
+func growRow(row *[]*jsonvalue.Value, n int) {
+	for len(*row) < n {
+		*row = append(*row, nil)
+	}
+}
+
+// FD is a mined single-attribute functional dependency Det -> Dep.
+type FD struct {
+	Det, Dep string
+	// Support is the number of rows witnessing the dependency.
+	Support int
+	// Multiplicity is the average number of rows per distinct
+	// determinant value — duplication is what makes the FD useful for
+	// normalisation.
+	Multiplicity float64
+}
+
+// MineFDs finds Det -> Dep pairs holding on every row where both are
+// present. Determinants must show actual duplication (some value
+// appearing at least twice) and at least two distinct values, which
+// filters both constants and row keys.
+func MineFDs(rel *Relation, minSupport int) []FD {
+	var out []FD
+	for di, det := range rel.Columns {
+		if det == "_parent" {
+			continue
+		}
+		detVals := map[string][]int{} // det value -> row numbers
+		for ri, row := range rel.Rows {
+			if row[di] == nil {
+				continue
+			}
+			k := row[di].String()
+			detVals[k] = append(detVals[k], ri)
+		}
+		if len(detVals) < 2 {
+			continue
+		}
+		dup := false
+		total := 0
+		for _, rows := range detVals {
+			total += len(rows)
+			if len(rows) >= 2 {
+				dup = true
+			}
+		}
+		if !dup {
+			continue
+		}
+		for pi, dep := range rel.Columns {
+			if pi == di || dep == "_parent" {
+				continue
+			}
+			support := 0
+			holds := true
+			for _, rows := range detVals {
+				var seen *jsonvalue.Value
+				for _, ri := range rows {
+					v := rel.Rows[ri][pi]
+					if v == nil {
+						continue
+					}
+					support++
+					if seen == nil {
+						seen = v
+					} else if !jsonvalue.Equal(seen, v) {
+						holds = false
+						break
+					}
+				}
+				if !holds {
+					break
+				}
+			}
+			if holds && support >= minSupport {
+				out = append(out, FD{
+					Det:          det,
+					Dep:          dep,
+					Support:      support,
+					Multiplicity: float64(total) / float64(len(detVals)),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Det != out[j].Det {
+			return out[i].Det < out[j].Det
+		}
+		return out[i].Dep < out[j].Dep
+	})
+	return out
+}
+
+// Entity is a discovered dimension: a determinant key and the
+// attributes it functionally determines.
+type Entity struct {
+	Key        string
+	Attributes []string
+}
+
+// DiscoverEntities clusters FDs into entities: determinants with
+// duplication (multiplicity >= 1.5) and at least one dependent, where
+// dependents are assigned to the determinant with the highest
+// multiplicity that determines them (most-shared entity wins).
+func DiscoverEntities(fds []FD) []Entity {
+	byDet := map[string][]FD{}
+	mult := map[string]float64{}
+	for _, fd := range fds {
+		if fd.Multiplicity < 1.5 {
+			continue
+		}
+		byDet[fd.Det] = append(byDet[fd.Det], fd)
+		mult[fd.Det] = fd.Multiplicity
+	}
+	// Assign each dependent to its best determinant.
+	best := map[string]string{}
+	for det, list := range byDet {
+		for _, fd := range list {
+			cur, ok := best[fd.Dep]
+			if !ok || mult[det] > mult[cur] || (mult[det] == mult[cur] && det < cur) {
+				best[fd.Dep] = det
+			}
+		}
+	}
+	grouped := map[string][]string{}
+	for dep, det := range best {
+		// A determinant that is itself assigned to another entity's key
+		// stays a key (its own grouping wins).
+		grouped[det] = append(grouped[det], dep)
+	}
+	var out []Entity
+	for det, deps := range grouped {
+		// Drop deps that are keys of their own entities.
+		var attrs []string
+		for _, d := range deps {
+			if _, isKey := grouped[d]; !isKey {
+				attrs = append(attrs, d)
+			}
+		}
+		if len(attrs) == 0 {
+			continue
+		}
+		sort.Strings(attrs)
+		out = append(out, Entity{Key: det, Attributes: attrs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Decomposition is a normalised schema: a fact relation plus
+// deduplicated dimension relations.
+type Decomposition struct {
+	Fact       *Relation
+	Dimensions []*Relation
+}
+
+// Normalize decomposes a relation: every discovered entity becomes a
+// deduplicated dimension keyed by its determinant, and the fact
+// relation keeps the key plus all non-entity columns.
+func Normalize(rel *Relation, minSupport int) *Decomposition {
+	fds := MineFDs(rel, minSupport)
+	entities := DiscoverEntities(fds)
+	moved := map[string]bool{}
+	var dims []*Relation
+	for _, e := range entities {
+		keyIdx := rel.colIndex(e.Key)
+		dim := &Relation{Name: rel.Name + "/" + e.Key, Columns: append([]string{e.Key}, e.Attributes...)}
+		seen := map[string]bool{}
+		for _, row := range rel.Rows {
+			if row[keyIdx] == nil {
+				continue
+			}
+			k := row[keyIdx].String()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			dimRow := make([]*jsonvalue.Value, len(dim.Columns))
+			dimRow[0] = row[keyIdx]
+			for ai, attr := range e.Attributes {
+				dimRow[ai+1] = row[rel.colIndex(attr)]
+			}
+			dim.Rows = append(dim.Rows, dimRow)
+		}
+		dims = append(dims, dim)
+		for _, attr := range e.Attributes {
+			moved[attr] = true
+		}
+	}
+	fact := &Relation{Name: rel.Name, ParentKey: rel.ParentKey}
+	var keep []int
+	for i, c := range rel.Columns {
+		if !moved[c] {
+			fact.Columns = append(fact.Columns, c)
+			keep = append(keep, i)
+		}
+	}
+	for _, row := range rel.Rows {
+		newRow := make([]*jsonvalue.Value, len(keep))
+		for ni, oi := range keep {
+			newRow[ni] = row[oi]
+		}
+		fact.Rows = append(fact.Rows, newRow)
+	}
+	return &Decomposition{Fact: fact, Dimensions: dims}
+}
+
+// CellCount totals stored cells across fact and dimensions.
+func (d *Decomposition) CellCount() int {
+	n := d.Fact.CellCount()
+	for _, dim := range d.Dimensions {
+		n += dim.CellCount()
+	}
+	return n
+}
+
+// Describe renders the decomposition as a schema summary.
+func (d *Decomposition) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fact %s(%s) [%d rows]\n", d.Fact.Name, strings.Join(d.Fact.Columns, ", "), len(d.Fact.Rows))
+	for _, dim := range d.Dimensions {
+		fmt.Fprintf(&b, "dim  %s(%s) [%d rows]\n", dim.Name, strings.Join(dim.Columns, ", "), len(dim.Rows))
+	}
+	return b.String()
+}

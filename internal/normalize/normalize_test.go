@@ -1,0 +1,169 @@
+package normalize
+
+import (
+	"testing"
+
+	"repro/internal/genjson"
+	"repro/internal/jsontext"
+	"repro/internal/jsonvalue"
+)
+
+func TestFlattenScalarsAndNesting(t *testing.T) {
+	docs := []*jsonvalue.Value{
+		jsontext.MustParse(`{"a": 1, "u": {"n": "x"}, "tags": ["p", "q"]}`),
+		jsontext.MustParse(`{"a": 2, "u": {"n": "y", "extra": true}}`),
+	}
+	rels := Flatten(docs)
+	if len(rels) != 1 {
+		t.Fatalf("relations = %d, want 1 (no arrays of records)", len(rels))
+	}
+	root := rels[0]
+	if root.colIndex("u.n") < 0 || root.colIndex("a") < 0 || root.colIndex("tags") < 0 {
+		t.Fatalf("columns = %v", root.Columns)
+	}
+	if len(root.Rows) != 2 {
+		t.Fatalf("rows = %d", len(root.Rows))
+	}
+	// Later-appearing column: first row padded with nil.
+	ei := root.colIndex("u.extra")
+	if root.Rows[0][ei] != nil || root.Rows[1][ei] == nil {
+		t.Error("column padding wrong")
+	}
+	// Atom arrays serialised as JSON text.
+	ti := root.colIndex("tags")
+	if root.Rows[0][ti].Str() != `["p","q"]` {
+		t.Errorf("tags cell = %v", root.Rows[0][ti])
+	}
+}
+
+func TestFlattenChildRelations(t *testing.T) {
+	docs := []*jsonvalue.Value{
+		jsontext.MustParse(`{"id": 1, "lines": [{"sku": 7, "qty": 2}, {"sku": 8, "qty": 1}]}`),
+		jsontext.MustParse(`{"id": 2, "lines": [{"sku": 7, "qty": 5}]}`),
+	}
+	rels := Flatten(docs)
+	if len(rels) != 2 {
+		t.Fatalf("relations = %d, want root + lines", len(rels))
+	}
+	lines := rels[1]
+	if lines.Name != "root.lines" || lines.ParentKey != "_parent" {
+		t.Errorf("child relation = %+v", lines)
+	}
+	if len(lines.Rows) != 3 {
+		t.Fatalf("child rows = %d", len(lines.Rows))
+	}
+	// Parent links: rows 0,1 -> doc 0; row 2 -> doc 1.
+	pi := lines.colIndex("_parent")
+	if lines.Rows[2][pi].Int() != 1 {
+		t.Errorf("parent link = %v", lines.Rows[2][pi])
+	}
+}
+
+func TestMineFDsPlanted(t *testing.T) {
+	docs := []*jsonvalue.Value{
+		jsontext.MustParse(`{"cid": 1, "cname": "ada",  "city": "paris", "amount": 10}`),
+		jsontext.MustParse(`{"cid": 2, "cname": "alan", "city": "pisa",  "amount": 20}`),
+		jsontext.MustParse(`{"cid": 1, "cname": "ada",  "city": "paris", "amount": 30}`),
+		jsontext.MustParse(`{"cid": 2, "cname": "alan", "city": "pisa",  "amount": 40}`),
+		jsontext.MustParse(`{"cid": 1, "cname": "ada",  "city": "paris", "amount": 50}`),
+	}
+	rels := Flatten(docs)
+	fds := MineFDs(rels[0], 3)
+	has := func(det, dep string) bool {
+		for _, fd := range fds {
+			if fd.Det == det && fd.Dep == dep {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("cid", "cname") || !has("cid", "city") {
+		t.Errorf("planted FDs not mined: %+v", fds)
+	}
+	if has("cid", "amount") {
+		t.Error("cid -> amount should not hold")
+	}
+	if has("amount", "cid") {
+		t.Error("unique determinant (amount) should be filtered: no duplication")
+	}
+}
+
+func TestDiscoverEntities(t *testing.T) {
+	fds := []FD{
+		{Det: "cid", Dep: "cname", Support: 5, Multiplicity: 2.5},
+		{Det: "cid", Dep: "city", Support: 5, Multiplicity: 2.5},
+		{Det: "cname", Dep: "cid", Support: 5, Multiplicity: 2.5},
+		{Det: "cname", Dep: "city", Support: 5, Multiplicity: 2.5},
+		{Det: "one_off", Dep: "x", Support: 5, Multiplicity: 1.0}, // no duplication
+	}
+	ents := DiscoverEntities(fds)
+	if len(ents) != 1 {
+		t.Fatalf("entities = %+v, want one merged customer entity", ents)
+	}
+	if ents[0].Key != "cid" && ents[0].Key != "cname" {
+		t.Errorf("entity key = %q", ents[0].Key)
+	}
+}
+
+func TestNormalizeOrdersEndToEnd(t *testing.T) {
+	docs := genjson.Collection(genjson.Orders{Seed: 71, Customers: 12, Products: 25}, 300)
+	rels := Flatten(docs)
+	if len(rels) != 2 {
+		t.Fatalf("relations = %d", len(rels))
+	}
+	root, lines := rels[0], rels[1]
+
+	rootDec := Normalize(root, 5)
+	// The customer entity must be discovered: customer_id determines
+	// name and city.
+	var custDim *Relation
+	for _, dim := range rootDec.Dimensions {
+		if dim.Columns[0] == "customer_id" {
+			custDim = dim
+		}
+	}
+	if custDim == nil {
+		t.Fatalf("customer dimension not found: %s", rootDec.Describe())
+	}
+	if len(custDim.Rows) != 12 {
+		t.Errorf("customer dim rows = %d, want 12 (dedup)", len(custDim.Rows))
+	}
+	// Normalisation must shrink storage.
+	if rootDec.CellCount() >= root.CellCount() {
+		t.Errorf("cells: normalized %d >= flat %d", rootDec.CellCount(), root.CellCount())
+	}
+
+	linesDec := Normalize(lines, 5)
+	var prodDim *Relation
+	for _, dim := range linesDec.Dimensions {
+		if dim.Columns[0] == "sku" {
+			prodDim = dim
+		}
+	}
+	if prodDim == nil {
+		t.Fatalf("product dimension not found: %s", linesDec.Describe())
+	}
+	if len(prodDim.Rows) > 25 {
+		t.Errorf("product dim rows = %d, want <= 25", len(prodDim.Rows))
+	}
+	if linesDec.Describe() == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestNormalizeNoEntities(t *testing.T) {
+	// Unique rows, no duplication: decomposition = fact only.
+	docs := []*jsonvalue.Value{
+		jsontext.MustParse(`{"a": 1, "b": 10}`),
+		jsontext.MustParse(`{"a": 2, "b": 20}`),
+		jsontext.MustParse(`{"a": 3, "b": 30}`),
+	}
+	rels := Flatten(docs)
+	dec := Normalize(rels[0], 2)
+	if len(dec.Dimensions) != 0 {
+		t.Errorf("dimensions = %+v, want none", dec.Dimensions)
+	}
+	if dec.CellCount() != rels[0].CellCount() {
+		t.Error("fact-only decomposition should keep all cells")
+	}
+}

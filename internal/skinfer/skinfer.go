@@ -1,0 +1,233 @@
+// Package skinfer reimplements the inference strategy of Scrapinghub's
+// Skinfer tool ([23] in the tutorial): it derives a JSON Schema from
+// each object and merges schemas pairwise. The tutorial records its
+// defining limitation, preserved faithfully here: "schema merging is
+// limited to record types only, and cannot be recursively applied to
+// objects nested inside arrays" — array "items" keep the first-seen
+// element schema, so heterogeneous array contents are mis-summarised.
+//
+// Schemas are emitted as JSON Schema documents (jsonvalue trees) so
+// they can be fed to internal/jsonschema's validator, which is how the
+// E5 experiment measures the gap against parametric inference.
+package skinfer
+
+import (
+	"sort"
+
+	"repro/internal/jsonvalue"
+)
+
+// SchemaForValue derives the JSON Schema of one value, Skinfer's
+// generation function.
+func SchemaForValue(v *jsonvalue.Value) *jsonvalue.Value {
+	switch v.Kind() {
+	case jsonvalue.Null:
+		return jsonvalue.ObjectFromPairs("type", "null")
+	case jsonvalue.Bool:
+		return jsonvalue.ObjectFromPairs("type", "boolean")
+	case jsonvalue.Number:
+		if v.IsInt() {
+			return jsonvalue.ObjectFromPairs("type", "integer")
+		}
+		return jsonvalue.ObjectFromPairs("type", "number")
+	case jsonvalue.String:
+		return jsonvalue.ObjectFromPairs("type", "string")
+	case jsonvalue.Array:
+		if v.Len() == 0 {
+			return jsonvalue.ObjectFromPairs("type", "array")
+		}
+		// Skinfer keeps a single items schema: derived from the FIRST
+		// element only. This is the documented gap.
+		return jsonvalue.ObjectFromPairs(
+			"type", "array",
+			"items", SchemaForValue(v.Elem(0)),
+		)
+	case jsonvalue.Object:
+		props := make([]jsonvalue.Field, 0, v.Len())
+		required := make([]*jsonvalue.Value, 0, v.Len())
+		seen := make(map[string]struct{}, v.Len())
+		names := make([]string, 0, v.Len())
+		for _, f := range v.Fields() {
+			if _, dup := seen[f.Name]; dup {
+				continue
+			}
+			seen[f.Name] = struct{}{}
+			names = append(names, f.Name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fv, _ := v.Get(name)
+			props = append(props, jsonvalue.Field{Name: name, Value: SchemaForValue(fv)})
+			required = append(required, jsonvalue.NewString(name))
+		}
+		return jsonvalue.ObjectFromPairs(
+			"type", "object",
+			"properties", jsonvalue.NewObject(props...),
+			"required", jsonvalue.NewArray(required...),
+		)
+	default:
+		return jsonvalue.NewObject()
+	}
+}
+
+// MergeSchemas merges two Skinfer-produced schemas. Only object schemas
+// merge recursively; arrays keep the first items schema; mismatched
+// atomic types accumulate in a "type" list (Skinfer's anyOf-free union
+// of type names).
+func MergeSchemas(s1, s2 *jsonvalue.Value) *jsonvalue.Value {
+	t1, t2 := typeSet(s1), typeSet(s2)
+	if len(t1) == 1 && len(t2) == 1 && t1[0] == "object" && t2[0] == "object" {
+		return mergeObjectSchemas(s1, s2)
+	}
+	if len(t1) == 1 && len(t2) == 1 && t1[0] == "array" && t2[0] == "array" {
+		// Record-only merge: items schemas are NOT merged; the
+		// first-seen one survives.
+		items1, ok1 := s1.Get("items")
+		if ok1 {
+			return jsonvalue.ObjectFromPairs("type", "array", "items", items1)
+		}
+		if items2, ok2 := s2.Get("items"); ok2 {
+			return jsonvalue.ObjectFromPairs("type", "array", "items", items2)
+		}
+		return jsonvalue.ObjectFromPairs("type", "array")
+	}
+	// Atomic or mixed: union the type names. Structural detail of
+	// object/array branches is dropped — another facet of the
+	// record-only limitation.
+	merged := unionStrings(t1, t2)
+	if len(merged) == 1 {
+		// Integer + number fuse to number.
+		return jsonvalue.ObjectFromPairs("type", merged[0])
+	}
+	types := make([]*jsonvalue.Value, len(merged))
+	for i, t := range merged {
+		types[i] = jsonvalue.NewString(t)
+	}
+	return jsonvalue.ObjectFromPairs("type", jsonvalue.NewArray(types...))
+}
+
+func typeSet(s *jsonvalue.Value) []string {
+	tv, ok := s.Get("type")
+	if !ok {
+		return nil
+	}
+	switch tv.Kind() {
+	case jsonvalue.String:
+		return []string{tv.Str()}
+	case jsonvalue.Array:
+		out := make([]string, 0, tv.Len())
+		for _, e := range tv.Elems() {
+			out = append(out, e.Str())
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+func unionStrings(a, b []string) []string {
+	set := make(map[string]struct{}, len(a)+len(b))
+	for _, s := range a {
+		set[s] = struct{}{}
+	}
+	for _, s := range b {
+		set[s] = struct{}{}
+	}
+	// integer ⊆ number
+	if _, hasNum := set["number"]; hasNum {
+		delete(set, "integer")
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mergeObjectSchemas(s1, s2 *jsonvalue.Value) *jsonvalue.Value {
+	p1, _ := s1.Get("properties")
+	p2, _ := s2.Get("properties")
+	names := map[string]struct{}{}
+	if p1 != nil {
+		for _, f := range p1.Fields() {
+			names[f.Name] = struct{}{}
+		}
+	}
+	if p2 != nil {
+		for _, f := range p2.Fields() {
+			names[f.Name] = struct{}{}
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	props := make([]jsonvalue.Field, 0, len(sorted))
+	for _, n := range sorted {
+		var v1, v2 *jsonvalue.Value
+		if p1 != nil {
+			v1, _ = p1.Get(n)
+		}
+		if p2 != nil {
+			v2, _ = p2.Get(n)
+		}
+		switch {
+		case v1 != nil && v2 != nil:
+			props = append(props, jsonvalue.Field{Name: n, Value: MergeSchemas(v1, v2)})
+		case v1 != nil:
+			props = append(props, jsonvalue.Field{Name: n, Value: v1})
+		default:
+			props = append(props, jsonvalue.Field{Name: n, Value: v2})
+		}
+	}
+	// required = intersection (a field required only if required by
+	// both sides).
+	req := intersectRequired(s1, s2)
+	fields := []jsonvalue.Field{
+		{Name: "type", Value: jsonvalue.NewString("object")},
+		{Name: "properties", Value: jsonvalue.NewObject(props...)},
+	}
+	if len(req) > 0 {
+		reqVals := make([]*jsonvalue.Value, len(req))
+		for i, r := range req {
+			reqVals[i] = jsonvalue.NewString(r)
+		}
+		fields = append(fields, jsonvalue.Field{Name: "required", Value: jsonvalue.NewArray(reqVals...)})
+	}
+	return jsonvalue.NewObject(fields...)
+}
+
+func intersectRequired(s1, s2 *jsonvalue.Value) []string {
+	r1, _ := s1.Get("required")
+	r2, _ := s2.Get("required")
+	if r1 == nil || r2 == nil {
+		return nil
+	}
+	set := map[string]struct{}{}
+	for _, e := range r1.Elems() {
+		set[e.Str()] = struct{}{}
+	}
+	var out []string
+	for _, e := range r2.Elems() {
+		if _, ok := set[e.Str()]; ok {
+			out = append(out, e.Str())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Infer folds SchemaForValue and MergeSchemas over a collection,
+// Skinfer's end-to-end behaviour.
+func Infer(docs []*jsonvalue.Value) *jsonvalue.Value {
+	if len(docs) == 0 {
+		return jsonvalue.NewObject()
+	}
+	acc := SchemaForValue(docs[0])
+	for _, d := range docs[1:] {
+		acc = MergeSchemas(acc, SchemaForValue(d))
+	}
+	return acc
+}

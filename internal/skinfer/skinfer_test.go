@@ -1,0 +1,144 @@
+package skinfer
+
+import (
+	"testing"
+
+	"repro/internal/genjson"
+	"repro/internal/jsontext"
+	"repro/internal/jsonvalue"
+)
+
+func TestSchemaForAtoms(t *testing.T) {
+	cases := []struct{ in, wantType string }{
+		{`null`, "null"},
+		{`true`, "boolean"},
+		{`1`, "integer"},
+		{`1.5`, "number"},
+		{`"s"`, "string"},
+	}
+	for _, c := range cases {
+		s := SchemaForValue(jsontext.MustParse(c.in))
+		tv, _ := s.Get("type")
+		if tv.Str() != c.wantType {
+			t.Errorf("SchemaForValue(%s) type = %s, want %s", c.in, tv.Str(), c.wantType)
+		}
+	}
+}
+
+func TestSchemaForObjectAllRequired(t *testing.T) {
+	s := SchemaForValue(jsontext.MustParse(`{"b": 1, "a": "x"}`))
+	req, _ := s.Get("required")
+	if req.Len() != 2 {
+		t.Fatalf("required = %v", req)
+	}
+	props, _ := s.Get("properties")
+	if props.Len() != 2 {
+		t.Fatalf("properties = %v", props)
+	}
+}
+
+func TestSchemaForArrayUsesFirstElementOnly(t *testing.T) {
+	s := SchemaForValue(jsontext.MustParse(`[1, "x", true]`))
+	items, ok := s.Get("items")
+	if !ok {
+		t.Fatal("no items")
+	}
+	tv, _ := items.Get("type")
+	if tv.Str() != "integer" {
+		t.Errorf("items type = %v, want integer (first element)", tv)
+	}
+}
+
+func TestMergeObjects(t *testing.T) {
+	s1 := SchemaForValue(jsontext.MustParse(`{"a": 1, "b": "x"}`))
+	s2 := SchemaForValue(jsontext.MustParse(`{"a": 2, "c": true}`))
+	m := MergeSchemas(s1, s2)
+	props, _ := m.Get("properties")
+	if props.Len() != 3 {
+		t.Fatalf("merged properties = %d", props.Len())
+	}
+	req, _ := m.Get("required")
+	if req.Len() != 1 {
+		t.Fatalf("merged required = %v, want just a", req)
+	}
+	if req.Elem(0).Str() != "a" {
+		t.Errorf("required = %v", req)
+	}
+}
+
+func TestMergeAtomicTypesUnionNames(t *testing.T) {
+	m := MergeSchemas(
+		SchemaForValue(jsontext.MustParse(`1`)),
+		SchemaForValue(jsontext.MustParse(`"x"`)),
+	)
+	tv, _ := m.Get("type")
+	if tv.Kind() != jsonvalue.Array || tv.Len() != 2 {
+		t.Fatalf("type union = %v", tv)
+	}
+}
+
+func TestMergeIntegerNumberFuses(t *testing.T) {
+	m := MergeSchemas(
+		SchemaForValue(jsontext.MustParse(`1`)),
+		SchemaForValue(jsontext.MustParse(`1.5`)),
+	)
+	tv, _ := m.Get("type")
+	if tv.Kind() != jsonvalue.String || tv.Str() != "number" {
+		t.Fatalf("integer+number = %v, want number", tv)
+	}
+}
+
+func TestArrayItemsNotMerged(t *testing.T) {
+	// The defining Skinfer gap: two arrays with different element
+	// record shapes keep only the first items schema.
+	s1 := SchemaForValue(jsontext.MustParse(`{"xs": [{"a": 1}]}`))
+	s2 := SchemaForValue(jsontext.MustParse(`{"xs": [{"b": "s"}]}`))
+	m := MergeSchemas(s1, s2)
+	props, _ := m.Get("properties")
+	xs, _ := props.Get("xs")
+	items, _ := xs.Get("items")
+	ip, _ := items.Get("properties")
+	if ip.Len() != 1 || !ip.Has("a") {
+		t.Errorf("items should keep first-seen element schema only, got %v", items)
+	}
+}
+
+func TestObjectMixedWithAtomDropsStructure(t *testing.T) {
+	m := MergeSchemas(
+		SchemaForValue(jsontext.MustParse(`{"a": 1}`)),
+		SchemaForValue(jsontext.MustParse(`7`)),
+	)
+	if _, ok := m.Get("properties"); ok {
+		t.Error("mixed object/atom merge should drop structural detail")
+	}
+	tv, _ := m.Get("type")
+	if tv.Kind() != jsonvalue.Array {
+		t.Errorf("type = %v, want list", tv)
+	}
+}
+
+func TestInferFold(t *testing.T) {
+	docs := genjson.Collection(genjson.NestedArrays{Seed: 2}, 50)
+	s := Infer(docs)
+	if _, err := jsontext.Parse(jsontext.Marshal(s)); err != nil {
+		t.Fatalf("inferred schema not serialisable: %v", err)
+	}
+	tv, _ := s.Get("type")
+	if tv.Str() != "object" {
+		t.Errorf("top-level type = %v", tv)
+	}
+	if Infer(nil).Len() != 0 {
+		t.Error("empty inference should be empty schema")
+	}
+}
+
+func TestMergeIsCommutativeOnObjects(t *testing.T) {
+	s1 := SchemaForValue(jsontext.MustParse(`{"a": 1, "b": "x"}`))
+	s2 := SchemaForValue(jsontext.MustParse(`{"a": 2.5, "c": true}`))
+	m12 := MergeSchemas(s1, s2)
+	m21 := MergeSchemas(s2, s1)
+	if !jsonvalue.Equal(m12, m21) {
+		t.Errorf("object merge not commutative:\n%s\n%s",
+			jsontext.MarshalString(m12), jsontext.MarshalString(m21))
+	}
+}

@@ -1,0 +1,152 @@
+package sparkinfer
+
+import (
+	"testing"
+
+	"repro/internal/genjson"
+	"repro/internal/infer"
+	"repro/internal/jsontext"
+	"repro/internal/typelang"
+)
+
+func TestInferValueAtoms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{`null`, "null"},
+		{`true`, "boolean"},
+		{`1`, "bigint"},
+		{`1.5`, "double"},
+		{`"x"`, "string"},
+		{`[1,2]`, "array<bigint>"},
+		{`{"b":1,"a":"x"}`, "struct<a:string,b:bigint>"}, // fields sorted
+	}
+	for _, c := range cases {
+		got := InferValue(jsontext.MustParse(c.in)).String()
+		if got != c.want {
+			t.Errorf("InferValue(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCompatibleTypeWidening(t *testing.T) {
+	if got := CompatibleType(longT, doubleT); got.Kind != DoubleType {
+		t.Errorf("long+double = %v", got)
+	}
+	if got := CompatibleType(nullT, boolT); got.Kind != BooleanType {
+		t.Errorf("null identity failed: %v", got)
+	}
+}
+
+func TestCompatibleTypeStringFallback(t *testing.T) {
+	// The defining behaviour: incompatible types collapse to string.
+	cases := [][2]string{
+		{`1`, `"x"`},
+		{`true`, `1`},
+		{`{"a":1}`, `[1]`},
+		{`{"a":1}`, `1`},
+		{`[1]`, `"s"`},
+	}
+	for _, c := range cases {
+		a, b := InferValue(jsontext.MustParse(c[0])), InferValue(jsontext.MustParse(c[1]))
+		if got := CompatibleType(a, b); got.Kind != StringType {
+			t.Errorf("CompatibleType(%s, %s) = %v, want string", c[0], c[1], got)
+		}
+	}
+}
+
+func TestStructMergeAddsNullableColumns(t *testing.T) {
+	a := InferValue(jsontext.MustParse(`{"a":1,"b":"x"}`))
+	b := InferValue(jsontext.MustParse(`{"a":2,"c":true}`))
+	m := CompatibleType(a, b)
+	if got := m.String(); got != "struct<a:bigint,b:string,c:boolean>" {
+		t.Errorf("struct merge = %s", got)
+	}
+	for _, f := range m.Fields {
+		if !f.Nullable {
+			t.Errorf("field %s should be nullable", f.Name)
+		}
+	}
+}
+
+func TestNestedArrayElementMerge(t *testing.T) {
+	docs := []string{`{"xs":[{"a":1}]}`, `{"xs":[{"b":"s"}]}`}
+	a := InferValue(jsontext.MustParse(docs[0]))
+	b := InferValue(jsontext.MustParse(docs[1]))
+	m := CompatibleType(a, b)
+	if got := m.String(); got != "struct<xs:array<struct<a:bigint,b:string>>>" {
+		t.Errorf("nested merge = %s", got)
+	}
+}
+
+func TestInferFoldMatchesPairwise(t *testing.T) {
+	docs := genjson.Collection(genjson.Twitter{Seed: 3}, 100)
+	got := Infer(docs)
+	acc := InferValue(docs[0])
+	for _, d := range docs[1:] {
+		acc = CompatibleType(acc, InferValue(d))
+	}
+	if !Equal(got, acc) {
+		t.Error("Infer differs from manual fold")
+	}
+}
+
+func TestDriftCollapsesToString(t *testing.T) {
+	// On a type-drifting collection, drifting columns must become
+	// string — the tutorial's imprecision claim.
+	docs := genjson.Collection(genjson.TypeDrift{Seed: 7, NumFields: 6, DriftFields: 2}, 200)
+	ty := Infer(docs)
+	if ty.Kind != StructType {
+		t.Fatalf("inferred %v", ty)
+	}
+	byName := map[string]*DataType{}
+	for _, f := range ty.Fields {
+		byName[f.Name] = f.Type
+	}
+	if byName["f00"].Kind != StringType || byName["f01"].Kind != StringType {
+		t.Errorf("drifting fields should collapse to string: f00=%v f01=%v", byName["f00"], byName["f01"])
+	}
+	if byName["f05"].Kind != LongType {
+		t.Errorf("stable field should stay bigint: %v", byName["f05"])
+	}
+}
+
+func TestPrecisionGapVersusParametric(t *testing.T) {
+	// E2's claim in miniature: parametric inference is strictly more
+	// precise than the Spark schema on heterogeneous data.
+	docs := genjson.Collection(genjson.TypeDrift{Seed: 11}, 300)
+	spark := Infer(docs).ToTypelang()
+	param := infer.Infer(docs, infer.Options{Equiv: typelang.EquivLabel})
+	ps := typelang.Precision(spark, docs)
+	pp := typelang.Precision(param, docs)
+	if !(pp > ps) {
+		t.Errorf("precision: parametric %.3f should exceed spark %.3f", pp, ps)
+	}
+}
+
+func TestToTypelangNullability(t *testing.T) {
+	if ty := Infer(nil); ty.Kind != NullType {
+		t.Errorf("empty collection should infer NullType, got %v", ty)
+	}
+	d := InferValue(jsontext.MustParse(`{"a":1}`))
+	tl := d.ToTypelang()
+	if tl.Kind != typelang.KRecord {
+		t.Fatalf("got %v", tl)
+	}
+	fa, _ := tl.Get("a")
+	if !fa.Optional {
+		t.Error("spark columns are nullable, expected optional field")
+	}
+	if !fa.Type.Matches(jsontext.MustParse(`null`)) {
+		t.Error("nullable column should admit null")
+	}
+}
+
+func TestSize(t *testing.T) {
+	d := InferValue(jsontext.MustParse(`{"a":1,"b":[true]}`))
+	// struct(1) + a(1)+bigint(1) + b(1)+array(1)+bool(1) = 6
+	if got := d.Size(); got != 6 {
+		t.Errorf("Size = %d, want 6", got)
+	}
+}

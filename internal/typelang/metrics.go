@@ -1,0 +1,247 @@
+package typelang
+
+import (
+	"repro/internal/jsonvalue"
+)
+
+// Precision scores how tightly t describes the documents, in [0, 1].
+// It operationalises the tutorial's precision discussion (§4.1): Spark's
+// inference "is quite imprecise" because drifting fields collapse to
+// Str, while union-typed inference keeps per-branch structure.
+//
+// Scoring walks each document against t and grades every leaf atom of
+// the document by the most specific way t accounts for it:
+//
+//	1.0  exact atom kind (Int for integers, Num for non-integral
+//	     numbers, Str for strings, ...)
+//	0.8  Num covering an integer (sound but loses integrality)
+//	0.1  Any, or a Str/other atom that does not actually contain the
+//	     value's kind (the Spark collapse: data re-read as strings)
+//	0.0  a leaf the schema cannot place at all
+//
+// Unions grade a leaf by the best-scoring alternative. The result is
+// total score over total leaves across all documents.
+func Precision(t *Type, docs []*jsonvalue.Value) float64 {
+	var score float64
+	var leaves int
+	for _, d := range docs {
+		s, n := precisionWalk(t, d)
+		score += s
+		leaves += n
+	}
+	if leaves == 0 {
+		return 1
+	}
+	return score / float64(leaves)
+}
+
+func precisionWalk(t *Type, v *jsonvalue.Value) (float64, int) {
+	switch v.Kind() {
+	case jsonvalue.Object:
+		var score float64
+		var leaves int
+		for _, f := range v.Fields() {
+			ft := fieldTypeIn(t, f.Name)
+			s, n := precisionWalk(ft, f.Value)
+			score += s
+			leaves += n
+		}
+		if v.Len() == 0 {
+			// An empty object is itself a leaf: graded by whether the
+			// schema has a record branch for it.
+			if branch := recordBranch(t); branch != nil {
+				return 1, 1
+			}
+			return leafScore(t, v), 1
+		}
+		return score, leaves
+	case jsonvalue.Array:
+		var score float64
+		var leaves int
+		et := elemTypeIn(t)
+		for _, e := range v.Elems() {
+			s, n := precisionWalk(et, e)
+			score += s
+			leaves += n
+		}
+		if v.Len() == 0 {
+			if arrayBranch(t) != nil {
+				return 1, 1
+			}
+			return leafScore(t, v), 1
+		}
+		return score, leaves
+	default:
+		return leafScore(t, v), 1
+	}
+}
+
+// fieldTypeIn finds the type assigned to field name by any record
+// alternative of t (best effort: the merged view).
+func fieldTypeIn(t *Type, name string) *Type {
+	if t == nil {
+		return nil
+	}
+	switch t.Kind {
+	case KRecord:
+		if f, ok := t.Get(name); ok {
+			return f.Type
+		}
+		return nil
+	case KUnion:
+		var found []*Type
+		for _, a := range t.Alts {
+			if ft := fieldTypeIn(a, name); ft != nil {
+				found = append(found, ft)
+			}
+		}
+		if len(found) == 0 {
+			return nil
+		}
+		return MergeAll(found, EquivLabel)
+	case KAny:
+		return Any
+	default:
+		return nil
+	}
+}
+
+func elemTypeIn(t *Type) *Type {
+	if t == nil {
+		return nil
+	}
+	switch t.Kind {
+	case KArray:
+		return t.Elem
+	case KUnion:
+		var found []*Type
+		for _, a := range t.Alts {
+			if et := elemTypeIn(a); et != nil {
+				found = append(found, et)
+			}
+		}
+		if len(found) == 0 {
+			return nil
+		}
+		return MergeAll(found, EquivLabel)
+	case KAny:
+		return Any
+	default:
+		return nil
+	}
+}
+
+func recordBranch(t *Type) *Type {
+	if t == nil {
+		return nil
+	}
+	switch t.Kind {
+	case KRecord:
+		return t
+	case KUnion:
+		for _, a := range t.Alts {
+			if a.Kind == KRecord {
+				return a
+			}
+		}
+	case KAny:
+		return t
+	}
+	return nil
+}
+
+func arrayBranch(t *Type) *Type {
+	if t == nil {
+		return nil
+	}
+	switch t.Kind {
+	case KArray:
+		return t
+	case KUnion:
+		for _, a := range t.Alts {
+			if a.Kind == KArray {
+				return a
+			}
+		}
+	case KAny:
+		return t
+	}
+	return nil
+}
+
+// leafScore grades one document leaf against t.
+func leafScore(t *Type, v *jsonvalue.Value) float64 {
+	if t == nil {
+		return 0
+	}
+	switch t.Kind {
+	case KUnion:
+		best := 0.0
+		for _, a := range t.Alts {
+			if s := leafScore(a, v); s > best {
+				best = s
+			}
+		}
+		return best
+	case KAny:
+		return 0.1
+	case KNull:
+		return exact(v.Kind() == jsonvalue.Null)
+	case KBool:
+		return exact(v.Kind() == jsonvalue.Bool)
+	case KInt:
+		return exact(v.IsInt())
+	case KNum:
+		if v.Kind() != jsonvalue.Number {
+			return 0
+		}
+		if v.IsInt() {
+			return 0.8
+		}
+		return 1
+	case KStr:
+		if v.Kind() == jsonvalue.String {
+			return 1
+		}
+		// The Spark collapse: a non-string leaf summarised as Str. The
+		// schema still "accounts for" the leaf (Spark re-reads it as a
+		// string), but all structure is lost.
+		return 0.1
+	case KRecord:
+		return exact(v.Kind() == jsonvalue.Object && v.Len() == 0)
+	case KArray:
+		return exact(v.Kind() == jsonvalue.Array && v.Len() == 0)
+	default:
+		return 0
+	}
+}
+
+func exact(ok bool) float64 {
+	if ok {
+		return 1
+	}
+	return 0
+}
+
+// DistinctRecordAlternatives counts record alternatives in the top-level
+// union of t — the "how many shapes did inference keep apart" measure of
+// E1.
+func DistinctRecordAlternatives(t *Type) int {
+	if t == nil {
+		return 0
+	}
+	switch t.Kind {
+	case KRecord:
+		return 1
+	case KUnion:
+		n := 0
+		for _, a := range t.Alts {
+			if a.Kind == KRecord {
+				n++
+			}
+		}
+		return n
+	default:
+		return 0
+	}
+}

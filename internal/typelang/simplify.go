@@ -1,0 +1,101 @@
+package typelang
+
+// Simplify returns an equivalent type with redundant union alternatives
+// removed: an alternative subsumed by another (a subtype of it) adds no
+// values and is dropped. The parametric-inference journal paper applies
+// exactly this reduction to keep L-level schemas readable — e.g. after
+// merging, ({a: Int} + {a: Int, b?: Str}) collapses to the wider record
+// when the narrower one is redundant under width subtyping.
+//
+// Counting annotations are preserved by folding a dropped alternative's
+// count into its subsumer.
+func Simplify(t *Type) *Type {
+	if t == nil {
+		return nil
+	}
+	switch t.Kind {
+	case KArray:
+		elem := Simplify(t.Elem)
+		if elem == t.Elem {
+			return t
+		}
+		c := *t
+		c.Elem = elem
+		return &c
+	case KRecord:
+		changed := false
+		fields := make([]Field, len(t.Fields))
+		for i, f := range t.Fields {
+			fields[i] = f
+			if s := Simplify(f.Type); s != f.Type {
+				fields[i].Type = s
+				changed = true
+			}
+		}
+		if !changed {
+			return t
+		}
+		c := *t
+		c.Fields = fields
+		return &c
+	case KUnion:
+		alts := make([]*Type, len(t.Alts))
+		for i, a := range t.Alts {
+			alts[i] = Simplify(a)
+		}
+		keep := make([]bool, len(alts))
+		for i := range keep {
+			keep[i] = true
+		}
+		counts := make([]int64, len(alts))
+		for i, a := range alts {
+			counts[i] = a.Count
+		}
+		// Drop alt i when some kept alt j subsumes it. For mutually
+		// equivalent pairs the later one wins (deterministic).
+		for i := range alts {
+			for j := range alts {
+				if i == j || !keep[i] || !keep[j] {
+					continue
+				}
+				if Subtype(alts[i], alts[j]) && (!Subtype(alts[j], alts[i]) || j > i) {
+					keep[i] = false
+					counts[j] += counts[i]
+					break
+				}
+			}
+		}
+		out := make([]*Type, 0, len(alts))
+		for i, a := range alts {
+			if !keep[i] {
+				continue
+			}
+			if counts[i] != a.Count {
+				c := *a
+				c.Count = counts[i]
+				a = &c
+			}
+			out = append(out, a)
+		}
+		if len(out) == 1 {
+			return out[0]
+		}
+		if len(out) == len(t.Alts) {
+			same := true
+			for i := range out {
+				if out[i] != t.Alts[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return t
+			}
+		}
+		c := *t
+		c.Alts = out
+		return &c
+	default:
+		return t
+	}
+}

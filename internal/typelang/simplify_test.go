@@ -1,0 +1,89 @@
+package typelang
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplifyDropsSubsumedRecord(t *testing.T) {
+	narrow := NewRecord(Field{Name: "a", Type: Int})
+	wide := NewRecord(
+		Field{Name: "a", Type: Int},
+		Field{Name: "b", Type: Str, Optional: true},
+	)
+	u := &Type{Kind: KUnion, Alts: []*Type{narrow, wide}}
+	s := Simplify(u)
+	if s.Kind != KRecord || len(s.Fields) != 2 {
+		t.Errorf("Simplify = %v, want the wide record alone", s)
+	}
+}
+
+func TestSimplifyKeepsIncomparableAlternatives(t *testing.T) {
+	u := Union(Int, Str, NewRecord(Field{Name: "a", Type: Bool}))
+	s := Simplify(u)
+	if s.Kind != KUnion || len(s.Alts) != 3 {
+		t.Errorf("Simplify dropped incomparable alternatives: %v", s)
+	}
+}
+
+func TestSimplifyFoldsCounts(t *testing.T) {
+	narrow := NewRecordCounted(3, Field{Name: "a", Type: Atom(KInt, 3), Count: 3})
+	wide := NewRecordCounted(5,
+		Field{Name: "a", Type: Atom(KInt, 5), Count: 5},
+		Field{Name: "b", Type: Atom(KStr, 2), Optional: true, Count: 2},
+	)
+	u := &Type{Kind: KUnion, Alts: []*Type{narrow, wide}}
+	s := Simplify(u)
+	if s.Count != 8 {
+		t.Errorf("subsumer count = %d, want 8 (3 folded in)", s.Count)
+	}
+}
+
+func TestSimplifyRecursesIntoContainers(t *testing.T) {
+	inner := &Type{Kind: KUnion, Alts: []*Type{
+		NewRecord(Field{Name: "x", Type: Int}),
+		NewRecord(Field{Name: "x", Type: Int}, Field{Name: "y", Type: Str, Optional: true}),
+	}}
+	arr := NewArray(inner)
+	rec := NewRecord(Field{Name: "xs", Type: arr})
+	s := Simplify(rec)
+	xs, _ := s.Get("xs")
+	if xs.Type.Elem.Kind != KRecord {
+		t.Errorf("nested union not simplified: %v", s)
+	}
+}
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	// Property: Simplify never changes membership, and never grows the
+	// type.
+	f := func(s1, s2 int64) bool {
+		ty := randomType(s1, 3)
+		simp := Simplify(ty)
+		if simp.Size() > ty.Size() {
+			return false
+		}
+		v := randomValueForTest(s2, 3)
+		return ty.Matches(v) == simp.Matches(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	f := func(s1 int64) bool {
+		ty := Simplify(randomType(s1, 3))
+		return Equal(Simplify(ty), ty)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplifyAtomsUntouched(t *testing.T) {
+	for _, ty := range []*Type{Null, Bool, Int, Num, Str, Any, Bottom} {
+		if Simplify(ty) != ty {
+			t.Errorf("atom %v changed", ty)
+		}
+	}
+}

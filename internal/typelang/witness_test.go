@@ -1,0 +1,83 @@
+package typelang
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWitnessInhabitsType(t *testing.T) {
+	// Property: Witness(seed) matches the type it was generated from,
+	// whenever the type is inhabited.
+	f := func(s1, s2 int64) bool {
+		ty := randomType(s1, 3)
+		w := ty.Witness(s2)
+		if w == nil {
+			return !ty.Inhabited() || ty.Kind == KRecord || ty.Kind == KUnion
+		}
+		return ty.Matches(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWitnessDeterministic(t *testing.T) {
+	ty := NewRecord(
+		Field{Name: "a", Type: Union(Int, Str)},
+		Field{Name: "b", Type: NewArray(Bool), Optional: true},
+	)
+	for seed := int64(0); seed < 20; seed++ {
+		w1, w2 := ty.Witness(seed), ty.Witness(seed)
+		if w1.String() != w2.String() {
+			t.Fatalf("seed %d: nondeterministic witness", seed)
+		}
+	}
+}
+
+func TestWitnessExploresUnionBranches(t *testing.T) {
+	ty := Union(Null, Bool, Int, Str)
+	kinds := map[string]bool{}
+	for seed := int64(0); seed < 50; seed++ {
+		w := ty.Witness(seed)
+		kinds[w.Kind().String()] = true
+	}
+	if len(kinds) < 3 {
+		t.Errorf("witness explored only %v", kinds)
+	}
+}
+
+func TestWitnessBottom(t *testing.T) {
+	if Bottom.Witness(1) != nil {
+		t.Error("Bottom should have no witness")
+	}
+	reqBottom := NewRecord(Field{Name: "x", Type: Bottom})
+	if reqBottom.Witness(1) != nil {
+		t.Error("record with required Bottom field should have no witness")
+	}
+	optBottom := NewRecord(Field{Name: "x", Type: Bottom, Optional: true})
+	w := optBottom.Witness(1)
+	if w == nil || w.Has("x") {
+		t.Errorf("optional Bottom field should be omitted, got %v", w)
+	}
+}
+
+func TestInhabited(t *testing.T) {
+	cases := []struct {
+		ty   *Type
+		want bool
+	}{
+		{Bottom, false},
+		{Null, true},
+		{Any, true},
+		{NewArray(Bottom), true}, // [] inhabits
+		{NewRecord(Field{Name: "a", Type: Bottom}), false},
+		{NewRecord(Field{Name: "a", Type: Bottom, Optional: true}), true},
+		{Union(Bottom, Int), true},
+		{&Type{Kind: KUnion}, false},
+	}
+	for i, c := range cases {
+		if got := c.ty.Inhabited(); got != c.want {
+			t.Errorf("case %d: Inhabited(%v) = %v, want %v", i, c.ty, got, c.want)
+		}
+	}
+}
