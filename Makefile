@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench fixtures ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Concurrency-sensitive packages under the race detector.
+race:
+	$(GO) test -race ./internal/infer/ ./internal/typelang/ ./internal/jsontext/
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Regenerate the checked-in NDJSON fixtures (deterministic seeds).
+fixtures:
+	$(GO) run repro/cmd/jsfixtures -dir testdata
+
+ci: build vet test

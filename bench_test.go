@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -77,6 +78,35 @@ func BenchmarkE3ParallelInference(b *testing.B) {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				infer.InferParallel(docs, infer.Options{Equiv: typelang.EquivLabel, Workers: workers})
+			}
+		})
+	}
+}
+
+// E3 (streaming): sequential streaming inference versus the pipeline
+// that overlaps NDJSON decoding with parallel typing — the entry point
+// that lets inference run on inputs larger than memory.
+func BenchmarkE3StreamingInference(b *testing.B) {
+	docs := genjson.Collection(genjson.Twitter{Seed: 13}, 5000)
+	raw := jsontext.MarshalLines(docs)
+	b.Run("sequential", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := infer.InferStream(jsontext.NewDecoder(bytes.NewReader(raw)),
+				infer.Options{Equiv: typelang.EquivLabel}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(raw)))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := infer.InferStreamParallel(jsontext.NewDecoder(bytes.NewReader(raw)),
+					infer.Options{Equiv: typelang.EquivLabel, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -1,0 +1,67 @@
+// Command jsfixtures regenerates the checked-in NDJSON fixtures under
+// testdata/ from the deterministic genjson generators, with the seeds
+// pinned by the golden tests in internal/core. Run it via go:generate
+// (see internal/core/core.go) or directly:
+//
+//	go run repro/cmd/jsfixtures -dir testdata
+//
+// The output is byte-for-byte reproducible: same seeds, same document
+// counts, compact marshalling, one document per line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/genjson"
+	"repro/internal/jsontext"
+)
+
+// fixtures pins generator, seed and size for each checked-in file.
+// Changing any entry changes the fixture and therefore the golden
+// schemas in internal/core/golden_test.go — regenerate both together.
+var fixtures = []struct {
+	name string
+	gen  genjson.Generator
+	n    int
+}{
+	{"tweets.ndjson", genjson.Twitter{Seed: 7}, 25},
+	{"events.ndjson", genjson.GitHub{Seed: 1}, 25},
+	{"orders.ndjson", genjson.Orders{Seed: 1}, 25},
+}
+
+func main() {
+	dir := flag.String("dir", "testdata", "output directory")
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, fx := range fixtures {
+		path := filepath.Join(*dir, fx.name)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		for i := 0; i < fx.n; i++ {
+			w.Write(jsontext.Marshal(fx.gen.Generate(i)))
+			w.WriteByte('\n')
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d docs)\n", path, fx.n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jsfixtures:", err)
+	os.Exit(1)
+}

@@ -7,7 +7,18 @@
 //
 //	jsinfer [-engine parametric-L|parametric-K|spark|skinfer]
 //	        [-output type|jsonschema|typescript|swift|report]
-//	        [-counted] [file.ndjson ...]
+//	        [-workers N] [-stream] [-counted] [file.ndjson ...]
+//
+// The parametric engines run their map/reduce over N workers
+// (-workers, default GOMAXPROCS). With -stream the input is never
+// materialised: decoding overlaps with parallel typing, so collections
+// far larger than memory infer at multi-worker speed. Streaming is
+// parametric-only, and a streamed report has no precision column
+// (precision needs a second pass over the data).
+//
+// -counted renders the selected parametric engine's own counting
+// annotations; for Spark/Skinfer (whose types carry no counts) it
+// falls back to a parametric-K pass over the materialised input.
 package main
 
 import (
@@ -27,15 +38,9 @@ func main() {
 	output := flag.String("output", "type", "output form: type, jsonschema, typescript, swift, report")
 	counted := flag.Bool("counted", false, "render counting annotations (type output only)")
 	simplify := flag.Bool("simplify", false, "drop union alternatives subsumed by others")
+	workers := flag.Int("workers", 0, "parallel inference workers (parametric engines; 0 = GOMAXPROCS)")
+	stream := flag.Bool("stream", false, "stream the input instead of materialising it (parametric engines only)")
 	flag.Parse()
-
-	docs, err := readInput(flag.Args())
-	if err != nil {
-		fatal(err)
-	}
-	if len(docs) == 0 {
-		fatal(fmt.Errorf("no input documents"))
-	}
 
 	var eng core.Engine
 	switch *engine {
@@ -50,9 +55,37 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown engine %q", *engine))
 	}
-	result, err := core.InferSchema(docs, eng)
-	if err != nil {
-		fatal(err)
+
+	var (
+		result *core.Inference
+		ndocs  int
+		docs   []*jsonvalue.Value
+	)
+	if *stream {
+		var err error
+		result, ndocs, err = streamInput(flag.Args(), eng, *workers)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		docs, err = readInput(flag.Args())
+		if err != nil {
+			fatal(err)
+		}
+		ndocs = len(docs)
+		if ndocs == 0 {
+			// Checked before inference: the non-parametric engines
+			// cannot type an empty collection.
+			fatal(fmt.Errorf("no input documents"))
+		}
+		result, err = core.InferSchemaWorkers(docs, eng, *workers)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if ndocs == 0 {
+		fatal(fmt.Errorf("no input documents"))
 	}
 	if *simplify {
 		result.Type = typelang.Simplify(result.Type)
@@ -60,11 +93,18 @@ func main() {
 
 	switch *output {
 	case "type":
-		if *counted {
-			// Counting annotations come from the parametric engines.
-			ty := infer.Infer(docs, infer.Options{Equiv: typelang.EquivKind})
+		switch {
+		case *counted && (eng == core.ParametricK || eng == core.ParametricL):
+			// Parametric types carry counting annotations already — same
+			// rendering whether the input was streamed or materialised.
+			fmt.Println(result.Type.StringCounted())
+		case *counted:
+			// Spark/Skinfer types carry no counts; derive them with a
+			// parametric K pass (these engines never stream, so docs are
+			// materialised here).
+			ty := infer.InferParallel(docs, infer.Options{Equiv: typelang.EquivKind, Workers: *workers})
 			fmt.Println(ty.StringCounted())
-		} else {
+		default:
 			fmt.Println(result.Type)
 		}
 	case "jsonschema":
@@ -75,9 +115,13 @@ func main() {
 		fmt.Print(core.TypeToSwift("Root", result.Type))
 	case "report":
 		fmt.Printf("engine:    %s\n", result.Engine)
-		fmt.Printf("documents: %d\n", len(docs))
+		fmt.Printf("documents: %d\n", ndocs)
 		fmt.Printf("size:      %d nodes\n", result.Size)
-		fmt.Printf("precision: %.3f\n", result.Precision)
+		if result.Precision >= 0 {
+			fmt.Printf("precision: %.3f\n", result.Precision)
+		} else {
+			fmt.Printf("precision: n/a (streamed)\n")
+		}
 		fmt.Printf("type:      %s\n", result.Type)
 	default:
 		fatal(fmt.Errorf("unknown output %q", *output))
@@ -102,6 +146,15 @@ func readInput(files []string) ([]*jsonvalue.Value, error) {
 		docs = append(docs, part...)
 	}
 	return docs, nil
+}
+
+// streamInput runs streaming-parallel inference over stdin or the
+// named files (one decoder per file, so errors name the file).
+func streamInput(files []string, eng core.Engine, workers int) (*core.Inference, int, error) {
+	if len(files) == 0 {
+		return core.InferSchemaStream(os.Stdin, eng, workers)
+	}
+	return core.InferSchemaStreamFiles(files, eng, workers)
 }
 
 func fatal(err error) {

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/genjson"
 	"repro/internal/jsontext"
+	"repro/internal/typelang"
 )
 
 // End-to-end pipeline tests mirroring the CLI tools' flows (the mains
@@ -31,6 +34,55 @@ func TestPipelineGenerateInferValidate(t *testing.T) {
 		if !validator.Accepts(d) {
 			t.Fatalf("doc %d fails its own inferred schema", i)
 		}
+	}
+}
+
+func TestInferSchemaStreamFiles(t *testing.T) {
+	// Multi-file streaming must match materialised inference over the
+	// concatenation, and a decode error must name the offending file.
+	docs1 := genjson.Collection(genjson.Orders{Seed: 201}, 60)
+	docs2 := genjson.Collection(genjson.Orders{Seed: 202}, 40)
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "a.ndjson")
+	f2 := filepath.Join(dir, "b.ndjson")
+	if err := os.WriteFile(f1, jsontext.MarshalLines(docs1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f2, jsontext.MarshalLines(docs2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inf, n, err := InferSchemaStreamFiles([]string{f1, f2}, ParametricL, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Errorf("streamed %d docs, want 100", n)
+	}
+	want, err := InferSchema(append(append([]*Value{}, docs1...), docs2...), ParametricL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !typelang.Equal(inf.Type, want.Type) {
+		t.Errorf("streamed type %s differs from materialised %s", inf.Type, want.Type)
+	}
+
+	bad := filepath.Join(dir, "bad.ndjson")
+	if err := os.WriteFile(bad, []byte("{]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, n, err := InferSchemaStreamFiles([]string{f1, bad}, ParametricL, 3); err == nil {
+		t.Error("expected decode error")
+	} else {
+		if !strings.Contains(err.Error(), "bad.ndjson") {
+			t.Errorf("error does not name the file: %v", err)
+		}
+		if n != 60 {
+			t.Errorf("typed %d docs before the error, want 60", n)
+		}
+	}
+
+	if _, _, err := InferSchemaStreamFiles([]string{f1}, Spark, 0); err == nil {
+		t.Error("Spark must reject streaming")
 	}
 }
 

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/codegen"
 	"repro/internal/infer"
@@ -23,6 +24,11 @@ import (
 	"repro/internal/translate"
 	"repro/internal/typelang"
 )
+
+// The golden tests pin schemas inferred from the checked-in fixtures;
+// regenerate the fixtures (deterministic seeds) alongside any golden
+// update.
+//go:generate go run repro/cmd/jsfixtures -dir ../../testdata
 
 // Value re-exports the JSON data model.
 type Value = jsonvalue.Value
@@ -181,16 +187,33 @@ type Inference struct {
 	Size      int
 }
 
-// InferSchema runs the selected engine over the collection.
+// equivFor maps a parametric engine to its merge equivalence.
+func equivFor(engine Engine) (typelang.Equiv, bool) {
+	switch engine {
+	case ParametricK:
+		return typelang.EquivKind, true
+	case ParametricL:
+		return typelang.EquivLabel, true
+	default:
+		return 0, false
+	}
+}
+
+// InferSchema runs the selected engine over the collection with the
+// default worker count.
 func InferSchema(docs []*Value, engine Engine) (*Inference, error) {
+	return InferSchemaWorkers(docs, engine, 0)
+}
+
+// InferSchemaWorkers is InferSchema with an explicit parallel worker
+// count for the parametric engines (0 means GOMAXPROCS; the other
+// engines are single-threaded and ignore it).
+func InferSchemaWorkers(docs []*Value, engine Engine, workers int) (*Inference, error) {
 	out := &Inference{Engine: engine}
 	switch engine {
 	case ParametricK, ParametricL:
-		eq := typelang.EquivKind
-		if engine == ParametricL {
-			eq = typelang.EquivLabel
-		}
-		out.Type = infer.InferParallel(docs, infer.Options{Equiv: eq})
+		eq, _ := equivFor(engine)
+		out.Type = infer.InferParallel(docs, infer.Options{Equiv: eq, Workers: workers})
 		out.JSONSchema = jsonschema.FromType(out.Type)
 	case Spark:
 		out.Type = sparkinfer.Infer(docs).ToTypelang()
@@ -208,6 +231,67 @@ func InferSchema(docs []*Value, engine Engine) (*Inference, error) {
 	out.Precision = typelang.Precision(out.Type, docs)
 	out.Size = out.Type.Size()
 	return out, nil
+}
+
+// InferSchemaStream infers a parametric schema from a stream of JSON
+// documents (NDJSON or concatenated JSON) on r without materialising
+// the collection: decoding overlaps with typing across the worker pool
+// (0 means GOMAXPROCS), so the input may be far larger than memory. It
+// returns the inference and the number of documents consumed.
+//
+// Only the parametric engines support streaming — Spark and Skinfer
+// inference need the whole collection in memory. The returned
+// Inference carries no Precision (it is -1): computing it would need a
+// second pass over data the stream no longer holds. On a decode error
+// the Inference is still returned alongside the error and covers every
+// document decoded before it, mirroring infer.InferStreamParallel.
+func InferSchemaStream(r io.Reader, engine Engine, workers int) (*Inference, int, error) {
+	eq, ok := equivFor(engine)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: engine %s cannot infer from a stream", engine)
+	}
+	t, n, err := infer.InferStreamParallel(jsontext.NewDecoder(r), infer.Options{Equiv: eq, Workers: workers})
+	return &Inference{
+		Engine:     engine,
+		Type:       t,
+		JSONSchema: jsonschema.FromType(t),
+		Precision:  -1,
+		Size:       t.Size(),
+	}, n, err
+}
+
+// InferSchemaStreamFiles streams each named file in turn and merges
+// the per-file schemas into one inference — exact by associativity of
+// the merge. Each file gets its own decoder, so a decode error names
+// the offending file; inference stops there and the error reports how
+// many documents were typed before it.
+func InferSchemaStreamFiles(files []string, engine Engine, workers int) (*Inference, int, error) {
+	eq, ok := equivFor(engine)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: engine %s cannot infer from a stream", engine)
+	}
+	acc := typelang.Bottom
+	total := 0
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, total, err
+		}
+		part, n, err := InferSchemaStream(f, engine, workers)
+		f.Close()
+		total += n
+		if err != nil {
+			return nil, total, fmt.Errorf("%s: %w", name, err)
+		}
+		acc = typelang.Merge(acc, part.Type, eq)
+	}
+	return &Inference{
+		Engine:     engine,
+		Type:       acc,
+		JSONSchema: jsonschema.FromType(acc),
+		Precision:  -1,
+		Size:       acc.Size(),
+	}, total, nil
 }
 
 // AnalyzeStreaming runs the mongodb-schema style analyzer over a

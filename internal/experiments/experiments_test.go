@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -70,7 +71,16 @@ func TestE3Shapes(t *testing.T) {
 			t.Errorf("row %d: parallel result differs from sequential", r)
 		}
 	}
-	// 4 workers must beat 1 worker (weak bound: ≥1.2x) on 4+ cores.
+	// 4 workers must beat 1 worker (weak bound: ≥1.2x). The bound is
+	// physically unreachable on small CI runners — with fewer than 4
+	// schedulable CPUs the workers time-slice — so the assertion (and
+	// only it) is gated on real hardware; the identical-result checks
+	// above always run. GOMAXPROCS is what actually bounds parallelism
+	// (it can sit below NumCPU in cgroup-limited containers).
+	if procs := runtime.GOMAXPROCS(0); procs < 4 || runtime.NumCPU() < 4 {
+		t.Skipf("GOMAXPROCS = %d, NumCPU = %d: parallel speedup not measurable on this host",
+			procs, runtime.NumCPU())
+	}
 	if num(t, tab, 2, 2) < 1.2 {
 		t.Errorf("4-worker speedup = %v, want >= 1.2", num(t, tab, 2, 2))
 	}

@@ -16,8 +16,18 @@
 //     records fuse only when they have the same field names).
 //
 // Because the merge is associative and commutative, the reduce can be
-// parallelised and distributed arbitrarily; InferParallel exercises
-// exactly the property the papers rely on for their Spark deployment.
+// parallelised and distributed arbitrarily. The execution layer here
+// exploits that three ways:
+//
+//   - documents are typed and reduced in batches (one MergeAll per
+//     batch instead of one Merge per document), which amortises union
+//     canonicalisation over the batch;
+//   - InferParallel feeds batches through a bounded work queue to a
+//     worker pool; each worker folds its own partial type and the
+//     partials meet in a parallel binary tree reduction;
+//   - InferStreamParallel overlaps NDJSON decoding with typing, so
+//     collections larger than memory are inferred at multi-worker
+//     speed while only ever holding a bounded window of documents.
 package infer
 
 import (
@@ -31,15 +41,51 @@ import (
 	"repro/internal/typelang"
 )
 
+// DefaultBatch is the number of documents per work unit when
+// Options.Batch is zero. Batches amortise merge canonicalisation and
+// channel traffic; the value only needs to be large enough that the
+// per-batch overhead vanishes against typing cost.
+const DefaultBatch = 256
+
 // Options configure an inference run.
 type Options struct {
 	// Equiv is the merge equivalence: typelang.EquivKind (K) or
 	// typelang.EquivLabel (L). The zero value is K.
 	Equiv typelang.Equiv
-	// Workers bounds parallel reduce workers in InferParallel; 0 means
-	// GOMAXPROCS.
+	// Workers bounds parallel workers in InferParallel and
+	// InferStreamParallel; 0 means GOMAXPROCS.
 	Workers int
+	// Batch is the number of documents per work unit in the batched and
+	// parallel engines; 0 means DefaultBatch.
+	Batch int
 }
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o Options) batch() int {
+	if o.Batch <= 0 {
+		return DefaultBatch
+	}
+	return o.Batch
+}
+
+// Interned count-1 atoms for the map phase. Types are immutable once
+// built (the merge copies atoms before touching counts), so every
+// occurrence of an atomic value can share one node instead of
+// allocating — the map phase produces mostly leaves, so this removes
+// the bulk of its allocations.
+var (
+	atomNull = typelang.Atom(typelang.KNull, 1)
+	atomBool = typelang.Atom(typelang.KBool, 1)
+	atomInt  = typelang.Atom(typelang.KInt, 1)
+	atomNum  = typelang.Atom(typelang.KNum, 1)
+	atomStr  = typelang.Atom(typelang.KStr, 1)
+)
 
 // TypeOf computes the exact type of one value — the map phase. Every
 // node carries Count 1 (and record fields Count 1); array element types
@@ -47,16 +93,16 @@ type Options struct {
 func TypeOf(v *jsonvalue.Value, e typelang.Equiv) *typelang.Type {
 	switch v.Kind() {
 	case jsonvalue.Null:
-		return typelang.Atom(typelang.KNull, 1)
+		return atomNull
 	case jsonvalue.Bool:
-		return typelang.Atom(typelang.KBool, 1)
+		return atomBool
 	case jsonvalue.Number:
 		if v.IsInt() {
-			return typelang.Atom(typelang.KInt, 1)
+			return atomInt
 		}
-		return typelang.Atom(typelang.KNum, 1)
+		return atomNum
 	case jsonvalue.String:
-		return typelang.Atom(typelang.KStr, 1)
+		return atomStr
 	case jsonvalue.Array:
 		elems := v.Elems()
 		ts := make([]*typelang.Type, len(elems))
@@ -66,12 +112,20 @@ func TypeOf(v *jsonvalue.Value, e typelang.Equiv) *typelang.Type {
 		return typelang.NewArrayCounted(typelang.MergeAll(ts, e), 1, len(elems), len(elems))
 	case jsonvalue.Object:
 		fields := make([]typelang.Field, 0, v.Len())
-		seen := make(map[string]struct{}, v.Len())
+		var seen map[string]struct{}
+		if v.Len() > smallObject {
+			seen = make(map[string]struct{}, v.Len())
+		}
 		for _, f := range v.Fields() {
-			if _, dup := seen[f.Name]; dup {
-				continue // effective view: last binding wins below
+			// Duplicate names: effective view, last binding wins below.
+			if seen != nil {
+				if _, dup := seen[f.Name]; dup {
+					continue
+				}
+				seen[f.Name] = struct{}{}
+			} else if containsField(fields, f.Name) {
+				continue
 			}
-			seen[f.Name] = struct{}{}
 			fv, _ := v.Get(f.Name)
 			fields = append(fields, typelang.Field{
 				Name:  f.Name,
@@ -79,75 +133,205 @@ func TypeOf(v *jsonvalue.Value, e typelang.Equiv) *typelang.Type {
 				Count: 1,
 			})
 		}
-		return typelang.NewRecordCounted(1, fields...)
+		return typelang.RecordOwned(1, fields)
 	default:
 		return typelang.Bottom
 	}
 }
 
-// Infer runs map and sequential reduce over a materialised collection.
+// smallObject bounds the linear-scan duplicate check in TypeOf: below
+// it a scan over the built fields beats allocating a set; above it the
+// set keeps wide (map-shaped) objects linear instead of quadratic.
+const smallObject = 16
+
+// containsField reports whether name is already present.
+func containsField(fields []typelang.Field, name string) bool {
+	for i := range fields {
+		if fields[i].Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// foldBatch types one batch of documents and merges it into acc. buf
+// is scratch reused across calls (slot 0 carries the accumulator); the
+// caller threads the returned slice back in.
+func foldBatch(acc *typelang.Type, docs []*jsonvalue.Value, buf []*typelang.Type, opts Options) (*typelang.Type, []*typelang.Type) {
+	buf = append(buf[:0], acc)
+	for _, d := range docs {
+		buf = append(buf, TypeOf(d, opts.Equiv))
+	}
+	return typelang.MergeAll(buf, opts.Equiv), buf
+}
+
+// Infer runs map and reduce over a materialised collection. The fold
+// proceeds in batches — by associativity of the merge the result is
+// identical to a per-document fold, at a fraction of the intermediate
+// allocations.
 func Infer(docs []*jsonvalue.Value, opts Options) *typelang.Type {
 	acc := typelang.Bottom
-	for _, d := range docs {
-		acc = typelang.Merge(acc, TypeOf(d, opts.Equiv), opts.Equiv)
+	batch := opts.batch()
+	buf := make([]*typelang.Type, 0, min(batch, len(docs))+1)
+	for lo := 0; lo < len(docs); lo += batch {
+		acc, buf = foldBatch(acc, docs[lo:min(lo+batch, len(docs))], buf, opts)
 	}
 	return acc
 }
 
-// InferParallel splits the collection into chunks, types and reduces
-// each chunk in its own goroutine, then merges the partial types. By
-// associativity and commutativity of the merge the result is identical
-// to Infer's.
+// InferParallel runs the map/reduce over a worker pool: a bounded
+// queue of document batches feeds the workers, each worker folds the
+// batches it receives into its own partial type, and the partials meet
+// in a parallel tree reduction. By associativity and commutativity of
+// the merge the result is identical to Infer's.
 func InferParallel(docs []*jsonvalue.Value, opts Options) *typelang.Type {
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := opts.workers()
 	if workers > len(docs) {
 		workers = len(docs)
 	}
 	if workers <= 1 {
 		return Infer(docs, opts)
 	}
-	partials := make([]*typelang.Type, workers)
-	var wg sync.WaitGroup
-	chunk := (len(docs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo > len(docs) {
-			lo = len(docs)
-		}
-		hi := lo + chunk
-		if hi > len(docs) {
-			hi = len(docs)
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			partials[w] = Infer(docs[lo:hi], opts)
-		}(w, lo, hi)
+	batch := opts.batch()
+	if batch > (len(docs)+workers-1)/workers {
+		// Small collection: shrink batches so every worker gets work.
+		batch = (len(docs) + workers - 1) / workers
 	}
-	wg.Wait()
-	return typelang.MergeAll(partials, opts.Equiv)
+	work := make(chan []*jsonvalue.Value, 2*workers)
+	partials := startWorkers(work, workers, opts)
+	for lo := 0; lo < len(docs); lo += batch {
+		work <- docs[lo:min(lo+batch, len(docs))]
+	}
+	close(work)
+	return mergeTree(<-partials, opts.Equiv)
 }
 
 // InferStream types values from a streaming decoder without
 // materialising the collection, returning the inferred type and the
-// number of documents consumed.
+// number of documents consumed. Like Infer it reduces in batches; on a
+// decode error the returned type covers every document decoded so far.
 func InferStream(dec *jsontext.Decoder, opts Options) (*typelang.Type, int, error) {
 	acc := typelang.Bottom
 	n := 0
+	batchSize := opts.batch()
+	var buf []*typelang.Type
+	batch := make([]*jsonvalue.Value, 0, batchSize)
 	for {
 		v, err := dec.Decode()
-		if errors.Is(err, io.EOF) {
-			return acc, n, nil
-		}
 		if err != nil {
+			acc, _ = foldBatch(acc, batch, buf, opts)
+			if errors.Is(err, io.EOF) {
+				err = nil
+			}
 			return acc, n, err
 		}
-		acc = typelang.Merge(acc, TypeOf(v, opts.Equiv), opts.Equiv)
+		batch = append(batch, v)
 		n++
+		if len(batch) == batchSize {
+			acc, buf = foldBatch(acc, batch, buf, opts)
+			batch = batch[:0]
+		}
 	}
+}
+
+// InferStreamParallel overlaps decoding with typing: the caller's
+// goroutine decodes batches of documents into a bounded queue while the
+// worker pool types and reduces them, so NDJSON inference runs at
+// multi-worker speed on inputs far larger than memory — the queue
+// (capacity 2·workers) plus one batch per worker bounds how many
+// documents are ever held at once.
+//
+// It returns the type of every successfully decoded document and the
+// number of documents typed. On a decode error the stream stops there
+// and the partial result is returned alongside the error, mirroring
+// InferStream.
+func InferStreamParallel(dec *jsontext.Decoder, opts Options) (*typelang.Type, int, error) {
+	workers := opts.workers()
+	if workers <= 1 {
+		return InferStream(dec, opts)
+	}
+	batchSize := opts.batch()
+	work := make(chan []*jsonvalue.Value, 2*workers)
+	partials := startWorkers(work, workers, opts)
+	var (
+		n    int
+		derr error
+	)
+	batch := make([]*jsonvalue.Value, 0, batchSize)
+	for {
+		v, err := dec.Decode()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				derr = err
+			}
+			break
+		}
+		batch = append(batch, v)
+		n++
+		if len(batch) == batchSize {
+			work <- batch
+			batch = make([]*jsonvalue.Value, 0, batchSize)
+		}
+	}
+	if len(batch) > 0 {
+		work <- batch
+	}
+	close(work)
+	return mergeTree(<-partials, opts.Equiv), n, derr
+}
+
+// startWorkers launches the reduce pool: each worker folds the batches
+// it pulls from work into its own partial type. The per-worker partials
+// are delivered on the returned channel once work is closed and
+// drained.
+func startWorkers(work <-chan []*jsonvalue.Value, workers int, opts Options) <-chan []*typelang.Type {
+	partials := make([]*typelang.Type, workers)
+	done := make(chan []*typelang.Type, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := typelang.Bottom
+			var buf []*typelang.Type
+			for batch := range work {
+				acc, buf = foldBatch(acc, batch, buf, opts)
+			}
+			partials[w] = acc
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		done <- partials
+	}()
+	return done
+}
+
+// mergeTree reduces the partial types with a parallel binary tree:
+// each round merges adjacent pairs concurrently, halving the list,
+// so the final reduce is O(log n) rounds deep instead of a single
+// goroutine folding n partials.
+func mergeTree(ts []*typelang.Type, e typelang.Equiv) *typelang.Type {
+	for len(ts) > 1 {
+		next := make([]*typelang.Type, (len(ts)+1)/2)
+		var wg sync.WaitGroup
+		for i := 0; i < len(ts)/2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				next[i] = typelang.Merge(ts[2*i], ts[2*i+1], e)
+			}(i)
+		}
+		if len(ts)%2 == 1 {
+			next[len(next)-1] = ts[len(ts)-1]
+		}
+		wg.Wait()
+		ts = next
+	}
+	if len(ts) == 0 {
+		return typelang.Bottom
+	}
+	return ts[0]
 }
 
 // InferSample infers from a deterministic 1-in-stride subsample, the

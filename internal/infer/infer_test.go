@@ -173,6 +173,78 @@ func TestInferStream(t *testing.T) {
 	}
 }
 
+func TestInferEnginesEquivalent(t *testing.T) {
+	// The three entry points — sequential fold, work-queue parallel, and
+	// streaming parallel — must agree exactly (types and counts), across
+	// collection sizes that exercise every queue shape: empty input, one
+	// document, fewer documents than workers, a partial final batch.
+	g := genjson.Twitter{Seed: 42}
+	for _, n := range []int{0, 1, 3, 100, 513} {
+		docs := genjson.Collection(g, n)
+		data := jsontext.MarshalLines(docs)
+		for _, e := range []typelang.Equiv{typelang.EquivKind, typelang.EquivLabel} {
+			seq := Infer(docs, Options{Equiv: e})
+			for _, workers := range []int{2, 5} {
+				for _, batch := range []int{0, 1, 7} {
+					opts := Options{Equiv: e, Workers: workers, Batch: batch}
+					par := InferParallel(docs, opts)
+					if !typelang.Equal(seq, par) || seq.StringCounted() != par.StringCounted() {
+						t.Errorf("n=%d equiv=%v workers=%d batch=%d: InferParallel diverges", n, e, workers, batch)
+					}
+					st, m, err := InferStreamParallel(jsontext.NewDecoder(strings.NewReader(string(data))), opts)
+					if err != nil {
+						t.Fatalf("n=%d equiv=%v workers=%d batch=%d: %v", n, e, workers, batch, err)
+					}
+					if m != n {
+						t.Errorf("n=%d: stream consumed %d docs", n, m)
+					}
+					if !typelang.Equal(seq, st) || seq.StringCounted() != st.StringCounted() {
+						t.Errorf("n=%d equiv=%v workers=%d batch=%d: InferStreamParallel diverges", n, e, workers, batch)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInferStreamParallelDecodeError(t *testing.T) {
+	// A malformed document mid-stream stops the pipeline: the error
+	// propagates, and the partial result covers exactly the documents
+	// decoded before it.
+	docs := genjson.Collection(genjson.GitHub{Seed: 6}, 10)
+	var b strings.Builder
+	b.Write(jsontext.MarshalLines(docs))
+	b.WriteString("{]\n")
+	b.Write(jsontext.MarshalLines(genjson.Collection(genjson.GitHub{Seed: 7}, 5)))
+	for _, workers := range []int{2, 6} {
+		ty, n, err := InferStreamParallel(
+			jsontext.NewDecoder(strings.NewReader(b.String())),
+			Options{Equiv: typelang.EquivLabel, Workers: workers, Batch: 3})
+		if err == nil {
+			t.Fatal("expected decode error")
+		}
+		if n != 10 {
+			t.Errorf("typed %d docs before the error, want 10", n)
+		}
+		want := Infer(docs, Options{Equiv: typelang.EquivLabel})
+		if !typelang.Equal(ty, want) {
+			t.Errorf("partial result differs from inference over the decoded prefix")
+		}
+	}
+}
+
+func TestInferStreamParallelEmptyInput(t *testing.T) {
+	ty, n, err := InferStreamParallel(
+		jsontext.NewDecoder(strings.NewReader("")),
+		Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || ty.Kind != typelang.KBottom {
+		t.Errorf("empty stream inferred %v over %d docs, want Bottom over 0", ty, n)
+	}
+}
+
 func TestInferEmptyCollection(t *testing.T) {
 	ty := Infer(nil, Options{})
 	if ty.Kind != typelang.KBottom {

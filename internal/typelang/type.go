@@ -144,6 +144,26 @@ func NewRecordCounted(count int64, fields ...Field) *Type {
 	return t
 }
 
+// RecordOwned builds a counted record taking ownership of fields: no
+// defensive copy is made, and the caller must not reuse the slice and
+// must guarantee the names are duplicate-free. It is the allocation-lean
+// constructor for the inference map phase, which types millions of
+// objects; fields arriving already name-sorted (the common case for
+// machine-generated JSON) skip the sort entirely.
+func RecordOwned(count int64, fields []Field) *Type {
+	sorted := true
+	for i := 1; i < len(fields); i++ {
+		if fields[i].Name < fields[i-1].Name {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		sort.Slice(fields, func(i, j int) bool { return fields[i].Name < fields[j].Name })
+	}
+	return &Type{Kind: KRecord, Fields: fields, Count: count}
+}
+
 // NewArray builds an array type with the given element type. A nil elem
 // means the empty-array element type Bottom.
 func NewArray(elem *Type) *Type {
