@@ -20,6 +20,12 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
+# Short DOM-vs-token streaming benchmark (allocs/op is the headline
+# metric); CI runs this as a non-blocking step so the numbers land in
+# every build log without gating merges on a noisy runner.
+bench-stream:
+	$(GO) test -run '^$$' -bench 'BenchmarkE3StreamingInference' -benchtime 200ms -benchmem .
+
 # Regenerate the checked-in NDJSON fixtures (deterministic seeds).
 fixtures:
 	$(GO) run repro/cmd/jsfixtures -dir testdata

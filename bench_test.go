@@ -83,16 +83,30 @@ func BenchmarkE3ParallelInference(b *testing.B) {
 	}
 }
 
-// E3 (streaming): sequential streaming inference versus the pipeline
-// that overlaps NDJSON decoding with parallel typing — the entry point
-// that lets inference run on inputs larger than memory.
+// E3 (streaming): the DOM pipeline (decode to value trees, type the
+// trees) versus the token pipeline (type straight from lexer tokens) —
+// the paired baseline/optimised engines of the streamed entry point.
+// allocs/op is the headline metric: the token path builds no value
+// trees, and its parallel variant lexes on the workers instead of the
+// feeding goroutine.
 func BenchmarkE3StreamingInference(b *testing.B) {
 	docs := genjson.Collection(genjson.Twitter{Seed: 13}, 5000)
 	raw := jsontext.MarshalLines(docs)
-	b.Run("sequential", func(b *testing.B) {
+	b.Run("dom-sequential", func(b *testing.B) {
 		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := infer.InferStream(jsontext.NewDecoder(bytes.NewReader(raw)),
+			if _, _, err := infer.InferStreamDOM(jsontext.NewDecoder(bytes.NewReader(raw)),
+				infer.Options{Equiv: typelang.EquivLabel}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("token-sequential", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := infer.InferStream(bytes.NewReader(raw),
 				infer.Options{Equiv: typelang.EquivLabel}); err != nil {
 				b.Fatal(err)
 			}
@@ -100,10 +114,21 @@ func BenchmarkE3StreamingInference(b *testing.B) {
 	})
 	for _, workers := range []int{2, 4, 8} {
 		workers := workers
-		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+		b.Run(fmt.Sprintf("dom-parallel-%d", workers), func(b *testing.B) {
 			b.SetBytes(int64(len(raw)))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := infer.InferStreamParallel(jsontext.NewDecoder(bytes.NewReader(raw)),
+				if _, _, err := infer.InferStreamParallelDOM(jsontext.NewDecoder(bytes.NewReader(raw)),
+					infer.Options{Equiv: typelang.EquivLabel, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("token-parallel-%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(raw)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := infer.InferStreamParallel(bytes.NewReader(raw),
 					infer.Options{Equiv: typelang.EquivLabel, Workers: workers}); err != nil {
 					b.Fatal(err)
 				}

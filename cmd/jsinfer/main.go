@@ -7,14 +7,17 @@
 //
 //	jsinfer [-engine parametric-L|parametric-K|spark|skinfer]
 //	        [-output type|jsonschema|typescript|swift|report]
-//	        [-workers N] [-stream] [-counted] [file.ndjson ...]
+//	        [-workers N] [-stream] [-precision] [-counted] [file.ndjson ...]
 //
 // The parametric engines run their map/reduce over N workers
 // (-workers, default GOMAXPROCS). With -stream the input is never
-// materialised: decoding overlaps with parallel typing, so collections
-// far larger than memory infer at multi-worker speed. Streaming is
-// parametric-only, and a streamed report has no precision column
-// (precision needs a second pass over the data).
+// materialised: documents are typed straight from lexer tokens (no
+// value trees), and the workers lex and type document-aligned byte
+// chunks in parallel, so collections far larger than memory infer at
+// multi-worker speed. Streaming is parametric-only. A streamed report
+// has no precision column in its single pass; -precision fills it by
+// re-reading the input in a bounded-memory second pass, which requires
+// file arguments (stdin cannot be re-read).
 //
 // -counted renders the selected parametric engine's own counting
 // annotations; for Spark/Skinfer (whose types carry no counts) it
@@ -40,6 +43,7 @@ func main() {
 	simplify := flag.Bool("simplify", false, "drop union alternatives subsumed by others")
 	workers := flag.Int("workers", 0, "parallel inference workers (parametric engines; 0 = GOMAXPROCS)")
 	stream := flag.Bool("stream", false, "stream the input instead of materialising it (parametric engines only)")
+	precision := flag.Bool("precision", false, "with -stream: compute precision in a second pass over the input files")
 	flag.Parse()
 
 	var eng core.Engine
@@ -62,10 +66,30 @@ func main() {
 		docs   []*jsonvalue.Value
 	)
 	if *stream {
+		// Flag-only validation happens before the (potentially huge)
+		// inference pass: -precision re-reads the input for the report's
+		// precision column, so it needs the report output and re-readable
+		// file arguments — anything else would waste the whole first
+		// pass before erroring.
+		if *precision && *output != "report" {
+			fatal(fmt.Errorf("-precision only affects -output report"))
+		}
+		if *precision && flag.NArg() == 0 {
+			fatal(fmt.Errorf("-precision with -stream needs file arguments: stdin cannot be re-read"))
+		}
 		var err error
 		result, ndocs, err = streamInput(flag.Args(), eng, *workers)
 		if err != nil {
 			fatal(err)
+		}
+		if *precision {
+			// The streamed single pass cannot grade precision (the data
+			// is gone); the explicit second pass over the files can.
+			p, _, err := core.StreamPrecisionFiles(flag.Args(), result.Type)
+			if err != nil {
+				fatal(fmt.Errorf("precision pass: %w", err))
+			}
+			result.Precision = p
 		}
 	} else {
 		var err error
@@ -120,7 +144,7 @@ func main() {
 		if result.Precision >= 0 {
 			fmt.Printf("precision: %.3f\n", result.Precision)
 		} else {
-			fmt.Printf("precision: n/a (streamed)\n")
+			fmt.Printf("precision: n/a (streamed single pass; rerun with -precision and file arguments for a second pass)\n")
 		}
 		fmt.Printf("type:      %s\n", result.Type)
 	default:

@@ -86,6 +86,49 @@ func TestInferSchemaStreamFiles(t *testing.T) {
 	}
 }
 
+func TestStreamPrecisionSecondPass(t *testing.T) {
+	// The streamed single pass cannot grade precision (Precision is -1);
+	// the explicit second pass over the same files must reproduce the
+	// figure the materialised path computes.
+	docs := genjson.Collection(genjson.TypeDrift{Seed: 203}, 150)
+	dir := t.TempDir()
+	file := filepath.Join(dir, "drift.ndjson")
+	if err := os.WriteFile(file, jsontext.MarshalLines(docs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	streamed, n, err := InferSchemaStreamFiles([]string{file}, ParametricL, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 150 {
+		t.Fatalf("streamed %d docs, want 150", n)
+	}
+	if streamed.Precision != -1 {
+		t.Errorf("streamed single pass reported precision %v, want -1 sentinel", streamed.Precision)
+	}
+
+	p, graded, err := StreamPrecisionFiles([]string{file}, streamed.Type)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graded != 150 {
+		t.Errorf("precision pass graded %d docs, want 150", graded)
+	}
+	want := typelang.Precision(streamed.Type, docs)
+	if p != want {
+		t.Errorf("second-pass precision %v differs from materialised %v", p, want)
+	}
+	if p <= 0 || p > 1 {
+		t.Errorf("precision %v out of range", p)
+	}
+
+	// A precision pass over unreadable input names the problem.
+	if _, _, err := StreamPrecisionFiles([]string{filepath.Join(dir, "missing.ndjson")}, streamed.Type); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
 func TestPipelineGenerateTranslateRestore(t *testing.T) {
 	docs := genjson.Collection(genjson.NestedArrays{Seed: 112}, 90)
 	tr, err := Translate(docs)

@@ -235,22 +235,27 @@ func InferSchemaWorkers(docs []*Value, engine Engine, workers int) (*Inference, 
 
 // InferSchemaStream infers a parametric schema from a stream of JSON
 // documents (NDJSON or concatenated JSON) on r without materialising
-// the collection: decoding overlaps with typing across the worker pool
-// (0 means GOMAXPROCS), so the input may be far larger than memory. It
-// returns the inference and the number of documents consumed.
+// the collection. Documents are typed straight from lexer tokens — no
+// value tree is ever built — and the worker pool (0 means GOMAXPROCS)
+// lexes and types document-aligned byte chunks in parallel, so the
+// input may be far larger than memory and decode throughput scales
+// with workers. It returns the inference and the number of documents
+// consumed.
 //
 // Only the parametric engines support streaming — Spark and Skinfer
 // inference need the whole collection in memory. The returned
-// Inference carries no Precision (it is -1): computing it would need a
-// second pass over data the stream no longer holds. On a decode error
-// the Inference is still returned alongside the error and covers every
+// Inference carries no Precision (it is -1): computing it needs a
+// second pass over data the stream no longer holds; use
+// StreamPrecision/StreamPrecisionFiles on re-readable input. On a
+// decode error the Inference is still returned alongside the error
+// (whose syntax offsets are absolute stream offsets) and covers every
 // document decoded before it, mirroring infer.InferStreamParallel.
 func InferSchemaStream(r io.Reader, engine Engine, workers int) (*Inference, int, error) {
 	eq, ok := equivFor(engine)
 	if !ok {
 		return nil, 0, fmt.Errorf("core: engine %s cannot infer from a stream", engine)
 	}
-	t, n, err := infer.InferStreamParallel(jsontext.NewDecoder(r), infer.Options{Equiv: eq, Workers: workers})
+	t, n, err := infer.InferStreamParallel(r, infer.Options{Equiv: eq, Workers: workers})
 	return &Inference{
 		Engine:     engine,
 		Type:       t,
@@ -258,6 +263,54 @@ func InferSchemaStream(r io.Reader, engine Engine, workers int) (*Inference, int
 		Precision:  -1,
 		Size:       t.Size(),
 	}, n, err
+}
+
+// StreamPrecision grades an inferred schema against the documents on r
+// in a bounded-memory pass: documents are decoded one at a time and
+// folded into the precision accumulator, never held together. It is the
+// explicit second pass that fills the precision column a streamed
+// inference cannot compute in its single pass. It returns the precision
+// and the number of documents graded.
+func StreamPrecision(r io.Reader, t *Type) (float64, int, error) {
+	dec := jsontext.NewDecoder(r)
+	var acc typelang.PrecisionAcc
+	for {
+		v, err := dec.Decode()
+		if err == io.EOF {
+			return acc.Value(), acc.Docs(), nil
+		}
+		if err != nil {
+			return acc.Value(), acc.Docs(), err
+		}
+		acc.Add(t, v)
+	}
+}
+
+// StreamPrecisionFiles is StreamPrecision over the named files in turn,
+// accumulating one precision figure for the concatenation; a decode
+// error names the offending file.
+func StreamPrecisionFiles(files []string, t *Type) (float64, int, error) {
+	var acc typelang.PrecisionAcc
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			return acc.Value(), acc.Docs(), err
+		}
+		dec := jsontext.NewDecoder(f)
+		for {
+			v, err := dec.Decode()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return acc.Value(), acc.Docs(), fmt.Errorf("%s: %w", name, err)
+			}
+			acc.Add(t, v)
+		}
+		f.Close()
+	}
+	return acc.Value(), acc.Docs(), nil
 }
 
 // InferSchemaStreamFiles streams each named file in turn and merges

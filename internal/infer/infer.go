@@ -25,9 +25,17 @@
 //   - InferParallel feeds batches through a bounded work queue to a
 //     worker pool; each worker folds its own partial type and the
 //     partials meet in a parallel binary tree reduction;
-//   - InferStreamParallel overlaps NDJSON decoding with typing, so
+//   - InferStream and InferStreamParallel type documents straight from
+//     lexer tokens (TypeFromTokens, tokens.go) with no value tree at
+//     all; the parallel engine's work queue carries raw document-
+//     aligned byte chunks, so lexing itself scales with workers and
 //     collections larger than memory are inferred at multi-worker
-//     speed while only ever holding a bounded window of documents.
+//     speed while only ever holding a bounded window of bytes.
+//
+// The DOM-based streaming engines (InferStreamDOM and
+// InferStreamParallelDOM) are retained for engines that need
+// materialised values and as the measured baseline the token path is
+// benchmarked against.
 package infer
 
 import (
@@ -206,11 +214,15 @@ func InferParallel(docs []*jsonvalue.Value, opts Options) *typelang.Type {
 	return mergeTree(<-partials, opts.Equiv)
 }
 
-// InferStream types values from a streaming decoder without
+// InferStreamDOM types values from a streaming decoder without
 // materialising the collection, returning the inferred type and the
 // number of documents consumed. Like Infer it reduces in batches; on a
 // decode error the returned type covers every document decoded so far.
-func InferStream(dec *jsontext.Decoder, opts Options) (*typelang.Type, int, error) {
+//
+// It materialises one value tree per document and is kept as the DOM
+// baseline; InferStream types straight from tokens and is strictly
+// cheaper when only the schema is needed.
+func InferStreamDOM(dec *jsontext.Decoder, opts Options) (*typelang.Type, int, error) {
 	acc := typelang.Bottom
 	n := 0
 	batchSize := opts.batch()
@@ -234,21 +246,21 @@ func InferStream(dec *jsontext.Decoder, opts Options) (*typelang.Type, int, erro
 	}
 }
 
-// InferStreamParallel overlaps decoding with typing: the caller's
+// InferStreamParallelDOM overlaps decoding with typing: the caller's
 // goroutine decodes batches of documents into a bounded queue while the
-// worker pool types and reduces them, so NDJSON inference runs at
-// multi-worker speed on inputs far larger than memory — the queue
-// (capacity 2·workers) plus one batch per worker bounds how many
-// documents are ever held at once.
+// worker pool types and reduces them. Decoding to value trees happens on
+// the single feeding goroutine, which is exactly the sequential
+// bottleneck the token engine (InferStreamParallel) removes; this
+// variant is kept as the measured DOM baseline.
 //
 // It returns the type of every successfully decoded document and the
 // number of documents typed. On a decode error the stream stops there
 // and the partial result is returned alongside the error, mirroring
-// InferStream.
-func InferStreamParallel(dec *jsontext.Decoder, opts Options) (*typelang.Type, int, error) {
+// InferStreamDOM.
+func InferStreamParallelDOM(dec *jsontext.Decoder, opts Options) (*typelang.Type, int, error) {
 	workers := opts.workers()
 	if workers <= 1 {
-		return InferStream(dec, opts)
+		return InferStreamDOM(dec, opts)
 	}
 	batchSize := opts.batch()
 	work := make(chan []*jsonvalue.Value, 2*workers)

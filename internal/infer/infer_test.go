@@ -1,6 +1,7 @@
 package infer
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -159,25 +160,38 @@ func TestInferParallelCountsPreserved(t *testing.T) {
 func TestInferStream(t *testing.T) {
 	docs := genjson.Collection(genjson.GitHub{Seed: 5}, 100)
 	data := jsontext.MarshalLines(docs)
-	dec := jsontext.NewDecoder(strings.NewReader(string(data)))
-	ty, n, err := InferStream(dec, Options{Equiv: typelang.EquivLabel})
+	want := Infer(docs, Options{Equiv: typelang.EquivLabel})
+
+	ty, n, err := InferStream(strings.NewReader(string(data)), Options{Equiv: typelang.EquivLabel})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 100 {
-		t.Errorf("consumed %d docs, want 100", n)
+		t.Errorf("token stream consumed %d docs, want 100", n)
 	}
-	want := Infer(docs, Options{Equiv: typelang.EquivLabel})
 	if !typelang.Equal(ty, want) {
-		t.Error("stream inference differs from batch")
+		t.Error("token stream inference differs from batch")
+	}
+
+	dec := jsontext.NewDecoder(strings.NewReader(string(data)))
+	ty, n, err = InferStreamDOM(dec, Options{Equiv: typelang.EquivLabel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Errorf("DOM stream consumed %d docs, want 100", n)
+	}
+	if !typelang.Equal(ty, want) {
+		t.Error("DOM stream inference differs from batch")
 	}
 }
 
 func TestInferEnginesEquivalent(t *testing.T) {
-	// The three entry points — sequential fold, work-queue parallel, and
-	// streaming parallel — must agree exactly (types and counts), across
-	// collection sizes that exercise every queue shape: empty input, one
-	// document, fewer documents than workers, a partial final batch.
+	// Every entry point — sequential fold, work-queue parallel, DOM
+	// streaming, and token streaming — must agree exactly (types and
+	// counts), across collection sizes that exercise every queue shape:
+	// empty input, one document, fewer documents than workers, a partial
+	// final batch.
 	g := genjson.Twitter{Seed: 42}
 	for _, n := range []int{0, 1, 3, 100, 513} {
 		docs := genjson.Collection(g, n)
@@ -191,14 +205,24 @@ func TestInferEnginesEquivalent(t *testing.T) {
 					if !typelang.Equal(seq, par) || seq.StringCounted() != par.StringCounted() {
 						t.Errorf("n=%d equiv=%v workers=%d batch=%d: InferParallel diverges", n, e, workers, batch)
 					}
-					st, m, err := InferStreamParallel(jsontext.NewDecoder(strings.NewReader(string(data))), opts)
+					st, m, err := InferStreamParallelDOM(jsontext.NewDecoder(strings.NewReader(string(data))), opts)
 					if err != nil {
 						t.Fatalf("n=%d equiv=%v workers=%d batch=%d: %v", n, e, workers, batch, err)
 					}
 					if m != n {
-						t.Errorf("n=%d: stream consumed %d docs", n, m)
+						t.Errorf("n=%d: DOM stream consumed %d docs", n, m)
 					}
 					if !typelang.Equal(seq, st) || seq.StringCounted() != st.StringCounted() {
+						t.Errorf("n=%d equiv=%v workers=%d batch=%d: InferStreamParallelDOM diverges", n, e, workers, batch)
+					}
+					tk, m, err := InferStreamParallel(strings.NewReader(string(data)), opts)
+					if err != nil {
+						t.Fatalf("n=%d equiv=%v workers=%d batch=%d: %v", n, e, workers, batch, err)
+					}
+					if m != n {
+						t.Errorf("n=%d: token stream consumed %d docs", n, m)
+					}
+					if !typelang.Equal(seq, tk) || seq.StringCounted() != tk.StringCounted() {
 						t.Errorf("n=%d equiv=%v workers=%d batch=%d: InferStreamParallel diverges", n, e, workers, batch)
 					}
 				}
@@ -209,39 +233,53 @@ func TestInferEnginesEquivalent(t *testing.T) {
 
 func TestInferStreamParallelDecodeError(t *testing.T) {
 	// A malformed document mid-stream stops the pipeline: the error
-	// propagates, and the partial result covers exactly the documents
-	// decoded before it.
+	// propagates with its absolute stream offset, and the partial result
+	// covers exactly the documents decoded before it — work done on
+	// later chunks is discarded.
 	docs := genjson.Collection(genjson.GitHub{Seed: 6}, 10)
+	prefix := jsontext.MarshalLines(docs)
 	var b strings.Builder
-	b.Write(jsontext.MarshalLines(docs))
+	b.Write(prefix)
 	b.WriteString("{]\n")
 	b.Write(jsontext.MarshalLines(genjson.Collection(genjson.GitHub{Seed: 7}, 5)))
-	for _, workers := range []int{2, 6} {
+	want := Infer(docs, Options{Equiv: typelang.EquivLabel})
+	for _, workers := range []int{1, 2, 6} {
 		ty, n, err := InferStreamParallel(
-			jsontext.NewDecoder(strings.NewReader(b.String())),
+			strings.NewReader(b.String()),
 			Options{Equiv: typelang.EquivLabel, Workers: workers, Batch: 3})
 		if err == nil {
 			t.Fatal("expected decode error")
 		}
-		if n != 10 {
-			t.Errorf("typed %d docs before the error, want 10", n)
+		var se *jsontext.SyntaxError
+		if !errors.As(err, &se) {
+			t.Fatalf("error type %T, want *jsontext.SyntaxError", err)
 		}
-		want := Infer(docs, Options{Equiv: typelang.EquivLabel})
+		if wantOff := len(prefix) + 1; se.Offset != wantOff {
+			t.Errorf("workers=%d: error offset %d, want %d (the ']')", workers, se.Offset, wantOff)
+		}
+		if n != 10 {
+			t.Errorf("workers=%d: typed %d docs before the error, want 10", workers, n)
+		}
 		if !typelang.Equal(ty, want) {
-			t.Errorf("partial result differs from inference over the decoded prefix")
+			t.Errorf("workers=%d: partial result differs from inference over the decoded prefix", workers)
 		}
 	}
 }
 
 func TestInferStreamParallelEmptyInput(t *testing.T) {
-	ty, n, err := InferStreamParallel(
-		jsontext.NewDecoder(strings.NewReader("")),
-		Options{Workers: 4})
+	ty, n, err := InferStreamParallel(strings.NewReader(""), Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 0 || ty.Kind != typelang.KBottom {
 		t.Errorf("empty stream inferred %v over %d docs, want Bottom over 0", ty, n)
+	}
+	ty, n, err = InferStreamParallelDOM(jsontext.NewDecoder(strings.NewReader("")), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || ty.Kind != typelang.KBottom {
+		t.Errorf("empty DOM stream inferred %v over %d docs, want Bottom over 0", ty, n)
 	}
 }
 

@@ -1,0 +1,493 @@
+package infer
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"repro/internal/jsontext"
+	"repro/internal/typelang"
+)
+
+// This file is the token-only inference path: the map phase of the
+// paper's map/reduce needs the *type* of each document, never its value,
+// so documents are typed straight from the lexer's tokens. Compared to
+// the DOM path (jsontext.Decoder → TypeOf) it allocates no value nodes,
+// no element slices and no value-string payloads — and because the work
+// queue carries raw byte chunks instead of pre-parsed values, lexing
+// itself runs on every worker instead of serialising on the decoder
+// goroutine.
+
+// TypeFromTokens types exactly one JSON value read from tr — the
+// token-level map phase, equivalent to jsontext parse followed by TypeOf
+// but with no intermediate value tree. It returns io.EOF when the stream
+// holds no further value, and a *jsontext.SyntaxError (with absolute
+// offset) on malformed input.
+func TypeFromTokens(tr *jsontext.TokenReader, e typelang.Equiv) (*typelang.Type, error) {
+	tok, err := tr.ReadTokenSkipString()
+	if err != nil {
+		return nil, err
+	}
+	if tok.Kind == jsontext.TokEOF {
+		return nil, io.EOF
+	}
+	return typeFromToken(tr, tok, e, 0)
+}
+
+// typeFromToken types the value beginning at tok, pulling the rest of
+// its tokens from tr. The grammar enforced is exactly the parser's, so
+// the token path and the DOM path accept and reject the same inputs at
+// the same offsets.
+func typeFromToken(tr *jsontext.TokenReader, tok jsontext.Token, e typelang.Equiv, depth int) (*typelang.Type, error) {
+	if depth > jsontext.MaxDepth {
+		return nil, &jsontext.SyntaxError{Offset: tok.Offset, Msg: depthMsg}
+	}
+	switch tok.Kind {
+	case jsontext.TokNull:
+		return atomNull, nil
+	case jsontext.TokTrue, jsontext.TokFalse:
+		return atomBool, nil
+	case jsontext.TokNumber:
+		if numIsInt(tok.Num) {
+			return atomInt, nil
+		}
+		return atomNum, nil
+	case jsontext.TokString:
+		return atomStr, nil
+	case jsontext.TokBeginArray:
+		return typeArrayTokens(tr, e, depth)
+	case jsontext.TokBeginObject:
+		return typeObjectTokens(tr, e, depth)
+	case jsontext.TokEOF:
+		return nil, &jsontext.SyntaxError{Offset: tok.Offset, Msg: "unexpected end of input, want value"}
+	default:
+		return nil, &jsontext.SyntaxError{Offset: tok.Offset, Msg: "unexpected " + tok.Kind.String() + ", want value"}
+	}
+}
+
+// depthMsg mirrors the parser's nesting-limit message, derived from the
+// same constant so the token and DOM paths can never desync.
+var depthMsg = fmt.Sprintf("nesting depth exceeds %d", jsontext.MaxDepth)
+
+// numIsInt is jsonvalue.Value.IsInt on a bare float64: integral, finite,
+// and small enough that float64 represents it exactly.
+func numIsInt(f float64) bool {
+	return f == math.Trunc(f) && !math.IsInf(f, 0) && math.Abs(f) < 1<<53
+}
+
+// typeArrayTokens types array elements after the consumed '[': element
+// types are merged under e, exactly as TypeOf merges a materialised
+// array's element types.
+func typeArrayTokens(tr *jsontext.TokenReader, e typelang.Equiv, depth int) (*typelang.Type, error) {
+	tok, err := tr.ReadTokenSkipString()
+	if err != nil {
+		return nil, err
+	}
+	if tok.Kind == jsontext.TokEndArray {
+		return typelang.NewArrayCounted(typelang.MergeAll(nil, e), 1, 0, 0), nil
+	}
+	var ts []*typelang.Type
+	for {
+		et, err := typeFromToken(tr, tok, e, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		ts = append(ts, et)
+		sep, err := tr.ReadTokenSkipString()
+		if err != nil {
+			return nil, err
+		}
+		switch sep.Kind {
+		case jsontext.TokComma:
+			if tok, err = tr.ReadTokenSkipString(); err != nil {
+				return nil, err
+			}
+		case jsontext.TokEndArray:
+			return typelang.NewArrayCounted(typelang.MergeAll(ts, e), 1, len(ts), len(ts)), nil
+		default:
+			return nil, &jsontext.SyntaxError{Offset: sep.Offset, Msg: "unexpected " + sep.Kind.String() + " in array, want ',' or ']'"}
+		}
+	}
+}
+
+// typeObjectTokens types object members after the consumed '{'. Field
+// names are read in decoding mode (they are the record labels); field
+// values are typed token-by-token. Duplicate names keep the effective
+// last-binding view, matching TypeOf.
+func typeObjectTokens(tr *jsontext.TokenReader, e typelang.Equiv, depth int) (*typelang.Type, error) {
+	tok, err := tr.ReadToken()
+	if err != nil {
+		return nil, err
+	}
+	if tok.Kind == jsontext.TokEndObject {
+		return typelang.RecordOwned(1, nil), nil
+	}
+	var (
+		fields []typelang.Field
+		seen   map[string]int // name -> index in fields, once past smallObject
+	)
+	for {
+		if tok.Kind != jsontext.TokString {
+			return nil, &jsontext.SyntaxError{Offset: tok.Offset, Msg: "unexpected " + tok.Kind.String() + ", want field name string"}
+		}
+		name := tok.Str
+		colon, err := tr.ReadTokenSkipString()
+		if err != nil {
+			return nil, err
+		}
+		if colon.Kind != jsontext.TokColon {
+			return nil, &jsontext.SyntaxError{Offset: colon.Offset, Msg: "unexpected " + colon.Kind.String() + ", want ':'"}
+		}
+		valTok, err := tr.ReadTokenSkipString()
+		if err != nil {
+			return nil, err
+		}
+		vt, err := typeFromToken(tr, valTok, e, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		// Duplicate names: last binding wins, first position kept (the
+		// position is erased by RecordOwned's sort anyway).
+		if idx := fieldIndex(fields, seen, name); idx >= 0 {
+			fields[idx].Type = vt
+		} else {
+			fields = append(fields, typelang.Field{Name: name, Type: vt, Count: 1})
+			if seen != nil {
+				seen[name] = len(fields) - 1
+			} else if len(fields) > smallObject {
+				seen = make(map[string]int, 2*len(fields))
+				for i := range fields {
+					seen[fields[i].Name] = i
+				}
+			}
+		}
+		sep, err := tr.ReadTokenSkipString()
+		if err != nil {
+			return nil, err
+		}
+		switch sep.Kind {
+		case jsontext.TokComma:
+			if tok, err = tr.ReadToken(); err != nil {
+				return nil, err
+			}
+		case jsontext.TokEndObject:
+			return typelang.RecordOwned(1, fields), nil
+		default:
+			return nil, &jsontext.SyntaxError{Offset: sep.Offset, Msg: "unexpected " + sep.Kind.String() + " in object, want ',' or '}'"}
+		}
+	}
+}
+
+// fieldIndex finds name among the built fields: a linear scan below the
+// smallObject threshold, the seen map above it.
+func fieldIndex(fields []typelang.Field, seen map[string]int, name string) int {
+	if seen != nil {
+		if i, ok := seen[name]; ok {
+			return i
+		}
+		return -1
+	}
+	for i := range fields {
+		if fields[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// tokenFold accumulates document types with the same batched MergeAll
+// discipline as foldBatch: slot 0 carries the accumulator, and a merge
+// fires once the batch fills.
+type tokenFold struct {
+	acc   *typelang.Type
+	buf   []*typelang.Type
+	batch int
+	equiv typelang.Equiv
+}
+
+func newTokenFold(opts Options) *tokenFold {
+	f := &tokenFold{acc: typelang.Bottom, batch: opts.batch(), equiv: opts.Equiv}
+	f.buf = make([]*typelang.Type, 0, f.batch+1)
+	return f
+}
+
+func (f *tokenFold) add(t *typelang.Type) {
+	if len(f.buf) == 0 {
+		f.buf = append(f.buf, f.acc)
+	}
+	f.buf = append(f.buf, t)
+	if len(f.buf) == f.batch+1 {
+		f.acc = typelang.MergeAll(f.buf, f.equiv)
+		f.buf = f.buf[:0]
+	}
+}
+
+func (f *tokenFold) finish() *typelang.Type {
+	if len(f.buf) > 0 {
+		f.acc = typelang.MergeAll(f.buf, f.equiv)
+		f.buf = f.buf[:0]
+	}
+	return f.acc
+}
+
+// InferStream types every document on r straight from tokens, without
+// materialising values or the collection — the sequential token engine.
+// It returns the inferred type and the number of documents typed; on a
+// syntax or I/O error the returned type covers every document typed
+// before it, and syntax errors carry absolute stream offsets.
+func InferStream(r io.Reader, opts Options) (*typelang.Type, int, error) {
+	tr := jsontext.NewTokenReader(r)
+	tr.SetInternStrings(true)
+	return foldTokenStream(tr, opts)
+}
+
+func foldTokenStream(tr *jsontext.TokenReader, opts Options) (*typelang.Type, int, error) {
+	fold := newTokenFold(opts)
+	n := 0
+	for {
+		t, err := TypeFromTokens(tr, opts.Equiv)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = nil
+			}
+			return fold.finish(), n, err
+		}
+		fold.add(t)
+		n++
+	}
+}
+
+// byteChunk is one work unit of the parallel token engine: a run of
+// whole top-level documents, with the absolute stream offset of its
+// first byte for exact error attribution.
+type byteChunk struct {
+	index int
+	base  int
+	data  []byte
+}
+
+// chunkResult is what a worker makes of one chunk: the merged type of
+// its documents, how many were typed, and the first error hit (with the
+// partial type covering the documents before it).
+type chunkResult struct {
+	index int
+	t     *typelang.Type
+	n     int
+	err   error
+}
+
+// InferStreamParallel overlaps chunking with lexing AND typing: the
+// reader goroutine only splits the stream into runs of whole documents
+// (a byte scan that tracks string/escape state and container depth, so
+// a split never lands inside a document even for multi-line layouts),
+// and the workers do everything else — lex, type, and reduce — in
+// parallel. This is the engine change that makes decode throughput scale
+// with workers: the old pipeline parsed full value trees on one
+// goroutine and parallelised only the typing.
+//
+// Chunk results are folded in stream order, so the outcome is exact:
+// the returned type and document count are identical to InferStream's,
+// and on a malformed document the error (with absolute offset) plus the
+// count cover precisely the documents before it — work done on later
+// chunks is discarded.
+func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error) {
+	workers := opts.workers()
+	if workers <= 1 {
+		return InferStream(r, opts)
+	}
+	work := make(chan byteChunk, 2*workers)
+	results := make(chan chunkResult, workers)
+	stop := make(chan struct{})
+
+	// Reader: split the stream into document-aligned chunks.
+	readErrCh := make(chan error, 1)
+	go func() {
+		readErrCh <- readChunks(r, opts.batch(), func(ch byteChunk) bool {
+			select {
+			case work <- ch:
+				return true
+			case <-stop:
+				return false
+			}
+		})
+		close(work)
+	}()
+
+	// Workers: lex and type whole chunks, reducing in batches.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr := jsontext.NewTokenReaderBytes(nil)
+			tr.SetInternStrings(true)
+			for ch := range work {
+				tr.ResetBytes(ch.data, ch.base)
+				t, n, err := foldTokenStream(tr, opts)
+				results <- chunkResult{index: ch.index, t: t, n: n, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: fold chunk results in stream order for exact error and
+	// count semantics. Per-chunk types are tiny next to the typing work,
+	// so the ordered fold is not a bottleneck.
+	var (
+		pending     = make(map[int]chunkResult)
+		next        int
+		acc         = typelang.Bottom
+		total       int
+		firstErr    error
+		firstErrIdx = -1
+		stopped     bool
+	)
+	for res := range results {
+		pending[res.index] = res
+		for {
+			cr, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if firstErr != nil {
+				continue
+			}
+			acc = typelang.Merge(acc, cr.t, opts.Equiv)
+			total += cr.n
+			if cr.err != nil {
+				firstErr = cr.err
+				firstErrIdx = cr.index
+				if !stopped {
+					stopped = true
+					close(stop)
+				}
+			}
+		}
+	}
+	// A read failure truncates the final chunk, and the syntax error the
+	// worker reports on that cut is an artifact of the failed read, not
+	// of the data — so the I/O error wins over an error in the last
+	// chunk (earlier chunks are complete; their errors are genuine).
+	if rerr := <-readErrCh; rerr != nil && (firstErr == nil || firstErrIdx == next-1) {
+		firstErr = rerr
+	}
+	return acc, total, firstErr
+}
+
+// chunkReadSize is the read-block size of the chunk splitter.
+const chunkReadSize = 256 << 10
+
+// readChunks splits the stream into document-aligned byte chunks of
+// roughly docsPerChunk top-level documents each and hands them to emit
+// (which reports false to stop early). A chunk boundary is a newline at
+// container depth zero outside any string, so NDJSON splits per line
+// while pretty-printed or concatenated layouts are never cut inside a
+// document; input with no top-level newline at all degrades to a single
+// chunk. The scanner state machine tracks just string/escape state and
+// depth — the Mison-style structural index (internal/mison) is the
+// designated fast path for this scan if it ever bottlenecks.
+func readChunks(r io.Reader, docsPerChunk int, emit func(byteChunk) bool) error {
+	var (
+		pending      []byte
+		scanned      int // pending[:scanned] has been state-scanned
+		base         int // absolute offset of pending[0]
+		index        int
+		docs         int // top-level newlines seen since the last split
+		lastSplit    int // end of the last split point within pending
+		inStr, esc   bool
+		depth        int
+		readErr      error
+		sawEOF       bool
+		emitUpTo     func(end int) bool
+	)
+	emitUpTo = func(end int) bool {
+		if end <= lastSplit {
+			return true
+		}
+		ch := byteChunk{index: index, base: base + lastSplit, data: pending[lastSplit:end]}
+		index++
+		docs = 0
+		lastSplit = end
+		return emit(ch)
+	}
+	for {
+		// Refill, doubling so an unsplittable run grows in O(n) total
+		// copying.
+		if len(pending)+chunkReadSize > cap(pending) {
+			grown := make([]byte, len(pending), max(2*cap(pending), len(pending)+chunkReadSize))
+			copy(grown, pending)
+			pending = grown
+		}
+		n, err := r.Read(pending[len(pending) : len(pending)+chunkReadSize])
+		pending = pending[:len(pending)+n]
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				sawEOF = true
+			} else {
+				readErr = err
+				sawEOF = true
+			}
+		}
+		// Scan the new bytes, emitting at every ripe split point.
+		for i := scanned; i < len(pending); i++ {
+			c := pending[i]
+			if inStr {
+				switch {
+				case esc:
+					esc = false
+				case c == '\\':
+					esc = true
+				case c == '"':
+					inStr = false
+				}
+				continue
+			}
+			switch c {
+			case '"':
+				inStr = true
+			case '{', '[':
+				depth++
+			case '}', ']':
+				if depth > 0 {
+					// Underflow only happens on malformed input; clamping
+					// keeps later split points valid so the error stays
+					// confined to its own chunk.
+					depth--
+				}
+			case '\n':
+				if depth == 0 {
+					docs++
+					if docs >= docsPerChunk {
+						if !emitUpTo(i + 1) {
+							return readErr
+						}
+					}
+				}
+			}
+		}
+		scanned = len(pending)
+		if sawEOF {
+			if !emitUpTo(len(pending)) {
+				return readErr
+			}
+			return readErr
+		}
+		// Drop emitted bytes; chunks alias the old array, which is
+		// treated as immutable from here on.
+		if lastSplit > 0 {
+			rest := make([]byte, len(pending)-lastSplit, max(chunkReadSize, 2*(len(pending)-lastSplit)))
+			copy(rest, pending[lastSplit:])
+			base += lastSplit
+			pending = rest
+			scanned = len(pending)
+			lastSplit = 0
+		}
+	}
+}

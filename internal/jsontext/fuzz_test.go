@@ -1,0 +1,121 @@
+package jsontext
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/jsonvalue"
+)
+
+// chunkedReader yields at most n bytes per Read, forcing the
+// TokenReader through its refill/retry paths (tokens split across
+// window edges, truncated escapes at a fill boundary, numbers ending
+// exactly at the window).
+type chunkedReader struct {
+	r io.Reader
+	n int
+}
+
+func (c chunkedReader) Read(p []byte) (int, error) {
+	if len(p) > c.n {
+		p = p[:c.n]
+	}
+	return c.r.Read(p)
+}
+
+// FuzzTokenReader checks the promoted streaming lexer against the
+// byte-slice Parse path: the TokenReader-driven Decoder must never
+// panic, must accept exactly the inputs Parse accepts (one value, then
+// EOF), and must build the same value — even when the stream arrives a
+// few bytes at a time.
+func FuzzTokenReader(f *testing.F) {
+	seeds := []string{
+		`{"a": [1, {"b": "x"}, null], "c": 1e-3}`,
+		`[true, false, "é😀", {}]`,
+		`  42  `,
+		`-0.5e+10`,
+		`12`,
+		`9007199254740993`,
+		`""`,
+		`"A😀\n"`,
+		`"\ud83d"`,
+		`"\ud83dx"`,
+		// Malformed UTF-8 inside and outside strings.
+		"\"\xff\xfe\"",
+		"\xff{",
+		"\"a\xc3\x28b\"",
+		// Truncated escapes and strings.
+		`"\u12`,
+		`"\`,
+		`"unterminated`,
+		"\"ctrl\x01char\"",
+		// Structural errors.
+		`{]`,
+		`[1,]`,
+		`{"a":1 "b":2}`,
+		`1 2`,
+		`{"a"}`,
+		``,
+		`   `,
+		// Deep nesting (the depth limit itself is exercised by
+		// TestParseDeepNestingBounded; here it just must not panic).
+		strings.Repeat("[", 300) + strings.Repeat("]", 300),
+		strings.Repeat(`{"a":`, 120) + "1" + strings.Repeat("}", 120),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, parseErr := Parse(data)
+
+		// Streaming path, 3 bytes at a time: accept iff exactly one
+		// value followed by end of stream.
+		dec := NewDecoder(chunkedReader{r: bytes.NewReader(data), n: 3})
+		streamed, streamErr := dec.Decode()
+		accepted := streamErr == nil
+		if accepted {
+			if _, err := dec.Decode(); err != io.EOF {
+				accepted = false
+			}
+		}
+		if (parseErr == nil) != accepted {
+			t.Fatalf("accept/reject mismatch on %q: Parse err=%v, streamed accept=%v (err=%v)",
+				data, parseErr, accepted, streamErr)
+		}
+		if parseErr == nil && !jsonvalue.Equal(parsed, streamed) {
+			t.Fatalf("value mismatch on %q: Parse=%v streamed=%v", data, parsed, streamed)
+		}
+
+		// Raw token drains must never panic, in decoding and in
+		// skip-string mode, with and without interning, and both modes
+		// must agree on where the token stream errors.
+		drain := func(tr *TokenReader, skip bool) (int, error) {
+			for tokens := 0; ; tokens++ {
+				var tok Token
+				var err error
+				if skip {
+					tok, err = tr.ReadTokenSkipString()
+				} else {
+					tok, err = tr.ReadToken()
+				}
+				if err != nil {
+					return tokens, err
+				}
+				if tok.Kind == TokEOF {
+					return tokens, nil
+				}
+			}
+		}
+		full := NewTokenReaderBytes(data)
+		nFull, errFull := drain(full, false)
+		skipTR := NewTokenReader(chunkedReader{r: bytes.NewReader(data), n: 2})
+		skipTR.SetInternStrings(true)
+		nSkip, errSkip := drain(skipTR, true)
+		if nFull != nSkip || (errFull == nil) != (errSkip == nil) {
+			t.Fatalf("token drains disagree on %q: decode=(%d,%v) skip=(%d,%v)",
+				data, nFull, errFull, nSkip, errSkip)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package jsontext
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"math"
 	"strings"
@@ -301,6 +302,84 @@ func (o iotest) Read(p []byte) (int, error) {
 		p = p[:1]
 	}
 	return o.r.Read(p)
+}
+
+// countingReader tracks how many bytes have been handed out.
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+func TestTokenReaderDefiniteErrorSurfacesPromptly(t *testing.T) {
+	// A definite syntax violation near the start of a large stream must
+	// surface without buffering the rest of the input: only truncation-
+	// curable errors may trigger refills.
+	tail := strings.Repeat(`{"pad": "xxxxxxxxxxxxxxxx"}`+"\n", 1<<16) // ~1.7 MB
+	for _, in := range []string{
+		"tru" + tail,  // literal mismatch at the tail's '{'
+		"nulx" + tail, // literal mismatch inside the window
+		`"bad \x escape"` + tail,
+		"\"ctrl\x01char\"" + tail,
+		"1.x" + tail, // digits missing with a wrong byte present
+		"@" + tail,   // unexpected byte
+	} {
+		cr := &countingReader{r: strings.NewReader(in)}
+		tr := NewTokenReader(cr)
+		var err error
+		for err == nil {
+			var tok Token
+			tok, err = tr.ReadToken()
+			if err == nil && tok.Kind == TokEOF {
+				t.Fatalf("input %.20q unexpectedly lexed to EOF", in)
+			}
+		}
+		if cr.n > 2*tokenBufSize {
+			t.Errorf("input %.20q: error surfaced only after reading %d bytes (stream is %d)", in, cr.n, len(in))
+		}
+	}
+}
+
+// failingReader yields its payload, then a non-EOF error.
+type failingReader struct {
+	data []byte
+	err  error
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if len(f.data) == 0 {
+		return 0, f.err
+	}
+	n := copy(p, f.data)
+	f.data = f.data[n:]
+	return n, nil
+}
+
+func TestTokenReaderPropagatesIOError(t *testing.T) {
+	ioErr := errors.New("connection reset")
+	tr := NewTokenReader(&failingReader{data: []byte(`{"a": 1}  {"b":`), err: ioErr})
+	sawValues := 0
+	for {
+		tok, err := tr.ReadToken()
+		if err != nil {
+			if !errors.Is(err, ioErr) {
+				t.Fatalf("error = %v, want the reader's I/O error", err)
+			}
+			break
+		}
+		if tok.Kind == TokEOF {
+			t.Fatal("stream ended without surfacing the I/O error")
+		}
+		sawValues++
+	}
+	if sawValues < 4 { // {, "a", :, 1, } of the complete first document
+		t.Errorf("only %d tokens before the I/O error; complete data should lex first", sawValues)
+	}
 }
 
 func TestStreamingDecoderErrors(t *testing.T) {

@@ -1,6 +1,10 @@
 // Package jsontext implements JSON text processing from scratch: a
-// lexer, a recursive-descent parser producing jsonvalue.Value trees, a
-// serializer, and a streaming token decoder.
+// streaming token lexer (TokenReader), a recursive-descent parser
+// producing jsonvalue.Value trees, a serializer, and a streaming value
+// decoder. TokenReader is the single front end — Parse and Decoder are
+// thin wrappers that build values from its tokens, and the schema
+// inference in internal/infer consumes its tokens directly without ever
+// materialising a value tree.
 //
 // It is the "conventional parser" of the tutorial's §4.2 — the baseline
 // that Mison-style structural-index parsing (internal/mison) and
@@ -85,6 +89,11 @@ type Token struct {
 type SyntaxError struct {
 	Offset int
 	Msg    string
+	// truncated marks errors that more input could cure (a literal or
+	// string cut at the window edge). TokenReader refills and retries on
+	// these; definite errors surface immediately instead of buffering
+	// the rest of the stream.
+	truncated bool
 }
 
 func (e *SyntaxError) Error() string {
@@ -95,13 +104,28 @@ func errAt(off int, format string, args ...any) error {
 	return &SyntaxError{Offset: off, Msg: fmt.Sprintf(format, args...)}
 }
 
-// lexer scans a complete in-memory JSON text.
-type lexer struct {
-	data []byte
-	pos  int
+// errTruncAt is errAt for violations that are only violations because
+// the window ended: with more input the same bytes might lex cleanly.
+func errTruncAt(off int, format string, args ...any) error {
+	return &SyntaxError{Offset: off, Msg: fmt.Sprintf(format, args...), truncated: true}
 }
 
-func newLexer(data []byte) *lexer { return &lexer{data: data} }
+// errIsTruncation reports whether err might be cured by more input.
+func errIsTruncation(err error) bool {
+	se, ok := err.(*SyntaxError)
+	return ok && se.truncated
+}
+
+// lexer scans a window of in-memory JSON text. The optional intern map
+// caches decoded strings (field names repeat across millions of NDJSON
+// documents), and skipStr mode validates string literals without
+// materialising their contents — both serve the token-only inference
+// path, which never looks at string payloads except as record labels.
+type lexer struct {
+	data   []byte
+	pos    int
+	intern map[string]string
+}
 
 func (l *lexer) skipSpace() {
 	for l.pos < len(l.data) {
@@ -114,8 +138,10 @@ func (l *lexer) skipSpace() {
 	}
 }
 
-// next scans the next token.
-func (l *lexer) next() (Token, error) {
+// next scans the next token. With skipStr set, TokString tokens carry an
+// empty Str: the literal is validated (escapes, control characters,
+// termination) exactly as in decoding mode, but nothing is allocated.
+func (l *lexer) next(skipStr bool) (Token, error) {
 	l.skipSpace()
 	if l.pos >= len(l.data) {
 		return Token{Kind: TokEOF, Offset: l.pos}, nil
@@ -156,14 +182,14 @@ func (l *lexer) next() (Token, error) {
 		}
 		return Token{Kind: TokNull, Offset: start}, nil
 	case '"':
-		s, err := l.scanString()
+		s, err := l.scanString(skipStr)
 		if err != nil {
 			return Token{}, err
 		}
 		return Token{Kind: TokString, Str: s, Offset: start}, nil
 	default:
 		if c == '-' || (c >= '0' && c <= '9') {
-			f, raw, err := l.scanNumber()
+			f, raw, err := l.scanNumber(skipStr)
 			if err != nil {
 				return Token{}, err
 			}
@@ -174,15 +200,24 @@ func (l *lexer) next() (Token, error) {
 }
 
 func (l *lexer) literal(lit string) error {
-	if len(l.data)-l.pos < len(lit) || string(l.data[l.pos:l.pos+len(lit)]) != lit {
+	if avail := len(l.data) - l.pos; avail < len(lit) {
+		if string(l.data[l.pos:]) == lit[:avail] {
+			// A prefix cut at the window edge; more input decides.
+			return errTruncAt(l.pos, "invalid literal, want %q", lit)
+		}
+		return errAt(l.pos, "invalid literal, want %q", lit)
+	}
+	if string(l.data[l.pos:l.pos+len(lit)]) != lit {
 		return errAt(l.pos, "invalid literal, want %q", lit)
 	}
 	l.pos += len(lit)
 	return nil
 }
 
-// scanString decodes a JSON string starting at the opening quote.
-func (l *lexer) scanString() (string, error) {
+// scanString decodes (or, with skip set, merely validates) a JSON string
+// starting at the opening quote. Skip mode takes exactly the same
+// accept/reject decisions as decoding mode.
+func (l *lexer) scanString(skip bool) (string, error) {
 	start := l.pos
 	l.pos++ // opening quote
 	// Fast path: ASCII with no escapes and no control bytes. Non-ASCII
@@ -193,7 +228,10 @@ func (l *lexer) scanString() (string, error) {
 	for i < len(l.data) {
 		c := l.data[i]
 		if c == '"' {
-			s := string(l.data[l.pos:i])
+			var s string
+			if !skip {
+				s = l.internBytes(l.data[l.pos:i])
+			}
 			l.pos = i + 1
 			return s, nil
 		}
@@ -204,47 +242,66 @@ func (l *lexer) scanString() (string, error) {
 	}
 	// Slow path with escape decoding.
 	var buf []byte
-	buf = append(buf, l.data[l.pos:i]...)
+	if !skip {
+		buf = append(buf, l.data[l.pos:i]...)
+	}
 	l.pos = i
 	for l.pos < len(l.data) {
 		c := l.data[l.pos]
 		switch {
 		case c == '"':
 			l.pos++
+			if skip {
+				return "", nil
+			}
 			return string(buf), nil
 		case c < 0x20:
 			return "", errAt(l.pos, "unescaped control character 0x%02x in string", c)
 		case c == '\\':
 			l.pos++
 			if l.pos >= len(l.data) {
-				return "", errAt(l.pos, "unterminated escape")
+				return "", errTruncAt(l.pos, "unterminated escape")
 			}
 			esc := l.data[l.pos]
 			switch esc {
 			case '"', '\\', '/':
-				buf = append(buf, esc)
+				if !skip {
+					buf = append(buf, esc)
+				}
 				l.pos++
 			case 'b':
-				buf = append(buf, '\b')
+				if !skip {
+					buf = append(buf, '\b')
+				}
 				l.pos++
 			case 'f':
-				buf = append(buf, '\f')
+				if !skip {
+					buf = append(buf, '\f')
+				}
 				l.pos++
 			case 'n':
-				buf = append(buf, '\n')
+				if !skip {
+					buf = append(buf, '\n')
+				}
 				l.pos++
 			case 'r':
-				buf = append(buf, '\r')
+				if !skip {
+					buf = append(buf, '\r')
+				}
 				l.pos++
 			case 't':
-				buf = append(buf, '\t')
+				if !skip {
+					buf = append(buf, '\t')
+				}
 				l.pos++
 			case 'u':
 				r, err := l.scanUnicodeEscape()
 				if err != nil {
 					return "", err
 				}
-				buf = utf8.AppendRune(buf, r)
+				if !skip {
+					buf = utf8.AppendRune(buf, r)
+				}
 			default:
 				return "", errAt(l.pos, "invalid escape character %q", esc)
 			}
@@ -252,15 +309,32 @@ func (l *lexer) scanString() (string, error) {
 			// Copy one UTF-8 rune; invalid encoding is sanitised to
 			// U+FFFD so parsed strings are always valid UTF-8.
 			r, size := utf8.DecodeRune(l.data[l.pos:])
-			if r == utf8.RuneError && size == 1 {
-				buf = utf8.AppendRune(buf, utf8.RuneError)
-			} else {
-				buf = append(buf, l.data[l.pos:l.pos+size]...)
+			if !skip {
+				if r == utf8.RuneError && size == 1 {
+					buf = utf8.AppendRune(buf, utf8.RuneError)
+				} else {
+					buf = append(buf, l.data[l.pos:l.pos+size]...)
+				}
 			}
 			l.pos += size
 		}
 	}
-	return "", errAt(start, "unterminated string")
+	return "", errTruncAt(start, "unterminated string")
+}
+
+// internBytes converts b to a string through the intern cache when one
+// is installed. The map lookup with a converted key does not allocate,
+// so repeated field names cost zero allocations after the first.
+func (l *lexer) internBytes(b []byte) string {
+	if l.intern == nil {
+		return string(b)
+	}
+	if s, ok := l.intern[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	l.intern[s] = s
+	return s
 }
 
 // scanUnicodeEscape decodes \uXXXX (with surrogate-pair handling); the
@@ -292,7 +366,7 @@ func (l *lexer) scanUnicodeEscape() (rune, error) {
 
 func (l *lexer) hex4() (uint32, error) {
 	if l.pos+4 > len(l.data) {
-		return 0, errAt(l.pos, "truncated \\u escape")
+		return 0, errTruncAt(l.pos, "truncated \\u escape")
 	}
 	var v uint32
 	for i := 0; i < 4; i++ {
@@ -314,9 +388,15 @@ func (l *lexer) hex4() (uint32, error) {
 	return v, nil
 }
 
-// scanNumber validates and parses a JSON number literal.
-func (l *lexer) scanNumber() (float64, string, error) {
+// scanNumber validates and parses a JSON number literal. In skip mode
+// the literal spelling is not materialised (NumRaw is empty) and plain
+// integer literals are converted without strconv, so the token-only
+// inference path types numbers allocation-free; the numeric value — and
+// therefore the accept/reject decision, including float64 overflow — is
+// identical in both modes.
+func (l *lexer) scanNumber(skip bool) (float64, string, error) {
 	start := l.pos
+	simpleInt := true // no fraction, no exponent
 	if l.pos < len(l.data) && l.data[l.pos] == '-' {
 		l.pos++
 	}
@@ -329,13 +409,14 @@ func (l *lexer) scanNumber() (float64, string, error) {
 			l.pos++
 		}
 	default:
-		return 0, "", errAt(l.pos, "invalid number: missing integer part")
+		return 0, "", numErrAt(l, "invalid number: missing integer part")
 	}
 	// Fraction.
 	if l.pos < len(l.data) && l.data[l.pos] == '.' {
+		simpleInt = false
 		l.pos++
 		if l.pos >= len(l.data) || !isDigit(l.data[l.pos]) {
-			return 0, "", errAt(l.pos, "invalid number: missing fraction digits")
+			return 0, "", numErrAt(l, "invalid number: missing fraction digits")
 		}
 		for l.pos < len(l.data) && isDigit(l.data[l.pos]) {
 			l.pos++
@@ -343,18 +424,35 @@ func (l *lexer) scanNumber() (float64, string, error) {
 	}
 	// Exponent.
 	if l.pos < len(l.data) && (l.data[l.pos] == 'e' || l.data[l.pos] == 'E') {
+		simpleInt = false
 		l.pos++
 		if l.pos < len(l.data) && (l.data[l.pos] == '+' || l.data[l.pos] == '-') {
 			l.pos++
 		}
 		if l.pos >= len(l.data) || !isDigit(l.data[l.pos]) {
-			return 0, "", errAt(l.pos, "invalid number: missing exponent digits")
+			return 0, "", numErrAt(l, "invalid number: missing exponent digits")
 		}
 		for l.pos < len(l.data) && isDigit(l.data[l.pos]) {
 			l.pos++
 		}
 	}
-	raw := string(l.data[start:l.pos])
+	lit := l.data[start:l.pos]
+	if skip {
+		if f, ok := parsePlainInt(lit, simpleInt); ok {
+			return f, "", nil
+		}
+		// Rare shape (fraction, exponent, or a huge integer): pay the
+		// strconv conversion, still without retaining the spelling.
+		f, err := strconv.ParseFloat(string(lit), 64)
+		if err != nil {
+			if math.IsInf(f, 0) {
+				return 0, "", errAt(start, "number %q overflows float64", lit)
+			}
+			return 0, "", errAt(start, "invalid number %q", lit)
+		}
+		return f, "", nil
+	}
+	raw := string(lit)
 	f, err := strconv.ParseFloat(raw, 64)
 	if err != nil {
 		// Overflow is the only way a grammatical literal fails; clamp as
@@ -365,6 +463,39 @@ func (l *lexer) scanNumber() (float64, string, error) {
 		return 0, "", errAt(start, "invalid number %q", raw)
 	}
 	return f, raw, nil
+}
+
+// numErrAt flags a missing-digits error as a truncation when the window
+// ended where the digit should be — "12e" at the window edge may yet
+// become "12e5" — and as definite when a wrong byte is present.
+func numErrAt(l *lexer, msg string) error {
+	if l.pos >= len(l.data) {
+		return errTruncAt(l.pos, "%s", msg)
+	}
+	return errAt(l.pos, "%s", msg)
+}
+
+// parsePlainInt converts a fraction-free, exponent-free decimal literal
+// of at most 18 digits without allocating. float64 conversion of the
+// int64 rounds to nearest exactly as strconv.ParseFloat would.
+func parsePlainInt(lit []byte, simpleInt bool) (float64, bool) {
+	digits := lit
+	neg := false
+	if len(digits) > 0 && digits[0] == '-' {
+		neg = true
+		digits = digits[1:]
+	}
+	if !simpleInt || len(digits) > 18 {
+		return 0, false
+	}
+	var v int64
+	for _, c := range digits {
+		v = v*10 + int64(c-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return float64(v), true
 }
 
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }

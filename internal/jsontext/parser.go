@@ -10,18 +10,25 @@ import (
 const MaxDepth = 10000
 
 // Parse parses a complete JSON text into a Value. Trailing
-// non-whitespace input is an error.
+// non-whitespace input is an error. It is a thin wrapper over the token
+// layer: a byte-slice TokenReader feeds the same pull-style value
+// builder the streaming Decoder uses.
 func Parse(data []byte) (*jsonvalue.Value, error) {
-	p := &parser{lex: newLexer(data)}
-	if err := p.advance(); err != nil {
-		return nil, err
-	}
-	v, err := p.parseValue(0)
+	tr := NewTokenReaderBytes(data)
+	tok, err := tr.ReadToken()
 	if err != nil {
 		return nil, err
 	}
-	if p.tok.Kind != TokEOF {
-		return nil, errAt(p.tok.Offset, "trailing data after top-level value")
+	v, err := parseValueAt(tr, tok, 0)
+	if err != nil {
+		return nil, err
+	}
+	end, err := tr.ReadToken()
+	if err != nil {
+		return nil, err
+	}
+	if end.Kind != TokEOF {
+		return nil, errAt(end.Offset, "trailing data after top-level value")
 	}
 	return v, nil
 }
@@ -38,138 +45,114 @@ func MustParse(s string) *jsonvalue.Value {
 	return v
 }
 
-type parser struct {
-	lex *lexer
-	tok Token
-}
-
-func (p *parser) advance() error {
-	t, err := p.lex.next()
-	if err != nil {
-		return err
-	}
-	p.tok = t
-	return nil
-}
-
-func (p *parser) parseValue(depth int) (*jsonvalue.Value, error) {
+// parseValueAt builds the value beginning at tok, pulling the rest of
+// its tokens from tr. Scalars consume nothing further; containers
+// consume through their matching close delimiter. No lookahead is held
+// when it returns, which is what lets the streaming Decoder stop exactly
+// at a value boundary.
+func parseValueAt(tr *TokenReader, tok Token, depth int) (*jsonvalue.Value, error) {
 	if depth > MaxDepth {
-		return nil, errAt(p.tok.Offset, "nesting depth exceeds %d", MaxDepth)
+		return nil, errAt(tok.Offset, "nesting depth exceeds %d", MaxDepth)
 	}
-	switch p.tok.Kind {
+	switch tok.Kind {
 	case TokNull:
-		if err := p.advance(); err != nil {
-			return nil, err
-		}
 		return jsonvalue.NewNull(), nil
 	case TokTrue:
-		if err := p.advance(); err != nil {
-			return nil, err
-		}
 		return jsonvalue.NewBool(true), nil
 	case TokFalse:
-		if err := p.advance(); err != nil {
-			return nil, err
-		}
 		return jsonvalue.NewBool(false), nil
 	case TokNumber:
-		v := jsonvalue.NewNumberRaw(p.tok.Num, p.tok.NumRaw)
-		if err := p.advance(); err != nil {
-			return nil, err
-		}
-		return v, nil
+		return jsonvalue.NewNumberRaw(tok.Num, tok.NumRaw), nil
 	case TokString:
-		v := jsonvalue.NewString(p.tok.Str)
-		if err := p.advance(); err != nil {
-			return nil, err
-		}
-		return v, nil
+		return jsonvalue.NewString(tok.Str), nil
 	case TokBeginArray:
-		return p.parseArray(depth)
+		return parseArrayAt(tr, depth)
 	case TokBeginObject:
-		return p.parseObject(depth)
+		return parseObjectAt(tr, depth)
 	case TokEOF:
-		return nil, errAt(p.tok.Offset, "unexpected end of input, want value")
+		return nil, errAt(tok.Offset, "unexpected end of input, want value")
 	default:
-		return nil, errAt(p.tok.Offset, "unexpected %s, want value", p.tok.Kind)
+		return nil, errAt(tok.Offset, "unexpected %s, want value", tok.Kind)
 	}
 }
 
-func (p *parser) parseArray(depth int) (*jsonvalue.Value, error) {
-	if err := p.advance(); err != nil { // consume '['
+// parseArrayAt parses array elements after the consumed '['.
+func parseArrayAt(tr *TokenReader, depth int) (*jsonvalue.Value, error) {
+	tok, err := tr.ReadToken()
+	if err != nil {
 		return nil, err
 	}
-	if p.tok.Kind == TokEndArray {
-		if err := p.advance(); err != nil {
-			return nil, err
-		}
+	if tok.Kind == TokEndArray {
 		return jsonvalue.NewArray(), nil
 	}
 	var elems []*jsonvalue.Value
 	for {
-		e, err := p.parseValue(depth + 1)
+		e, err := parseValueAt(tr, tok, depth+1)
 		if err != nil {
 			return nil, err
 		}
 		elems = append(elems, e)
-		switch p.tok.Kind {
+		sep, err := tr.ReadToken()
+		if err != nil {
+			return nil, err
+		}
+		switch sep.Kind {
 		case TokComma:
-			if err := p.advance(); err != nil {
+			if tok, err = tr.ReadToken(); err != nil {
 				return nil, err
 			}
 		case TokEndArray:
-			if err := p.advance(); err != nil {
-				return nil, err
-			}
 			return jsonvalue.NewArray(elems...), nil
 		default:
-			return nil, errAt(p.tok.Offset, "unexpected %s in array, want ',' or ']'", p.tok.Kind)
+			return nil, errAt(sep.Offset, "unexpected %s in array, want ',' or ']'", sep.Kind)
 		}
 	}
 }
 
-func (p *parser) parseObject(depth int) (*jsonvalue.Value, error) {
-	if err := p.advance(); err != nil { // consume '{'
+// parseObjectAt parses object members after the consumed '{'.
+func parseObjectAt(tr *TokenReader, depth int) (*jsonvalue.Value, error) {
+	tok, err := tr.ReadToken()
+	if err != nil {
 		return nil, err
 	}
-	if p.tok.Kind == TokEndObject {
-		if err := p.advance(); err != nil {
-			return nil, err
-		}
+	if tok.Kind == TokEndObject {
 		return jsonvalue.NewObject(), nil
 	}
 	var fields []jsonvalue.Field
 	for {
-		if p.tok.Kind != TokString {
-			return nil, errAt(p.tok.Offset, "unexpected %s, want field name string", p.tok.Kind)
+		if tok.Kind != TokString {
+			return nil, errAt(tok.Offset, "unexpected %s, want field name string", tok.Kind)
 		}
-		name := p.tok.Str
-		if err := p.advance(); err != nil {
+		name := tok.Str
+		colon, err := tr.ReadToken()
+		if err != nil {
 			return nil, err
 		}
-		if p.tok.Kind != TokColon {
-			return nil, errAt(p.tok.Offset, "unexpected %s, want ':'", p.tok.Kind)
+		if colon.Kind != TokColon {
+			return nil, errAt(colon.Offset, "unexpected %s, want ':'", colon.Kind)
 		}
-		if err := p.advance(); err != nil {
+		valTok, err := tr.ReadToken()
+		if err != nil {
 			return nil, err
 		}
-		val, err := p.parseValue(depth + 1)
+		val, err := parseValueAt(tr, valTok, depth+1)
 		if err != nil {
 			return nil, err
 		}
 		fields = append(fields, jsonvalue.Field{Name: name, Value: val})
-		switch p.tok.Kind {
+		sep, err := tr.ReadToken()
+		if err != nil {
+			return nil, err
+		}
+		switch sep.Kind {
 		case TokComma:
-			if err := p.advance(); err != nil {
+			if tok, err = tr.ReadToken(); err != nil {
 				return nil, err
 			}
 		case TokEndObject:
-			if err := p.advance(); err != nil {
-				return nil, err
-			}
 			return jsonvalue.NewObject(fields...), nil
 		default:
-			return nil, errAt(p.tok.Offset, "unexpected %s in object, want ',' or '}'", p.tok.Kind)
+			return nil, errAt(sep.Offset, "unexpected %s in object, want ',' or '}'", sep.Kind)
 		}
 	}
 }

@@ -2,7 +2,6 @@ package jsontext
 
 import (
 	"errors"
-	"fmt"
 	"io"
 
 	"repro/internal/jsonvalue"
@@ -12,18 +11,19 @@ import (
 // of the streaming processing that mongodb-schema applies to collections
 // pulled from MongoDB (§4.1): values are consumed one at a time without
 // materialising the whole input.
+//
+// It is a thin wrapper over TokenReader: one token pull decides whether
+// a value starts, and the shared pull-style builder consumes exactly the
+// value's tokens — no lookahead is held across Decode calls, and a value
+// that used to be re-parsed from scratch on every buffer refill is now
+// lexed incrementally.
 type Decoder struct {
-	r      io.Reader
-	buf    []byte
-	start  int // unconsumed region is buf[start:end]
-	end    int
-	eof    bool
-	offset int // bytes consumed before buf[start]
+	tr *TokenReader
 }
 
 // NewDecoder returns a Decoder reading from r.
 func NewDecoder(r io.Reader) *Decoder {
-	return &Decoder{r: r, buf: make([]byte, 0, 64<<10)}
+	return &Decoder{tr: NewTokenReader(r)}
 }
 
 // Decode parses and returns the next JSON value in the stream. Values
@@ -31,125 +31,19 @@ func NewDecoder(r io.Reader) *Decoder {
 // concatenated-JSON layouts). It returns io.EOF when the stream is
 // exhausted.
 func (d *Decoder) Decode() (*jsonvalue.Value, error) {
-	if err := d.skipSpace(); err != nil {
+	tok, err := d.tr.ReadToken()
+	if err != nil {
 		return nil, err
 	}
-	// Grow the window until a complete value parses or input ends.
-	for {
-		v, consumed, err := d.tryParsePrefix()
-		if err == nil {
-			d.start += consumed
-			return v, nil
-		}
-		if !d.eof {
-			if ferr := d.fill(); ferr != nil && !errors.Is(ferr, io.EOF) {
-				return nil, ferr
-			}
-			continue
-		}
-		return nil, fmt.Errorf("decode value at offset %d: %w", d.offset+d.start, err)
+	if tok.Kind == TokEOF {
+		return nil, io.EOF
 	}
+	return parseValueAt(d.tr, tok, 0)
 }
 
-// tryParsePrefix attempts to parse one complete value from the start of
-// the window. The returned count covers the value and any whitespace up
-// to the parser's lookahead token, which stays in the buffer.
-func (d *Decoder) tryParsePrefix() (*jsonvalue.Value, int, error) {
-	window := d.buf[d.start:d.end]
-	p := &parser{lex: newLexer(window)}
-	if err := p.advance(); err != nil {
-		return nil, 0, err
-	}
-	if p.tok.Kind == TokEOF {
-		return nil, 0, io.ErrUnexpectedEOF
-	}
-	v, err := p.parseValue(0)
-	if err != nil {
-		return nil, 0, err
-	}
-	// A value that ends exactly at the window edge may be a truncated
-	// prefix of a longer token (e.g. number "12" of "123"); require more
-	// input unless the reader hit EOF or a delimiter already ended it.
-	if p.tok.Kind == TokEOF && !d.eof && isOpenEnded(v) && endsInNumberByte(window) {
-		return nil, 0, io.ErrUnexpectedEOF
-	}
-	// p.tok is unconsumed lookahead; everything before it is done.
-	return v, p.tok.Offset, nil
-}
-
-// endsInNumberByte reports whether the window's final byte could be the
-// interior of a number literal.
-func endsInNumberByte(window []byte) bool {
-	if len(window) == 0 {
-		return false
-	}
-	switch c := window[len(window)-1]; {
-	case c >= '0' && c <= '9':
-		return true
-	case c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-':
-		return true
-	default:
-		return false
-	}
-}
-
-// isOpenEnded reports whether the serialised form of v could extend if
-// more bytes arrived (numbers and bare literals can; strings, arrays
-// and objects self-terminate).
-func isOpenEnded(v *jsonvalue.Value) bool {
-	switch v.Kind() {
-	case jsonvalue.Number:
-		return true
-	default:
-		return false
-	}
-}
-
-func (d *Decoder) skipSpace() error {
-	for {
-		for d.start < d.end {
-			switch d.buf[d.start] {
-			case ' ', '\t', '\n', '\r':
-				d.start++
-			default:
-				return nil
-			}
-		}
-		if d.eof {
-			return io.EOF
-		}
-		if err := d.fill(); err != nil && !errors.Is(err, io.EOF) {
-			return err
-		}
-		if d.start == d.end && d.eof {
-			return io.EOF
-		}
-	}
-}
-
-// fill reads more input, compacting or growing the buffer as needed.
-func (d *Decoder) fill() error {
-	if d.start > 0 {
-		// Compact consumed bytes away.
-		n := copy(d.buf[0:cap(d.buf)], d.buf[d.start:d.end])
-		d.offset += d.start
-		d.start, d.end = 0, n
-		d.buf = d.buf[:n]
-	}
-	if d.end == cap(d.buf) {
-		grown := make([]byte, d.end, 2*cap(d.buf)+1024)
-		copy(grown, d.buf[:d.end])
-		d.buf = grown
-	}
-	n, err := d.r.Read(d.buf[d.end:cap(d.buf)])
-	d.buf = d.buf[:d.end+n]
-	d.end += n
-	if errors.Is(err, io.EOF) {
-		d.eof = true
-		return io.EOF
-	}
-	return err
-}
+// InputOffset returns the absolute byte offset of the next unconsumed
+// byte of the stream.
+func (d *Decoder) InputOffset() int { return d.tr.InputOffset() }
 
 // DecodeAll drains the stream, returning every value.
 func (d *Decoder) DecodeAll() ([]*jsonvalue.Value, error) {

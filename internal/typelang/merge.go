@@ -1,6 +1,7 @@
 package typelang
 
 import (
+	"slices"
 	"sort"
 	"strings"
 )
@@ -133,7 +134,7 @@ func canonical(alts []*Type, e Equiv) *Type {
 	if len(out) == 1 {
 		return out[0]
 	}
-	sort.SliceStable(out, func(i, j int) bool { return altKey(out[i]) < altKey(out[j]) })
+	slices.SortStableFunc(out, func(a, b *Type) int { return strings.Compare(altKey(a), altKey(b)) })
 	var total int64
 	for _, t := range out {
 		total += totalCount(t)

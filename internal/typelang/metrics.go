@@ -22,18 +22,42 @@ import (
 // Unions grade a leaf by the best-scoring alternative. The result is
 // total score over total leaves across all documents.
 func Precision(t *Type, docs []*jsonvalue.Value) float64 {
-	var score float64
-	var leaves int
+	var acc PrecisionAcc
 	for _, d := range docs {
-		s, n := precisionWalk(t, d)
-		score += s
-		leaves += n
+		acc.Add(t, d)
 	}
-	if leaves == 0 {
+	return acc.Value()
+}
+
+// PrecisionAcc accumulates the Precision metric one document at a time,
+// so streamed pipelines can grade a schema in a bounded-memory second
+// pass instead of materialising the collection. The zero value is ready
+// to use; Precision is Add over a slice followed by Value.
+type PrecisionAcc struct {
+	score  float64
+	leaves int
+	docs   int
+}
+
+// Add grades one document against t.
+func (a *PrecisionAcc) Add(t *Type, doc *jsonvalue.Value) {
+	s, n := precisionWalk(t, doc)
+	a.score += s
+	a.leaves += n
+	a.docs++
+}
+
+// Value returns the precision over everything added so far (1 when no
+// leaves were graded, matching Precision on an empty collection).
+func (a *PrecisionAcc) Value() float64 {
+	if a.leaves == 0 {
 		return 1
 	}
-	return score / float64(leaves)
+	return a.score / float64(a.leaves)
 }
+
+// Docs returns how many documents have been added.
+func (a *PrecisionAcc) Docs() int { return a.docs }
 
 func precisionWalk(t *Type, v *jsonvalue.Value) (float64, int) {
 	switch v.Kind() {
