@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fixtures ci
+# The packages with first-class doc.go documentation; `make docs`
+# smoke-tests that each still renders.
+DOC_PKGS = repro/internal/jsontext repro/internal/infer \
+           repro/internal/typelang repro/internal/mison repro/internal/core
+
+.PHONY: all build vet test race bench bench-stream docs fixtures ci
 
 all: build
 
@@ -15,16 +20,28 @@ test:
 
 # Concurrency-sensitive packages under the race detector.
 race:
-	$(GO) test -race ./internal/infer/ ./internal/typelang/ ./internal/jsontext/
+	$(GO) test -race ./internal/infer/ ./internal/typelang/ ./internal/jsontext/ ./internal/mison/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
-# Short DOM-vs-token streaming benchmark (allocs/op is the headline
+# Short streaming benchmark — the dom/scan/mison triplets plus the
+# mison-vs-lexer token-throughput pair (allocs/op is the headline
 # metric); CI runs this as a non-blocking step so the numbers land in
 # every build log without gating merges on a noisy runner.
 bench-stream:
 	$(GO) test -run '^$$' -bench 'BenchmarkE3StreamingInference' -benchtime 200ms -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkTokenSourceVsLexer' -benchtime 200ms -benchmem ./internal/mison/
+
+# Documentation smoke: formatting is clean, vet is clean, and every
+# documented package still renders a doc page.
+docs:
+	@fmt_out="$$(gofmt -l .)"; if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	$(GO) vet ./...
+	@for pkg in $(DOC_PKGS); do \
+		$(GO) doc $$pkg >/dev/null || exit 1; done
+	@echo "docs ok"
 
 # Regenerate the checked-in NDJSON fixtures (deterministic seeds).
 fixtures:

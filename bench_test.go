@@ -84,11 +84,13 @@ func BenchmarkE3ParallelInference(b *testing.B) {
 }
 
 // E3 (streaming): the DOM pipeline (decode to value trees, type the
-// trees) versus the token pipeline (type straight from lexer tokens) —
-// the paired baseline/optimised engines of the streamed entry point.
-// allocs/op is the headline metric: the token path builds no value
-// trees, and its parallel variant lexes on the workers instead of the
-// feeding goroutine.
+// trees) versus the token pipelines (type straight from tokens) — the
+// dom/scan/mison triplets of the streamed entry point. allocs/op is
+// the headline metric: the token paths build no value trees, their
+// parallel variants lex on the workers instead of the feeding
+// goroutine, and the mison rows lex through the structural index
+// (bitmap chunking, positional string skipping) instead of the
+// byte-at-a-time scan.
 func BenchmarkE3StreamingInference(b *testing.B) {
 	docs := genjson.Collection(genjson.Twitter{Seed: 13}, 5000)
 	raw := jsontext.MarshalLines(docs)
@@ -102,12 +104,24 @@ func BenchmarkE3StreamingInference(b *testing.B) {
 			}
 		}
 	})
-	b.Run("token-sequential", func(b *testing.B) {
+	b.Run("scan-sequential", func(b *testing.B) {
 		b.SetBytes(int64(len(raw)))
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := infer.InferStream(bytes.NewReader(raw),
 				infer.Options{Equiv: typelang.EquivLabel}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mison-sequential", func(b *testing.B) {
+		// One worker, so the row isolates the tokenizer change from
+		// parallel speedup (the chunk pipeline itself stays on).
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := infer.InferStreamParallel(bytes.NewReader(raw),
+				infer.Options{Equiv: typelang.EquivLabel, Workers: 1, Tokenizer: infer.TokenizerMison}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -124,16 +138,19 @@ func BenchmarkE3StreamingInference(b *testing.B) {
 				}
 			}
 		})
-		b.Run(fmt.Sprintf("token-parallel-%d", workers), func(b *testing.B) {
-			b.SetBytes(int64(len(raw)))
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, _, err := infer.InferStreamParallel(bytes.NewReader(raw),
-					infer.Options{Equiv: typelang.EquivLabel, Workers: workers}); err != nil {
-					b.Fatal(err)
+		for _, tz := range []infer.Tokenizer{infer.TokenizerScan, infer.TokenizerMison} {
+			tz := tz
+			b.Run(fmt.Sprintf("%s-parallel-%d", tz, workers), func(b *testing.B) {
+				b.SetBytes(int64(len(raw)))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := infer.InferStreamParallel(bytes.NewReader(raw),
+						infer.Options{Equiv: typelang.EquivLabel, Workers: workers, Tokenizer: tz}); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -7,15 +7,19 @@
 //
 //	jsinfer [-engine parametric-L|parametric-K|spark|skinfer]
 //	        [-output type|jsonschema|typescript|swift|report]
-//	        [-workers N] [-stream] [-precision] [-counted] [file.ndjson ...]
+//	        [-workers N] [-stream] [-tokenizer scan|mison]
+//	        [-precision] [-counted] [file.ndjson ...]
 //
 // The parametric engines run their map/reduce over N workers
 // (-workers, default GOMAXPROCS). With -stream the input is never
 // materialised: documents are typed straight from lexer tokens (no
 // value trees), and the workers lex and type document-aligned byte
 // chunks in parallel, so collections far larger than memory infer at
-// multi-worker speed. Streaming is parametric-only. A streamed report
-// has no precision column in its single pass; -precision fills it by
+// multi-worker speed. -tokenizer picks the streamed lexing machinery:
+// "scan" (default) is the byte-at-a-time reference lexer, "mison" the
+// structural-index fast path (bitmap chunking and lexing, identical
+// results). Streaming is parametric-only. A streamed report has no
+// precision column in its single pass; -precision fills it by
 // re-reading the input in a bounded-memory second pass, which requires
 // file arguments (stdin cannot be re-read).
 //
@@ -43,6 +47,7 @@ func main() {
 	simplify := flag.Bool("simplify", false, "drop union alternatives subsumed by others")
 	workers := flag.Int("workers", 0, "parallel inference workers (parametric engines; 0 = GOMAXPROCS)")
 	stream := flag.Bool("stream", false, "stream the input instead of materialising it (parametric engines only)")
+	tokenizer := flag.String("tokenizer", "scan", "with -stream: lexing machinery, scan or mison")
 	precision := flag.Bool("precision", false, "with -stream: compute precision in a second pass over the input files")
 	flag.Parse()
 
@@ -65,6 +70,18 @@ func main() {
 		ndocs  int
 		docs   []*jsonvalue.Value
 	)
+	var tz core.Tokenizer
+	switch *tokenizer {
+	case "scan":
+		tz = core.TokenizerScan
+	case "mison":
+		tz = core.TokenizerMison
+	default:
+		fatal(fmt.Errorf("unknown tokenizer %q", *tokenizer))
+	}
+	if tz != core.TokenizerScan && !*stream {
+		fatal(fmt.Errorf("-tokenizer selects the streamed lexer; add -stream"))
+	}
 	if *stream {
 		// Flag-only validation happens before the (potentially huge)
 		// inference pass: -precision re-reads the input for the report's
@@ -78,7 +95,7 @@ func main() {
 			fatal(fmt.Errorf("-precision with -stream needs file arguments: stdin cannot be re-read"))
 		}
 		var err error
-		result, ndocs, err = streamInput(flag.Args(), eng, *workers)
+		result, ndocs, err = streamInput(flag.Args(), eng, core.StreamOptions{Workers: *workers, Tokenizer: tz})
 		if err != nil {
 			fatal(err)
 		}
@@ -174,11 +191,11 @@ func readInput(files []string) ([]*jsonvalue.Value, error) {
 
 // streamInput runs streaming-parallel inference over stdin or the
 // named files (one decoder per file, so errors name the file).
-func streamInput(files []string, eng core.Engine, workers int) (*core.Inference, int, error) {
+func streamInput(files []string, eng core.Engine, opts core.StreamOptions) (*core.Inference, int, error) {
 	if len(files) == 0 {
-		return core.InferSchemaStream(os.Stdin, eng, workers)
+		return core.InferSchemaStreamWith(os.Stdin, eng, opts)
 	}
-	return core.InferSchemaStreamFiles(files, eng, workers)
+	return core.InferSchemaStreamFilesWith(files, eng, opts)
 }
 
 func fatal(err error) {

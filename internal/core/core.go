@@ -1,9 +1,5 @@
-// Package core is the public facade of the library: one coherent API
-// over everything the tutorial surveys — parsing (§1), the three schema
-// languages (§2), programming-language type mapping (§3), the schema
-// tools (§4), and schema-driven translation (§5). Downstream users
-// program against this package; the internal/* packages behind it stay
-// independently usable.
+// core.go holds the whole facade; see doc.go for the package story.
+
 package core
 
 import (
@@ -233,14 +229,44 @@ func InferSchemaWorkers(docs []*Value, engine Engine, workers int) (*Inference, 
 	return out, nil
 }
 
+// Tokenizer selects the lexing machinery of the streamed engines:
+// TokenizerScan is the reference byte-at-a-time lexer, TokenizerMison
+// the structural-index fast path (identical results, bitmap-driven
+// chunking and lexing).
+type Tokenizer = infer.Tokenizer
+
+// The tokenizers of the streamed engines.
+const (
+	TokenizerScan  = infer.TokenizerScan
+	TokenizerMison = infer.TokenizerMison
+)
+
+// StreamOptions tune the streamed inference engines.
+type StreamOptions struct {
+	// Workers bounds the parallel chunk workers; 0 means GOMAXPROCS.
+	Workers int
+	// Tokenizer picks the lexing machinery; the zero value is
+	// TokenizerScan.
+	Tokenizer Tokenizer
+}
+
 // InferSchemaStream infers a parametric schema from a stream of JSON
 // documents (NDJSON or concatenated JSON) on r without materialising
-// the collection. Documents are typed straight from lexer tokens — no
-// value tree is ever built — and the worker pool (0 means GOMAXPROCS)
-// lexes and types document-aligned byte chunks in parallel, so the
-// input may be far larger than memory and decode throughput scales
-// with workers. It returns the inference and the number of documents
-// consumed.
+// the collection, with the default tokenizer. It is
+// InferSchemaStreamWith with only the worker count set.
+func InferSchemaStream(r io.Reader, engine Engine, workers int) (*Inference, int, error) {
+	return InferSchemaStreamWith(r, engine, StreamOptions{Workers: workers})
+}
+
+// InferSchemaStreamWith infers a parametric schema from a stream of
+// JSON documents (NDJSON or concatenated JSON) on r without
+// materialising the collection. Documents are typed straight from
+// tokens — no value tree is ever built — and the worker pool lexes and
+// types document-aligned byte chunks in parallel, so the input may be
+// far larger than memory and decode throughput scales with workers.
+// opts.Tokenizer selects the chunking and lexing machinery (the scan
+// reference path or the Mison structural index — identical results).
+// It returns the inference and the number of documents consumed.
 //
 // Only the parametric engines support streaming — Spark and Skinfer
 // inference need the whole collection in memory. The returned
@@ -250,12 +276,16 @@ func InferSchemaWorkers(docs []*Value, engine Engine, workers int) (*Inference, 
 // decode error the Inference is still returned alongside the error
 // (whose syntax offsets are absolute stream offsets) and covers every
 // document decoded before it, mirroring infer.InferStreamParallel.
-func InferSchemaStream(r io.Reader, engine Engine, workers int) (*Inference, int, error) {
+func InferSchemaStreamWith(r io.Reader, engine Engine, opts StreamOptions) (*Inference, int, error) {
 	eq, ok := equivFor(engine)
 	if !ok {
 		return nil, 0, fmt.Errorf("core: engine %s cannot infer from a stream", engine)
 	}
-	t, n, err := infer.InferStreamParallel(r, infer.Options{Equiv: eq, Workers: workers})
+	t, n, err := infer.InferStreamParallel(r, infer.Options{
+		Equiv:     eq,
+		Workers:   opts.Workers,
+		Tokenizer: opts.Tokenizer,
+	})
 	return &Inference{
 		Engine:     engine,
 		Type:       t,
@@ -313,12 +343,19 @@ func StreamPrecisionFiles(files []string, t *Type) (float64, int, error) {
 	return acc.Value(), acc.Docs(), nil
 }
 
-// InferSchemaStreamFiles streams each named file in turn and merges
+// InferSchemaStreamFiles streams each named file in turn with the
+// default tokenizer; it is InferSchemaStreamFilesWith with only the
+// worker count set.
+func InferSchemaStreamFiles(files []string, engine Engine, workers int) (*Inference, int, error) {
+	return InferSchemaStreamFilesWith(files, engine, StreamOptions{Workers: workers})
+}
+
+// InferSchemaStreamFilesWith streams each named file in turn and merges
 // the per-file schemas into one inference — exact by associativity of
 // the merge. Each file gets its own decoder, so a decode error names
 // the offending file; inference stops there and the error reports how
 // many documents were typed before it.
-func InferSchemaStreamFiles(files []string, engine Engine, workers int) (*Inference, int, error) {
+func InferSchemaStreamFilesWith(files []string, engine Engine, opts StreamOptions) (*Inference, int, error) {
 	eq, ok := equivFor(engine)
 	if !ok {
 		return nil, 0, fmt.Errorf("core: engine %s cannot infer from a stream", engine)
@@ -330,7 +367,7 @@ func InferSchemaStreamFiles(files []string, engine Engine, workers int) (*Infere
 		if err != nil {
 			return nil, total, err
 		}
-		part, n, err := InferSchemaStream(f, engine, workers)
+		part, n, err := InferSchemaStreamWith(f, engine, opts)
 		f.Close()
 		total += n
 		if err != nil {

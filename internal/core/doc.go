@@ -1,0 +1,24 @@
+// Package core is the public facade of the library: one coherent API
+// over everything the tutorial surveys — parsing (§1), the three schema
+// languages (§2), programming-language type mapping (§3), the schema
+// tools (§4), and schema-driven translation (§5). Downstream users
+// program against this package; the internal/* packages behind it stay
+// independently usable.
+//
+// For schema inference the facade offers three shapes:
+//
+//   - InferSchema / InferSchemaWorkers run any engine (parametric K/L,
+//     Spark, Skinfer) over a materialised collection and grade the
+//     result (precision, size);
+//   - InferSchemaStream / InferSchemaStreamWith and their *Files
+//     variants run the parametric engines over streams of any size in
+//     bounded memory, typing documents straight from tokens;
+//     StreamOptions selects the worker count and the tokenizer
+//     (TokenizerScan for the reference lexer, TokenizerMison for the
+//     structural-index fast path — identical results);
+//   - StreamPrecision / StreamPrecisionFiles grade a schema against
+//     re-readable input in a bounded-memory second pass, filling the
+//     precision column a single streamed pass cannot compute.
+//
+// The cmd/jsinfer command is a thin CLI over exactly this surface.
+package core

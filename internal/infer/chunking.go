@@ -1,0 +1,151 @@
+package infer
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/mison"
+)
+
+// This file is the chunking stage of InferStreamParallel: the reader
+// goroutine splits the stream into runs of whole top-level documents so
+// the workers can lex and type raw bytes in parallel. A chunk boundary
+// is a newline at container depth zero outside any string, so NDJSON
+// splits per line while pretty-printed or concatenated layouts are
+// never cut inside a document; input with no top-level newline at all
+// degrades to a single chunk.
+//
+// Boundary finding is pluggable (Options.Tokenizer): the scanning
+// splitter walks every byte through a string/escape/depth state
+// machine, and mison.Chunker reaches the same boundaries through the
+// structural bitmaps, touching only structural characters after a
+// branch-free word-at-a-time classification pass.
+
+// docSplitter finds document-aligned split candidates incrementally:
+// Splits appends the exclusive end offset of every top-level newline in
+// block to dst, carrying string/escape/depth state to the next call.
+type docSplitter interface {
+	Splits(block []byte, dst []int) []int
+}
+
+// scanSplitter is the byte-at-a-time reference splitter.
+type scanSplitter struct {
+	inStr, esc bool
+	depth      int
+}
+
+func (s *scanSplitter) Splits(block []byte, dst []int) []int {
+	for i, c := range block {
+		if s.inStr {
+			switch {
+			case s.esc:
+				s.esc = false
+			case c == '\\':
+				s.esc = true
+			case c == '"':
+				s.inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			s.inStr = true
+		case '{', '[':
+			s.depth++
+		case '}', ']':
+			if s.depth > 0 {
+				// Underflow only happens on malformed input; clamping
+				// keeps later split points valid so the error stays
+				// confined to its own chunk.
+				s.depth--
+			}
+		case '\n':
+			if s.depth == 0 {
+				dst = append(dst, i+1)
+			}
+		}
+	}
+	return dst
+}
+
+// newSplitter picks the splitter for the configured tokenizer.
+func newSplitter(tz Tokenizer) docSplitter {
+	if tz == TokenizerMison {
+		return mison.NewChunker()
+	}
+	return &scanSplitter{}
+}
+
+// chunkReadSize is the read-block size of the chunk splitter.
+const chunkReadSize = 256 << 10
+
+// readChunks splits the stream into document-aligned byte chunks of
+// roughly docsPerChunk top-level documents each and hands them to emit
+// (which reports false to stop early). Split candidates come from sp;
+// this loop only batches them into chunks and manages the buffer.
+func readChunks(r io.Reader, docsPerChunk int, sp docSplitter, emit func(byteChunk) bool) error {
+	var (
+		pending   []byte
+		scanned   int // pending[:scanned] has been handed to the splitter
+		base      int // absolute offset of pending[0]
+		index     int
+		docs      int // top-level newlines seen since the last split
+		lastSplit int // end of the last split point within pending
+		splitBuf  []int
+		readErr   error
+		sawEOF    bool
+	)
+	emitUpTo := func(end int) bool {
+		if end <= lastSplit {
+			return true
+		}
+		ch := byteChunk{index: index, base: base + lastSplit, data: pending[lastSplit:end]}
+		index++
+		docs = 0
+		lastSplit = end
+		return emit(ch)
+	}
+	for {
+		// Refill, doubling so an unsplittable run grows in O(n) total
+		// copying.
+		if len(pending)+chunkReadSize > cap(pending) {
+			grown := make([]byte, len(pending), max(2*cap(pending), len(pending)+chunkReadSize))
+			copy(grown, pending)
+			pending = grown
+		}
+		n, err := r.Read(pending[len(pending) : len(pending)+chunkReadSize])
+		pending = pending[:len(pending)+n]
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				readErr = err
+			}
+			sawEOF = true
+		}
+		// Find boundaries in the new bytes, emitting at every ripe split
+		// point.
+		splitBuf = sp.Splits(pending[scanned:], splitBuf[:0])
+		for _, rel := range splitBuf {
+			docs++
+			if docs >= docsPerChunk {
+				if !emitUpTo(scanned + rel) {
+					return readErr
+				}
+			}
+		}
+		scanned = len(pending)
+		if sawEOF {
+			emitUpTo(len(pending))
+			return readErr
+		}
+		// Drop emitted bytes; chunks alias the old array, which is
+		// treated as immutable from here on.
+		if lastSplit > 0 {
+			rest := make([]byte, len(pending)-lastSplit, max(chunkReadSize, 2*(len(pending)-lastSplit)))
+			copy(rest, pending[lastSplit:])
+			base += lastSplit
+			pending = rest
+			scanned = len(pending)
+			lastSplit = 0
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package infer
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/genjson"
+	"repro/internal/jsontext"
+	"repro/internal/mison"
+)
+
+// collectSplits feeds data to sp in blocks of at most blockSize bytes
+// and returns the absolute split offsets.
+func collectSplits(t *testing.T, sp docSplitter, data []byte, blockSize int) []int {
+	t.Helper()
+	var out []int
+	var buf []int
+	for lo := 0; lo < len(data); lo += blockSize {
+		hi := min(lo+blockSize, len(data))
+		buf = sp.Splits(data[lo:hi], buf[:0])
+		for _, rel := range buf {
+			out = append(out, lo+rel)
+		}
+	}
+	return out
+}
+
+// assertSameSplits drives both splitters over data at several block
+// sizes — exercising the mison chunker's cross-block string, escape and
+// depth carries — and demands byte-identical split candidates.
+func assertSameSplits(t *testing.T, label string, data []byte) {
+	t.Helper()
+	for _, blockSize := range []int{1, 3, 7, 63, 64, 65, 256, 1 << 20} {
+		want := collectSplits(t, &scanSplitter{}, data, blockSize)
+		got := collectSplits(t, mison.NewChunker(), data, blockSize)
+		if len(want) != len(got) {
+			t.Fatalf("%s/block=%d: %d mison splits, want %d", label, blockSize, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s/block=%d: split %d at %d, want %d", label, blockSize, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMisonChunkerMatchesScanChunkerFixtures pins the tentpole's
+// boundary equivalence on every checked-in NDJSON fixture.
+func TestMisonChunkerMatchesScanChunkerFixtures(t *testing.T) {
+	fixtures, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) == 0 {
+		t.Fatal("no testdata fixtures found")
+	}
+	for _, name := range fixtures {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameSplits(t, filepath.Base(name), data)
+	}
+}
+
+// TestMisonChunkerMatchesScanChunkerGenerated sweeps every generator
+// family, in both NDJSON and indented multi-line layouts.
+func TestMisonChunkerMatchesScanChunkerGenerated(t *testing.T) {
+	gens := []genjson.Generator{
+		genjson.Twitter{Seed: 81},
+		genjson.GitHub{Seed: 82},
+		genjson.TypeDrift{Seed: 83},
+		genjson.SkewedOptional{Seed: 84},
+		genjson.NestedArrays{Seed: 85},
+		genjson.Orders{Seed: 86},
+		genjson.OpenData{Seed: 87},
+	}
+	for _, g := range gens {
+		docs := genjson.Collection(g, 150)
+		assertSameSplits(t, g.Name(), jsontext.MarshalLines(docs))
+		var pretty bytes.Buffer
+		for _, d := range docs {
+			pretty.Write(jsontext.MarshalIndent(d, "  "))
+			pretty.WriteByte('\n')
+		}
+		assertSameSplits(t, g.Name()+"-pretty", pretty.Bytes())
+	}
+}
+
+// TestMisonChunkerMatchesScanChunkerEdgeCases covers the layouts and
+// byte patterns the state carries exist for: escapes stacked against
+// block and word boundaries, strings holding structural characters and
+// newlines, deep nesting, and blank regions.
+func TestMisonChunkerMatchesScanChunkerEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"blank-lines", "\n\n\n"},
+		{"ndjson", "{\"a\": 1}\n{\"a\": 2}\n"},
+		{"no-trailing-newline", "{\"a\": 1}\n{\"a\": 2}"},
+		{"pretty", "{\n  \"a\": [1,\n 2]\n}\n{\n  \"a\": []\n}\n"},
+		{"string-with-newline", "{\"s\": \"line1\\nline2\"}\n"},
+		{"string-with-braces", "{\"s\": \"}{][\"}\n{\"t\": \",:\"}\n"},
+		{"escaped-quote", "{\"s\": \"a\\\"b\"}\n{\"t\": 1}\n"},
+		{"escaped-backslash-then-quote", "{\"s\": \"a\\\\\"}\n{\"t\": 1}\n"},
+		{"backslash-run", "{\"s\": \"" + strings.Repeat("\\\\", 70) + "\"}\n{\"t\": 2}\n"},
+		{"odd-backslash-run-64-boundary", "{\"pad\": \"" + strings.Repeat("x", 50) + "\", \"s\": \"" + strings.Repeat("\\\\", 9) + "\\\"\"}\n"},
+		{"deep-nesting", strings.Repeat("[", 100) + strings.Repeat("]", 100) + "\n{\"a\": 1}\n"},
+		{"unbalanced-close", "}]\n{\"a\": 1}\n"},
+		{"many-docs-one-line", "1 2 3 \"x\" null\ntrue\n"},
+		{"word-aligned-newlines", strings.Repeat(strings.Repeat("x", 63)+"\n", 5)},
+	}
+	for _, c := range cases {
+		assertSameSplits(t, c.name, []byte(c.input))
+	}
+}
+
+// TestReadChunksEquivalence drives the full chunking stage with both
+// splitters at several chunk targets and demands identical chunk
+// streams: same data, same absolute bases, same indexes.
+func TestReadChunksEquivalence(t *testing.T) {
+	docs := genjson.Collection(genjson.Twitter{Seed: 88}, 400)
+	data := jsontext.MarshalLines(docs)
+	for _, docsPerChunk := range []int{1, 3, 100} {
+		type chunk struct {
+			index, base int
+			data        string
+		}
+		collect := func(sp docSplitter) []chunk {
+			var out []chunk
+			err := readChunks(bytes.NewReader(data), docsPerChunk, sp, func(ch byteChunk) bool {
+				out = append(out, chunk{ch.index, ch.base, string(ch.data)})
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		want := collect(&scanSplitter{})
+		got := collect(mison.NewChunker())
+		if len(want) != len(got) {
+			t.Fatalf("docsPerChunk=%d: %d mison chunks, want %d", docsPerChunk, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("docsPerChunk=%d: chunk %d = {%d %d %q}, want {%d %d %q}",
+					docsPerChunk, i, got[i].index, got[i].base, got[i].data,
+					want[i].index, want[i].base, want[i].data)
+			}
+		}
+		// Chunks must cover the stream exactly, in order.
+		off := 0
+		for _, ch := range got {
+			if ch.base != off {
+				t.Fatalf("docsPerChunk=%d: chunk base %d, want %d", docsPerChunk, ch.base, off)
+			}
+			off += len(ch.data)
+		}
+		if off != len(data) {
+			t.Fatalf("docsPerChunk=%d: chunks cover %d bytes, want %d", docsPerChunk, off, len(data))
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Package infer implements the parametric schema inference of Baazizi,
+// Ben Lahmar, Colazzo, Ghelli and Sartiani ("Schema Inference for
+// Massive JSON Datasets", EDBT 2017; "Counting types for massive JSON
+// datasets", DBPL 2017; "Parametric schema inference for massive JSON
+// datasets", VLDB Journal 2019) — the inference approach the tutorial
+// presents in §4.1 as precise and concise at tunable abstraction levels.
+//
+// The algorithm is a map/reduce:
+//
+//   - the map phase types each value exactly (TypeOf), producing a type
+//     with counting annotations (every node counts the values it
+//     summarises, every record field counts its occurrences);
+//   - the reduce phase merges types pairwise with the least upper bound
+//     of internal/typelang, parameterised by an equivalence relation: K
+//     (kind equivalence, records always fuse) or L (label equivalence,
+//     records fuse only when they have the same field names).
+//
+// Because the merge is associative and commutative, the reduce can be
+// parallelised and distributed arbitrarily. The execution layer here
+// exploits that three ways:
+//
+//   - documents are typed and reduced in batches (one MergeAll per
+//     batch instead of one Merge per document), which amortises union
+//     canonicalisation over the batch;
+//   - InferParallel feeds batches through a bounded work queue to a
+//     worker pool; each worker folds its own partial type and the
+//     partials meet in a parallel binary tree reduction;
+//   - InferStream and InferStreamParallel type documents straight from
+//     tokens (TypeFromTokens, tokens.go) with no value tree at all;
+//     the parallel engine's work queue carries raw document-aligned
+//     byte chunks, so lexing itself scales with workers and
+//     collections larger than memory are inferred at multi-worker
+//     speed while only ever holding a bounded window of bytes.
+//
+// This package is the middle of the streamed pipeline (reader → chunker
+// → tokenizer → TypeFromTokens → ordered fold → typelang.Merge): the
+// chunking stage (chunking.go) splits the stream into runs of whole
+// documents, the workers lex and type chunks in parallel, and chunk
+// results fold in stream order so schemas, document counts and error
+// offsets are exact. Options.Tokenizer picks the chunking and lexing
+// machinery — TokenizerScan for the reference byte-at-a-time lexer,
+// TokenizerMison for the structural-index fast path of internal/mison —
+// with identical results either way.
+//
+// The DOM-based streaming engines (InferStreamDOM and
+// InferStreamParallelDOM) are retained for engines that need
+// materialised values and as the measured baseline the token path is
+// benchmarked against.
+package infer

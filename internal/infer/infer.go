@@ -1,41 +1,7 @@
-// Package infer implements the parametric schema inference of Baazizi,
-// Ben Lahmar, Colazzo, Ghelli and Sartiani ("Schema Inference for
-// Massive JSON Datasets", EDBT 2017; "Counting types for massive JSON
-// datasets", DBPL 2017; "Parametric schema inference for massive JSON
-// datasets", VLDB Journal 2019) — the inference approach the tutorial
-// presents in §4.1 as precise and concise at tunable abstraction levels.
-//
-// The algorithm is a map/reduce:
-//
-//   - the map phase types each value exactly (TypeOf), producing a type
-//     with counting annotations (every node counts the values it
-//     summarises, every record field counts its occurrences);
-//   - the reduce phase merges types pairwise with the least upper bound
-//     of internal/typelang, parameterised by an equivalence relation: K
-//     (kind equivalence, records always fuse) or L (label equivalence,
-//     records fuse only when they have the same field names).
-//
-// Because the merge is associative and commutative, the reduce can be
-// parallelised and distributed arbitrarily. The execution layer here
-// exploits that three ways:
-//
-//   - documents are typed and reduced in batches (one MergeAll per
-//     batch instead of one Merge per document), which amortises union
-//     canonicalisation over the batch;
-//   - InferParallel feeds batches through a bounded work queue to a
-//     worker pool; each worker folds its own partial type and the
-//     partials meet in a parallel binary tree reduction;
-//   - InferStream and InferStreamParallel type documents straight from
-//     lexer tokens (TypeFromTokens, tokens.go) with no value tree at
-//     all; the parallel engine's work queue carries raw document-
-//     aligned byte chunks, so lexing itself scales with workers and
-//     collections larger than memory are inferred at multi-worker
-//     speed while only ever holding a bounded window of bytes.
-//
-// The DOM-based streaming engines (InferStreamDOM and
-// InferStreamParallelDOM) are retained for engines that need
-// materialised values and as the measured baseline the token path is
-// benchmarked against.
+// infer.go holds the map phase (TypeOf) and the materialised-collection
+// engines; the token-only streamed engines live in tokens.go and their
+// chunking stage in chunking.go.
+
 package infer
 
 import (
@@ -55,6 +21,35 @@ import (
 // per-batch overhead vanishes against typing cost.
 const DefaultBatch = 256
 
+// Tokenizer selects the lexing machinery of the streamed parallel
+// engine.
+type Tokenizer uint8
+
+const (
+	// TokenizerScan is the reference path: the byte-at-a-time splitter
+	// finds chunk boundaries and jsontext.TokenReader lexes chunks.
+	TokenizerScan Tokenizer = iota
+	// TokenizerMison is the structural-index fast path: mison.Chunker
+	// finds chunk boundaries through the string/depth bitmaps and
+	// mison.TokenSource lexes chunks positionally, falling back to the
+	// reference lexer per chunk (index rejection) and per token (dirty
+	// strings, fancy numbers, malformed constructs) so results stay
+	// byte-identical to TokenizerScan's.
+	TokenizerMison
+)
+
+// String names the tokenizer.
+func (t Tokenizer) String() string {
+	switch t {
+	case TokenizerScan:
+		return "scan"
+	case TokenizerMison:
+		return "mison"
+	default:
+		return "unknown"
+	}
+}
+
 // Options configure an inference run.
 type Options struct {
 	// Equiv is the merge equivalence: typelang.EquivKind (K) or
@@ -66,6 +61,9 @@ type Options struct {
 	// Batch is the number of documents per work unit in the batched and
 	// parallel engines; 0 means DefaultBatch.
 	Batch int
+	// Tokenizer picks the streamed parallel engine's lexing machinery;
+	// the zero value is TokenizerScan.
+	Tokenizer Tokenizer
 }
 
 func (o Options) workers() int {

@@ -3,6 +3,7 @@ package infer
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -25,9 +26,9 @@ func domInfer(t *testing.T, data []byte, e typelang.Equiv) *typelang.Type {
 }
 
 // assertTokenMatchesDOM runs the token engines over data at several
-// worker/batch shapes and demands exact agreement with the DOM result:
-// typelang.Equivalent (mutual subtyping) plus identical plain and
-// counted renderings.
+// worker/batch/tokenizer shapes and demands exact agreement with the
+// DOM result: typelang.Equivalent (mutual subtyping) plus identical
+// plain and counted renderings.
 func assertTokenMatchesDOM(t *testing.T, label string, data []byte, ndocs int) {
 	t.Helper()
 	for _, e := range []typelang.Equiv{typelang.EquivKind, typelang.EquivLabel} {
@@ -55,11 +56,13 @@ func assertTokenMatchesDOM(t *testing.T, label string, data []byte, ndocs int) {
 		}
 		ty, n, err := InferStream(bytes.NewReader(data), Options{Equiv: e})
 		check("sequential", ty, n, err)
-		for _, workers := range []int{2, 3, 8} {
-			for _, batch := range []int{0, 1, 5} {
-				ty, n, err := InferStreamParallel(bytes.NewReader(data),
-					Options{Equiv: e, Workers: workers, Batch: batch})
-				check("parallel", ty, n, err)
+		for _, tz := range []Tokenizer{TokenizerScan, TokenizerMison} {
+			for _, workers := range []int{1, 2, 3, 8} {
+				for _, batch := range []int{0, 1, 5} {
+					ty, n, err := InferStreamParallel(bytes.NewReader(data),
+						Options{Equiv: e, Workers: workers, Batch: batch, Tokenizer: tz})
+					check(fmt.Sprintf("parallel-%v-%d-%d", tz, workers, batch), ty, n, err)
+				}
 			}
 		}
 	}
@@ -127,8 +130,8 @@ func TestTokenPathHandlesNonNDJSONLayouts(t *testing.T) {
 }
 
 // TestTokenPathRejectsWhatDOMRejects: on malformed streams both paths
-// must fail, and the token path must report the same absolute offset the
-// sequential decoder sees.
+// must fail, and the token path — with either tokenizer — must report
+// the same absolute offset the sequential decoder sees.
 func TestTokenPathRejectsWhatDOMRejects(t *testing.T) {
 	bad := []string{
 		"{\"a\": 1}\n{]\n",
@@ -136,6 +139,7 @@ func TestTokenPathRejectsWhatDOMRejects(t *testing.T) {
 		"{\"a\": tru}\n",
 		"\"unterminated\n{\"a\": 1}\n",
 		"{\"a\": 1}\n12..5\n{\"b\": 2}\n",
+		"{\"a\": 1}\n{\"s\": \"ctrl\x01\"}\n{\"b\": 2}\n",
 	}
 	for _, in := range bad {
 		_, _, seqErr := InferStream(strings.NewReader(in), Options{})
@@ -145,13 +149,16 @@ func TestTokenPathRejectsWhatDOMRejects(t *testing.T) {
 		if _, domErr := jsontext.NewDecoder(strings.NewReader(in)).DecodeAll(); domErr == nil {
 			t.Fatalf("DOM decoder accepted %q", in)
 		}
-		for _, workers := range []int{2, 4} {
-			_, _, parErr := InferStreamParallel(strings.NewReader(in), Options{Workers: workers, Batch: 1})
-			if parErr == nil {
-				t.Fatalf("parallel token engine accepted %q", in)
-			}
-			if so, po := syntaxOffset(seqErr), syntaxOffset(parErr); so != po {
-				t.Errorf("%q: parallel error offset %d, sequential %d", in, po, so)
+		for _, tz := range []Tokenizer{TokenizerScan, TokenizerMison} {
+			for _, workers := range []int{2, 4} {
+				_, _, parErr := InferStreamParallel(strings.NewReader(in),
+					Options{Workers: workers, Batch: 1, Tokenizer: tz})
+				if parErr == nil {
+					t.Fatalf("parallel token engine (%v) accepted %q", tz, in)
+				}
+				if so, po := syntaxOffset(seqErr), syntaxOffset(parErr); so != po {
+					t.Errorf("%q (%v): parallel error offset %d, sequential %d", in, tz, po, so)
+				}
 			}
 		}
 	}
@@ -250,18 +257,20 @@ func (f *failingReader) Read(p []byte) (int, error) {
 func TestInferStreamIOErrorNotMaskedAsSyntax(t *testing.T) {
 	ioErr := errors.New("connection reset by peer")
 	payload := "{\"a\": 1}\n{\"a\": 2}\n{\"a\": 3}\n{\"a\":"
-	for _, workers := range []int{1, 4} {
-		ty, n, err := InferStreamParallel(
-			&failingReader{data: []byte(payload), err: ioErr},
-			Options{Workers: workers, Batch: 2})
-		if !errors.Is(err, ioErr) {
-			t.Fatalf("workers=%d: error = %v, want the reader's I/O error", workers, err)
-		}
-		if n != 3 {
-			t.Errorf("workers=%d: typed %d docs, want the 3 complete ones", workers, n)
-		}
-		if got := ty.String(); got != "{a: Int}" {
-			t.Errorf("workers=%d: prefix type = %s", workers, got)
+	for _, tz := range []Tokenizer{TokenizerScan, TokenizerMison} {
+		for _, workers := range []int{1, 4} {
+			ty, n, err := InferStreamParallel(
+				&failingReader{data: []byte(payload), err: ioErr},
+				Options{Workers: workers, Batch: 2, Tokenizer: tz})
+			if !errors.Is(err, ioErr) {
+				t.Fatalf("%v/workers=%d: error = %v, want the reader's I/O error", tz, workers, err)
+			}
+			if n != 3 {
+				t.Errorf("%v/workers=%d: typed %d docs, want the 3 complete ones", tz, workers, n)
+			}
+			if got := ty.String(); got != "{a: Int}" {
+				t.Errorf("%v/workers=%d: prefix type = %s", tz, workers, got)
+			}
 		}
 	}
 	// A genuine syntax error before the I/O failure still wins: it is

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/jsontext"
+	"repro/internal/mison"
 	"repro/internal/typelang"
 )
 
@@ -24,8 +25,9 @@ import (
 // token-level map phase, equivalent to jsontext parse followed by TypeOf
 // but with no intermediate value tree. It returns io.EOF when the stream
 // holds no further value, and a *jsontext.SyntaxError (with absolute
-// offset) on malformed input.
-func TypeFromTokens(tr *jsontext.TokenReader, e typelang.Equiv) (*typelang.Type, error) {
+// offset) on malformed input. Any jsontext.TokenSource feeds it: the
+// reference TokenReader or the mison structural-index tokenizer.
+func TypeFromTokens(tr jsontext.TokenSource, e typelang.Equiv) (*typelang.Type, error) {
 	tok, err := tr.ReadTokenSkipString()
 	if err != nil {
 		return nil, err
@@ -40,7 +42,7 @@ func TypeFromTokens(tr *jsontext.TokenReader, e typelang.Equiv) (*typelang.Type,
 // its tokens from tr. The grammar enforced is exactly the parser's, so
 // the token path and the DOM path accept and reject the same inputs at
 // the same offsets.
-func typeFromToken(tr *jsontext.TokenReader, tok jsontext.Token, e typelang.Equiv, depth int) (*typelang.Type, error) {
+func typeFromToken(tr jsontext.TokenSource, tok jsontext.Token, e typelang.Equiv, depth int) (*typelang.Type, error) {
 	if depth > jsontext.MaxDepth {
 		return nil, &jsontext.SyntaxError{Offset: tok.Offset, Msg: depthMsg}
 	}
@@ -80,7 +82,7 @@ func numIsInt(f float64) bool {
 // typeArrayTokens types array elements after the consumed '[': element
 // types are merged under e, exactly as TypeOf merges a materialised
 // array's element types.
-func typeArrayTokens(tr *jsontext.TokenReader, e typelang.Equiv, depth int) (*typelang.Type, error) {
+func typeArrayTokens(tr jsontext.TokenSource, e typelang.Equiv, depth int) (*typelang.Type, error) {
 	tok, err := tr.ReadTokenSkipString()
 	if err != nil {
 		return nil, err
@@ -116,7 +118,7 @@ func typeArrayTokens(tr *jsontext.TokenReader, e typelang.Equiv, depth int) (*ty
 // names are read in decoding mode (they are the record labels); field
 // values are typed token-by-token. Duplicate names keep the effective
 // last-binding view, matching TypeOf.
-func typeObjectTokens(tr *jsontext.TokenReader, e typelang.Equiv, depth int) (*typelang.Type, error) {
+func typeObjectTokens(tr jsontext.TokenSource, e typelang.Equiv, depth int) (*typelang.Type, error) {
 	tok, err := tr.ReadToken()
 	if err != nil {
 		return nil, err
@@ -243,7 +245,7 @@ func InferStream(r io.Reader, opts Options) (*typelang.Type, int, error) {
 	return foldTokenStream(tr, opts)
 }
 
-func foldTokenStream(tr *jsontext.TokenReader, opts Options) (*typelang.Type, int, error) {
+func foldTokenStream(tr jsontext.TokenSource, opts Options) (*typelang.Type, int, error) {
 	fold := newTokenFold(opts)
 	n := 0
 	for {
@@ -280,12 +282,18 @@ type chunkResult struct {
 
 // InferStreamParallel overlaps chunking with lexing AND typing: the
 // reader goroutine only splits the stream into runs of whole documents
-// (a byte scan that tracks string/escape state and container depth, so
-// a split never lands inside a document even for multi-line layouts),
-// and the workers do everything else — lex, type, and reduce — in
-// parallel. This is the engine change that makes decode throughput scale
-// with workers: the old pipeline parsed full value trees on one
+// (boundary finding never lands inside a document even for multi-line
+// layouts), and the workers do everything else — lex, type, and reduce
+// — in parallel. This is the engine change that makes decode throughput
+// scale with workers: the old pipeline parsed full value trees on one
 // goroutine and parallelised only the typing.
+//
+// Options.Tokenizer picks the lexing machinery: TokenizerScan walks
+// bytes through the reference lexer, TokenizerMison finds chunk
+// boundaries with mison.Chunker's structural bitmaps and lexes chunks
+// through mison.TokenSource, falling back to the reference lexer on any
+// chunk the structural index rejects. Both produce identical schemas,
+// counts and errors.
 //
 // Chunk results are folded in stream order, so the outcome is exact:
 // the returned type and document count are identical to InferStream's,
@@ -294,7 +302,7 @@ type chunkResult struct {
 // chunks is discarded.
 func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error) {
 	workers := opts.workers()
-	if workers <= 1 {
+	if workers <= 1 && opts.Tokenizer == TokenizerScan {
 		return InferStream(r, opts)
 	}
 	work := make(chan byteChunk, 2*workers)
@@ -304,7 +312,7 @@ func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error)
 	// Reader: split the stream into document-aligned chunks.
 	readErrCh := make(chan error, 1)
 	go func() {
-		readErrCh <- readChunks(r, opts.batch(), func(ch byteChunk) bool {
+		readErrCh <- readChunks(r, opts.batch(), newSplitter(opts.Tokenizer), func(ch byteChunk) bool {
 			select {
 			case work <- ch:
 				return true
@@ -323,9 +331,25 @@ func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error)
 			defer wg.Done()
 			tr := jsontext.NewTokenReaderBytes(nil)
 			tr.SetInternStrings(true)
+			var ms *mison.TokenSource
+			if opts.Tokenizer == TokenizerMison {
+				ms = mison.NewTokenSource()
+				ms.SetInternStrings(true)
+			}
 			for ch := range work {
-				tr.ResetBytes(ch.data, ch.base)
-				t, n, err := foldTokenStream(tr, opts)
+				var src jsontext.TokenSource
+				if ms != nil {
+					if err := ms.Reset(ch.data, ch.base); err == nil {
+						src = ms
+					}
+					// On rejection the plain lexer below reports the
+					// authoritative error for whatever is wrong.
+				}
+				if src == nil {
+					tr.ResetBytes(ch.data, ch.base)
+					src = tr
+				}
+				t, n, err := foldTokenStream(src, opts)
 				results <- chunkResult{index: ch.index, t: t, n: n, err: err}
 			}
 		}()
@@ -379,115 +403,4 @@ func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error)
 		firstErr = rerr
 	}
 	return acc, total, firstErr
-}
-
-// chunkReadSize is the read-block size of the chunk splitter.
-const chunkReadSize = 256 << 10
-
-// readChunks splits the stream into document-aligned byte chunks of
-// roughly docsPerChunk top-level documents each and hands them to emit
-// (which reports false to stop early). A chunk boundary is a newline at
-// container depth zero outside any string, so NDJSON splits per line
-// while pretty-printed or concatenated layouts are never cut inside a
-// document; input with no top-level newline at all degrades to a single
-// chunk. The scanner state machine tracks just string/escape state and
-// depth — the Mison-style structural index (internal/mison) is the
-// designated fast path for this scan if it ever bottlenecks.
-func readChunks(r io.Reader, docsPerChunk int, emit func(byteChunk) bool) error {
-	var (
-		pending      []byte
-		scanned      int // pending[:scanned] has been state-scanned
-		base         int // absolute offset of pending[0]
-		index        int
-		docs         int // top-level newlines seen since the last split
-		lastSplit    int // end of the last split point within pending
-		inStr, esc   bool
-		depth        int
-		readErr      error
-		sawEOF       bool
-		emitUpTo     func(end int) bool
-	)
-	emitUpTo = func(end int) bool {
-		if end <= lastSplit {
-			return true
-		}
-		ch := byteChunk{index: index, base: base + lastSplit, data: pending[lastSplit:end]}
-		index++
-		docs = 0
-		lastSplit = end
-		return emit(ch)
-	}
-	for {
-		// Refill, doubling so an unsplittable run grows in O(n) total
-		// copying.
-		if len(pending)+chunkReadSize > cap(pending) {
-			grown := make([]byte, len(pending), max(2*cap(pending), len(pending)+chunkReadSize))
-			copy(grown, pending)
-			pending = grown
-		}
-		n, err := r.Read(pending[len(pending) : len(pending)+chunkReadSize])
-		pending = pending[:len(pending)+n]
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				sawEOF = true
-			} else {
-				readErr = err
-				sawEOF = true
-			}
-		}
-		// Scan the new bytes, emitting at every ripe split point.
-		for i := scanned; i < len(pending); i++ {
-			c := pending[i]
-			if inStr {
-				switch {
-				case esc:
-					esc = false
-				case c == '\\':
-					esc = true
-				case c == '"':
-					inStr = false
-				}
-				continue
-			}
-			switch c {
-			case '"':
-				inStr = true
-			case '{', '[':
-				depth++
-			case '}', ']':
-				if depth > 0 {
-					// Underflow only happens on malformed input; clamping
-					// keeps later split points valid so the error stays
-					// confined to its own chunk.
-					depth--
-				}
-			case '\n':
-				if depth == 0 {
-					docs++
-					if docs >= docsPerChunk {
-						if !emitUpTo(i + 1) {
-							return readErr
-						}
-					}
-				}
-			}
-		}
-		scanned = len(pending)
-		if sawEOF {
-			if !emitUpTo(len(pending)) {
-				return readErr
-			}
-			return readErr
-		}
-		// Drop emitted bytes; chunks alias the old array, which is
-		// treated as immutable from here on.
-		if lastSplit > 0 {
-			rest := make([]byte, len(pending)-lastSplit, max(chunkReadSize, 2*(len(pending)-lastSplit)))
-			copy(rest, pending[lastSplit:])
-			base += lastSplit
-			pending = rest
-			scanned = len(pending)
-			lastSplit = 0
-		}
-	}
 }

@@ -1,0 +1,30 @@
+// Package jsontext implements JSON text processing from scratch: a
+// streaming token lexer (TokenReader), a recursive-descent parser
+// producing jsonvalue.Value trees, a serializer, and a streaming value
+// decoder. The grammar is RFC 8259 JSON.
+//
+// TokenReader is the single front end — Parse and Decoder are thin
+// wrappers that build values from its tokens, and the schema inference
+// in internal/infer consumes its tokens directly without ever
+// materialising a value tree. In the streamed inference pipeline
+// (reader → chunker → tokenizer → infer.TypeFromTokens → ordered fold →
+// typelang.Merge) this package is the tokenizer stage: every chunk
+// worker lexes raw document-aligned bytes through a warm TokenReader,
+// with ReadTokenSkipString validating value strings without
+// materialising them and SetInternStrings dedupping the field names
+// that do get decoded.
+//
+// Two seams exist for alternative tokenizers. TokenSource is the pull
+// interface the inference engine programs against, implemented by both
+// TokenReader and the Mison structural-index tokenizer
+// (internal/mison.TokenSource). Scanner lexes single tokens at
+// caller-chosen positions, so an alternative tokenizer can delegate
+// exactly the tokens its index cannot prove clean and still be
+// byte-identical to the reference lexer on payload decoding,
+// accept/reject decisions and error offsets.
+//
+// It is the "conventional parser" of the tutorial's §4.2 — the baseline
+// that Mison-style structural-index parsing (internal/mison) and
+// Fad.js-style speculative parsing (internal/fadjs) are measured
+// against — and the front end for every schema tool in the repository.
+package jsontext

@@ -1,16 +1,7 @@
-// Package jsontext implements JSON text processing from scratch: a
-// streaming token lexer (TokenReader), a recursive-descent parser
-// producing jsonvalue.Value trees, a serializer, and a streaming value
-// decoder. TokenReader is the single front end — Parse and Decoder are
-// thin wrappers that build values from its tokens, and the schema
-// inference in internal/infer consumes its tokens directly without ever
-// materialising a value tree.
-//
-// It is the "conventional parser" of the tutorial's §4.2 — the baseline
-// that Mison-style structural-index parsing (internal/mison) and
-// Fad.js-style speculative parsing (internal/fadjs) are measured
-// against — and the front end for every schema tool in the repository.
-// The grammar is RFC 8259 JSON.
+// lexer.go is the window-relative scanner shared by every front end:
+// TokenReader and Scanner drive it over their buffers, Parse and
+// Decoder build values from its tokens.
+
 package jsontext
 
 import (

@@ -1,21 +1,7 @@
-// Package mison implements the structural-index JSON parsing of Li,
-// Katsipoulakis, Chandramouli, Goldstein and Kossmann, "Mison: A Fast
-// JSON Parser for Data Analytics" (VLDB 2017) — the §4.2 tool that
-// "exploits AVX instructions to speed up data parsing and discarding
-// unused objects ... infers structural information of data on the fly
-// in order to detect and prune parts of the data that are not needed by
-// a given analytics task".
-//
-// Substitution note (recorded in DESIGN.md): the original uses AVX2
-// SIMD to build per-character bitmaps. Go with stdlib only has no
-// vector intrinsics, so the bitmap pipeline here is word-at-a-time over
-// packed uint64 bitmaps (SWAR): the same four-phase structure — (1)
-// character bitmaps, (2) escaped-character removal, (3) string-mask
-// construction by bit-parallel prefix XOR, (4) leveled structural
-// positions — with the SIMD byte-compare replaced by a scalar byte scan
-// feeding the packed words. Every later phase is genuinely
-// bit-parallel, and the algorithmic speedups (no tokenisation of
-// skipped content, speculative field lookup) are preserved.
+// bitmaps.go is phases 1–3 of the pipeline for the projecting Parser:
+// per-character bitmaps, escaped-character removal, and the string mask
+// by bit-parallel prefix XOR.
+
 package mison
 
 import "math/bits"

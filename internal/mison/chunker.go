@@ -1,0 +1,130 @@
+package mison
+
+import "math/bits"
+
+// Chunker finds document-aligned split candidates in a byte stream with
+// the structural bitmaps instead of a per-byte state machine: each
+// 64-byte word is classified branch-free by the SWAR phase-1/2 passes
+// (quote, backslash, newline, open, close), escaped quotes are removed,
+// the in-string mask is the bit-parallel prefix XOR of phase 3, and
+// only the surviving structural bits — a few per cent of the input on
+// typical NDJSON — are walked individually to track container depth.
+// Words whose depth provably cannot touch zero are settled with two
+// popcounts and never walked at all.
+//
+// A split candidate is a newline at container depth zero outside any
+// string literal: exactly the boundary rule of the byte-at-a-time scan
+// it replaces, so NDJSON splits per line while pretty-printed and
+// concatenated layouts are never cut inside a document. String, escape
+// and depth state carry across Splits calls, so the caller may feed the
+// stream in arbitrary block sizes.
+//
+// On well-formed input (and on any input whose backslashes all lie
+// inside string literals) the candidates are byte-identical to the
+// scanning splitter's. The one divergence window is malformed input
+// with a backslash outside any string: phase 2's escape rule is global,
+// so a quote right after such a backslash is not treated as a string
+// opener here, while the scanner — which only honours escapes inside
+// strings — would open a string. Both placements keep every later
+// guarantee intact, because the lexer faults on the stray backslash
+// itself: whichever chunk holds it reports the same first error offset
+// the sequential engine would.
+type Chunker struct {
+	depth    int
+	inStr    bool
+	escCarry uint64 // 1 when the first byte of the next block is escaped
+}
+
+// NewChunker returns a Chunker with clean stream state.
+func NewChunker() *Chunker { return &Chunker{} }
+
+// Reset clears the carried string/escape/depth state so the Chunker can
+// start over on a new stream.
+func (c *Chunker) Reset() { *c = Chunker{} }
+
+// Splits appends to dst the exclusive end offset (newline position + 1,
+// relative to block) of every top-level newline in block, carrying
+// string/escape/depth state to the next call, and returns dst.
+func (c *Chunker) Splits(block []byte, dst []int) []int {
+	for wordStart := 0; wordStart < len(block); wordStart += 64 {
+		n := len(block) - wordStart
+		if n > 64 {
+			n = 64
+		}
+		var quote, backslash, newline, open, clos uint64
+		lane := 0
+		for ; lane+8 <= n; lane += 8 {
+			v := loadWord(block, wordStart+lane)
+			shift := uint(lane)
+			backslash |= swarEq(v, '\\') << shift
+			quote |= swarEq(v, '"') << shift
+			newline |= swarEq(v, '\n') << shift
+			open |= (swarEq(v, '{') | swarEq(v, '[')) << shift
+			clos |= (swarEq(v, '}') | swarEq(v, ']')) << shift
+		}
+		for ; lane < n; lane++ {
+			bit := uint64(1) << uint(lane)
+			switch block[wordStart+lane] {
+			case '\\':
+				backslash |= bit
+			case '"':
+				quote |= bit
+			case '\n':
+				newline |= bit
+			case '{', '[':
+				open |= bit
+			case '}', ']':
+				clos |= bit
+			}
+		}
+		// Phase 2: drop escaped quotes. Phase 3: in-string mask by
+		// prefix XOR with the cross-word parity carry.
+		if backslash != 0 || c.escCarry != 0 {
+			var esc uint64
+			esc, c.escCarry = escapedMaskTail(backslash, c.escCarry, n)
+			quote &^= esc
+		}
+		inStr := prefixXor(quote)
+		if c.inStr {
+			inStr = ^inStr
+		}
+		if bits.OnesCount64(quote)%2 == 1 {
+			c.inStr = !c.inStr
+		}
+		open &^= inStr
+		clos &^= inStr
+		newline &^= inStr
+		if open|clos|newline == 0 {
+			continue
+		}
+		// Depth shortcut: when the running depth cannot reach zero
+		// inside this word (more depth than closes, or no newline to
+		// split at and no clamping underflow possible), two popcounts
+		// settle the word without walking its bits.
+		closes := bits.OnesCount64(clos)
+		if c.depth > closes || (newline == 0 && c.depth >= closes) {
+			c.depth += bits.OnesCount64(open) - closes
+			continue
+		}
+		// Ordered walk over the structural bits only. Clamping on a
+		// close at depth zero mirrors the scanning splitter: underflow
+		// happens only on malformed input, and clamping keeps later
+		// split points valid so the error stays confined to its chunk.
+		for s := open | clos | newline; s != 0; s &= s - 1 {
+			bit := uint64(1) << uint(bits.TrailingZeros64(s))
+			switch {
+			case open&bit != 0:
+				c.depth++
+			case clos&bit != 0:
+				if c.depth > 0 {
+					c.depth--
+				}
+			default: // newline
+				if c.depth == 0 {
+					dst = append(dst, wordStart+bits.TrailingZeros64(bit)+1)
+				}
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,68 @@
+package mison
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/jsontext"
+)
+
+// FuzzTokenSource pins the tentpole equivalence of the structural-index
+// tokenizer: on every input, in every read mode, TokenSource must
+// produce exactly the token stream of the reference TokenReader —
+// same kinds, offsets and payloads, and on malformed input the same
+// error message and offset. When Reset rejects a chunk (odd structural
+// quote parity), the fallback contract requires the reference lexer to
+// reject the input too: rejection may never hide an accepting stream.
+func FuzzTokenSource(f *testing.F) {
+	seeds := []string{
+		`{"a": [1, {"b": "x"}, null], "c": 1e-3}`,
+		"{\"a\": 1}\n{\"b\": [true, false]}\n",
+		`[true, false, "é😀", {}]`,
+		`  42  `, `-0.5e+10`, `9007199254740993`, `1234567890123456789`,
+		`""`, `"A😀\n"`, `"\ud83d"`, `"\ud83dx"`, `"a\"b"`,
+		`"run\\\\end"`, `{"kA": "\\"}`,
+		// Malformed UTF-8, control bytes, stray backslashes.
+		"\"\xff\xfe\"", "\xff{", "\"a\xc3\x28b\"", "\"ctrl\x01\"",
+		`\`, `\"`, `{"a": 1}\`, "\\\n{\"a\": 1}",
+		// Truncations and structural errors.
+		`"\u12`, `"\`, `"unterminated`, `{]`, `[1,]`, `{"a":1 "b":2}`,
+		`1 2`, `{"a"}`, ``, `   `, `tru`, `12..5`, `01`, `1e`,
+		strings.Repeat("[", 300) + strings.Repeat("]", 300),
+		strings.Repeat(`{"a":`, 120) + "1" + strings.Repeat("}", 120),
+		strings.Repeat("\\", 67) + `"x"`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, mode := range []string{"skip", "decode", "mixed"} {
+			tr := jsontext.NewTokenReaderBytes(data)
+			want, wantErr := driveTokens(tr, mode, 1<<20)
+
+			ts := NewTokenSource()
+			if err := ts.Reset(data, 0); err != nil {
+				if wantErr == nil {
+					t.Fatalf("mode %s: index rejected (%v) but the lexer accepts %q", mode, err, data)
+				}
+				continue
+			}
+			got, gotErr := driveTokens(ts, mode, 1<<20)
+
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("mode %s: error = %v, lexer error = %v on %q", mode, gotErr, wantErr, data)
+			}
+			if wantErr != nil && gotErr.Error() != wantErr.Error() {
+				t.Fatalf("mode %s: error %q, lexer error %q on %q", mode, gotErr, wantErr, data)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("mode %s: %d tokens, lexer produced %d on %q", mode, len(got), len(want), data)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("mode %s: token %d = %+v, lexer produced %+v on %q", mode, i, got[i], want[i], data)
+				}
+			}
+		}
+	})
+}

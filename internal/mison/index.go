@@ -1,8 +1,8 @@
 package mison
 
 import (
-	"fmt"
 	"math/bits"
+	"strconv"
 )
 
 // Event is one structural character occurrence.
@@ -29,17 +29,30 @@ type Index struct {
 	// MaxDepth is the deepest context observed.
 	MaxDepth int
 
+	// base is the absolute stream offset of Data[0]; every *IndexError
+	// this index reports carries base-relative — that is, absolute —
+	// offsets.
+	base int
+
 	// merged is scratch storage for the union bitmap, reused across
-	// rebuilds.
-	merged []uint64
+	// rebuilds; openStack tracks unmatched opener positions for exact
+	// error attribution.
+	merged    []uint64
+	openStack []int
 }
 
 // BuildIndex runs the full bitmap pipeline and extracts leveled
-// structural positions. It fails on unbalanced nesting (a malformed
-// record), mirroring Mison's minimal structural validation.
-func BuildIndex(data []byte) (*Index, error) {
+// structural positions. It fails with an *IndexError on unbalanced
+// nesting (a malformed record), mirroring Mison's minimal structural
+// validation.
+func BuildIndex(data []byte) (*Index, error) { return BuildIndexAt(data, 0) }
+
+// BuildIndexAt is BuildIndex for a record whose first byte sits at
+// absolute stream offset base: any *IndexError carries absolute
+// offsets, so callers splitting a larger input keep exact attribution.
+func BuildIndexAt(data []byte, base int) (*Index, error) {
 	ix := &Index{Bitmap: &Bitmaps{}}
-	if err := ix.rebuild(data); err != nil {
+	if err := ix.rebuild(data, base); err != nil {
 		return nil, err
 	}
 	return ix, nil
@@ -47,8 +60,9 @@ func BuildIndex(data []byte) (*Index, error) {
 
 // rebuild reinitialises the index for a new record, reusing the event
 // and bitmap storage of previous records.
-func (ix *Index) rebuild(data []byte) error {
+func (ix *Index) rebuild(data []byte, base int) error {
 	ix.Data = data
+	ix.base = base
 	ix.Bitmap.build(data)
 	ix.Events = ix.Events[:0]
 	for d := range ix.Colons {
@@ -58,6 +72,7 @@ func (ix *Index) rebuild(data []byte) error {
 		ix.Colons = make(map[int][]int)
 	}
 	ix.MaxDepth = 0
+	ix.openStack = ix.openStack[:0]
 	bm := ix.Bitmap
 	merged := ix.merged
 	if cap(merged) < len(bm.Colon) {
@@ -94,6 +109,7 @@ func (ix *Index) rebuild(data []byte) error {
 		switch ch {
 		case '{', '[':
 			ix.Events = append(ix.Events, Event{Pos: pos, Ch: ch, Depth: depth})
+			ix.openStack = append(ix.openStack, pos)
 			depth++
 			if depth > ix.MaxDepth {
 				ix.MaxDepth = depth
@@ -101,9 +117,10 @@ func (ix *Index) rebuild(data []byte) error {
 		case '}', ']':
 			depth--
 			if depth < 0 {
-				err = fmt.Errorf("mison: unbalanced %q at offset %d", ch, pos)
+				err = &IndexError{Offset: base + pos, Msg: "unbalanced " + string(ch)}
 				return
 			}
+			ix.openStack = ix.openStack[:len(ix.openStack)-1]
 			ix.Events = append(ix.Events, Event{Pos: pos, Ch: ch, Depth: depth})
 		case ':':
 			ix.Events = append(ix.Events, Event{Pos: pos, Ch: ch, Depth: depth})
@@ -116,7 +133,11 @@ func (ix *Index) rebuild(data []byte) error {
 		return err
 	}
 	if depth != 0 {
-		return fmt.Errorf("mison: %d unclosed containers", depth)
+		// The innermost unclosed opener names the defect exactly.
+		return &IndexError{
+			Offset: base + ix.openStack[len(ix.openStack)-1],
+			Msg:    strconv.Itoa(depth) + " unclosed containers, innermost opened",
+		}
 	}
 	return nil
 }
@@ -135,7 +156,7 @@ func (ix *Index) RecordSpan() (start, end int, err error) {
 			}
 		}
 	}
-	return 0, 0, fmt.Errorf("mison: no top-level object")
+	return 0, 0, &IndexError{Offset: ix.base, Msg: "no top-level object"}
 }
 
 // colonKey extracts the field name owning the colon at byte position

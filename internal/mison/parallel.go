@@ -10,10 +10,14 @@ import (
 // ParseLinesParallel projects fields from an NDJSON buffer using one
 // independent Parser per worker (each learns its own pattern tree, as
 // Mison's per-thread speculation does). Results are returned in input
-// order. workers <= 0 means GOMAXPROCS.
+// order, and error offsets are relative to the whole buffer. workers
+// <= 0 means GOMAXPROCS.
 func ParseLinesParallel(data []byte, workers int, paths ...string) ([][]*jsonvalue.Value, error) {
 	// Split into lines first so results can be placed by index.
-	var lines [][]byte
+	var (
+		lines [][]byte
+		bases []int
+	)
 	for start := 0; start < len(data); {
 		end := start
 		for end < len(data) && data[end] != '\n' {
@@ -21,6 +25,7 @@ func ParseLinesParallel(data []byte, workers int, paths ...string) ([][]*jsonval
 		}
 		if line := data[start:end]; !allSpace(line) {
 			lines = append(lines, line)
+			bases = append(bases, start)
 		}
 		start = end + 1
 	}
@@ -37,7 +42,7 @@ func ParseLinesParallel(data []byte, workers int, paths ...string) ([][]*jsonval
 			return nil, err
 		}
 		for i, line := range lines {
-			row, err := p.ParseRecord(line)
+			row, err := p.parseRecordAt(line, bases[i])
 			if err != nil {
 				return nil, err
 			}
@@ -73,7 +78,7 @@ func ParseLinesParallel(data []byte, workers int, paths ...string) ([][]*jsonval
 				return
 			}
 			for i := lo; i < hi; i++ {
-				row, err := p.ParseRecord(lines[i])
+				row, err := p.parseRecordAt(lines[i], bases[i])
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {

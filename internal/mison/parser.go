@@ -66,11 +66,18 @@ func MustNewParser(paths ...string) *Parser {
 // result slice is aligned with the constructor's paths; fields absent
 // from the record yield nil entries.
 func (p *Parser) ParseRecord(data []byte) ([]*jsonvalue.Value, error) {
+	return p.parseRecordAt(data, 0)
+}
+
+// parseRecordAt is ParseRecord for a record whose first byte sits at
+// absolute offset base: error offsets stay exact when the record is a
+// slice of a larger buffer.
+func (p *Parser) parseRecordAt(data []byte, base int) ([]*jsonvalue.Value, error) {
 	if p.ix == nil {
 		p.ix = &Index{Bitmap: &Bitmaps{}}
 	}
 	ix := p.ix
-	if err := ix.rebuild(data); err != nil {
+	if err := ix.rebuild(data, base); err != nil {
 		return nil, err
 	}
 	objStart, objEnd, err := ix.RecordSpan()
@@ -101,6 +108,11 @@ func (p *Parser) project(ix *Index, objStart, objEnd, depth int, path []string, 
 	if len(path) == 1 {
 		v, err := jsontext.Parse(ix.Data[vStart:vEnd])
 		if err != nil {
+			// Rebase the parse error's record-relative offset onto the
+			// stream so attribution stays exact for sliced records.
+			if se, ok := err.(*jsontext.SyntaxError); ok {
+				err = &jsontext.SyntaxError{Offset: se.Offset + ix.base + vStart, Msg: se.Msg}
+			}
 			return nil, fmt.Errorf("mison: field %q: %w", field, err)
 		}
 		return v, nil
@@ -187,7 +199,8 @@ func (ix *Index) objectWithin(vStart, vEnd int) (int, int, bool) {
 }
 
 // ParseLines projects fields from an NDJSON buffer, returning one
-// result row per record.
+// result row per record. Error offsets are relative to the whole
+// buffer, not the offending line.
 func (p *Parser) ParseLines(data []byte) ([][]*jsonvalue.Value, error) {
 	var out [][]*jsonvalue.Value
 	for start := 0; start < len(data); {
@@ -197,7 +210,7 @@ func (p *Parser) ParseLines(data []byte) ([][]*jsonvalue.Value, error) {
 		}
 		line := data[start:end]
 		if !allSpace(line) {
-			row, err := p.ParseRecord(line)
+			row, err := p.parseRecordAt(line, start)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,107 @@
+package mison
+
+// swar.go is the word-at-a-time byte classifier shared by the streaming
+// Chunker and the TokenSource (the projecting Parser's Bitmaps.build
+// still classifies byte-at-a-time; porting it here is an open item).
+// It is the Go-with-stdlib stand-in for Mison's AVX byte compares:
+// eight input bytes are loaded as one uint64 and classified with
+// branch-free arithmetic, producing one mask bit per byte, and the
+// per-lane masks are packed into the same little-endian uint64 bitmap
+// words the rest of the pipeline consumes.
+//
+// The formulas are chosen to be position-exact (no inter-byte carries),
+// not merely any-byte predicates: zero detection goes through the
+// saturating 0x7F add rather than the classic subtract-borrow trick,
+// whose borrows smear across bytes.
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+const (
+	swarOnes  = 0x0101010101010101
+	swarHighs = 0x8080808080808080
+)
+
+// swarMoveMask gathers the high bit of every byte of v into the low 8
+// bits of the result (byte k's high bit becomes bit k) — the SWAR
+// equivalent of SSE's PMOVMSKB. The multiply shifts bit 8k+7 to bit
+// 56+k; the landing positions 56+8k-7j are pairwise distinct for
+// k,j in 0..7, so no partial products ever carry into the result byte.
+func swarMoveMask(v uint64) uint64 {
+	return ((v & swarHighs) * 0x0002040810204081) >> 56
+}
+
+// swarEq returns one bit per byte of v equal to c (bit k set iff byte k
+// == c). Exact per-position: a byte is zero iff its low 7 bits add into
+// 0x7F without setting the high bit and its own high bit is clear.
+func swarEq(v uint64, c byte) uint64 {
+	x := v ^ (swarOnes * uint64(c))
+	t := (x & ^uint64(swarHighs)) + 0x7f7f7f7f7f7f7f7f
+	return swarMoveMask(^(t | x))
+}
+
+// swarLess returns one bit per byte of v that is unsigned-less-than n,
+// for 1 <= n <= 0x80. Adding 0x80-n to the low 7 bits sets the high bit
+// exactly when they reach n (no carry: both addends fit 0x7F+0x80), and
+// OR-ing v back in keeps bytes >= 0x80 classified as not-less.
+func swarLess(v uint64, n byte) uint64 {
+	t := (v & ^uint64(swarHighs)) + (swarOnes * uint64(0x80-n))
+	return swarMoveMask(^(t | v))
+}
+
+// swarNonASCII returns one bit per byte of v with the high bit set.
+func swarNonASCII(v uint64) uint64 { return swarMoveMask(v) }
+
+// loadWord loads up to 8 bytes of b starting at off as a little-endian
+// word; bytes past the end of b read as zero.
+func loadWord(b []byte, off int) uint64 {
+	if off+8 <= len(b) {
+		return binary.LittleEndian.Uint64(b[off:])
+	}
+	var v uint64
+	for i := off; i < len(b); i++ {
+		v |= uint64(b[i]) << (8 * uint(i-off))
+	}
+	return v
+}
+
+// escapedMask computes, for one 64-byte bitmap word of backslash
+// positions, the positions escaped by a preceding unescaped backslash —
+// phase 2 of the Mison pipeline. carryIn is 1 when byte 0 of this word
+// is escaped by the previous word's trailing backslash; carryOut is 1
+// when byte 0 of the NEXT word is escaped.
+//
+// The walk touches only set backslash bits, so its cost is proportional
+// to the (rare) backslash density rather than to the word size, and it
+// is scalar-equivalent by construction: an unescaped backslash escapes
+// exactly the byte after it, and an escaped backslash escapes nothing.
+func escapedMask(backslash uint64, carryIn uint64) (esc uint64, carryOut uint64) {
+	esc = carryIn & 1
+	b := backslash &^ esc // a backslash escaped from the previous word escapes nothing
+	for b != 0 {
+		p := uint(bits.TrailingZeros64(b))
+		if p == 63 {
+			return esc, 1
+		}
+		esc |= 1 << (p + 1)
+		b &^= 1 << (p + 1) // the escaped next byte cannot itself escape
+		b &= b - 1         // consume bit p
+	}
+	return esc, 0
+}
+
+// escapedMaskTail is escapedMask for a final partial word of n valid
+// bytes: an escape landing on position n (one past the data) becomes
+// the carry into the next block instead of a dead bit.
+func escapedMaskTail(backslash uint64, carryIn uint64, n int) (esc uint64, carryOut uint64) {
+	esc, carryOut = escapedMask(backslash, carryIn)
+	if n < 64 {
+		if esc&(1<<uint(n)) != 0 {
+			carryOut = 1
+		}
+		esc &= (1 << uint(n)) - 1
+	}
+	return esc, carryOut
+}

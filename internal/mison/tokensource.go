@@ -1,0 +1,370 @@
+package mison
+
+import (
+	"math/bits"
+
+	"repro/internal/jsontext"
+)
+
+// TokenSource lexes one in-memory chunk of JSON through the structural
+// index, implementing the same pull interface as jsontext.TokenReader
+// (jsontext.TokenSource). It is the Mison fast path of the streamed
+// inference pipeline: Reset runs phases 1–3 over the chunk — quote,
+// backslash, control and non-ASCII bitmaps, escape filtering, all
+// word-at-a-time — and ReadToken then resolves the common tokens
+// positionally:
+//
+//   - a string's closing quote is the next structural-quote bit, so
+//     string payloads are skipped without touching their bytes — the
+//     "no tokenisation of skipped content" half of Mison's design;
+//   - plain integers and the true/false/null literals are decided by
+//     direct byte comparison;
+//   - structural characters are single-byte tokens.
+//
+// Everything the bitmaps cannot prove clean — strings containing
+// escapes, control or non-ASCII bytes, numbers with fractions,
+// exponents or more than 18 digits, and every malformed construct — is
+// delegated to a jsontext.Scanner at the same position, so payload
+// decoding, accept/reject decisions, error messages and offsets are
+// byte-identical to TokenReader's on every input. The equivalence is
+// pinned by the mison-vs-lexer fuzz target.
+//
+// A TokenSource is not safe for concurrent use; like the projecting
+// Parser it reuses its bitmap storage across Reset calls, so one warm
+// source per worker lexes an arbitrary number of chunks without
+// per-chunk allocation.
+type TokenSource struct {
+	data []byte
+	base int
+	pos  int
+
+	// Structural bitmaps of the current chunk, one bit per byte:
+	// unescaped quotes, all backslashes, control bytes (< 0x20) and
+	// non-ASCII bytes (>= 0x80).
+	quote     []uint64
+	backslash []uint64
+	ctrl      []uint64
+	nonascii  []uint64
+
+	scan   jsontext.Scanner
+	intern map[string]string
+}
+
+// TokenSource implements the TokenReader pull contract.
+var _ jsontext.TokenSource = (*TokenSource)(nil)
+
+// NewTokenSource returns an empty TokenSource; bind it to a chunk with
+// Reset.
+func NewTokenSource() *TokenSource { return &TokenSource{} }
+
+// SetInternStrings toggles the decoded-string intern cache for field
+// names, mirroring TokenReader.SetInternStrings. The cache survives
+// Reset and is shared with the delegated lexer, so a chunk worker
+// dedups every name once no matter which path decoded it.
+func (ts *TokenSource) SetInternStrings(on bool) {
+	if on {
+		ts.intern = ts.scan.InternMap()
+	} else {
+		ts.scan.SetInternStrings(false)
+		ts.intern = nil
+	}
+}
+
+// Reset rebinds the source to a chunk whose first byte sits at absolute
+// stream offset base, rebuilding the structural bitmaps in place. It
+// returns an *IndexError when the index rejects the chunk — an odd
+// number of structural quotes, i.e. an unterminated string literal —
+// and the caller falls back to the plain lexer, which reports the
+// authoritative error for whatever is wrong. The returned offset is
+// absolute, naming the unmatched opening quote.
+func (ts *TokenSource) Reset(data []byte, base int) error {
+	ts.data, ts.base, ts.pos = data, base, 0
+	nw := words(len(data))
+	ts.quote = resetWords(ts.quote, nw)
+	ts.backslash = resetWords(ts.backslash, nw)
+	ts.ctrl = resetWords(ts.ctrl, nw)
+	ts.nonascii = resetWords(ts.nonascii, nw)
+	parity := 0
+	var escCarry uint64
+	for w := 0; w < nw; w++ {
+		wordStart := w * 64
+		n := len(data) - wordStart
+		if n > 64 {
+			n = 64
+		}
+		var q, bs, ct, na uint64
+		lane := 0
+		for ; lane+8 <= n; lane += 8 {
+			v := loadWord(data, wordStart+lane)
+			shift := uint(lane)
+			q |= swarEq(v, '"') << shift
+			bs |= swarEq(v, '\\') << shift
+			ct |= swarLess(v, 0x20) << shift
+			na |= swarNonASCII(v) << shift
+		}
+		for ; lane < n; lane++ {
+			bit := uint64(1) << uint(lane)
+			c := data[wordStart+lane]
+			switch c {
+			case '"':
+				q |= bit
+			case '\\':
+				bs |= bit
+			}
+			if c < 0x20 {
+				ct |= bit
+			} else if c >= 0x80 {
+				na |= bit
+			}
+		}
+		if bs != 0 || escCarry != 0 {
+			var esc uint64
+			esc, escCarry = escapedMaskTail(bs, escCarry, n)
+			q &^= esc
+		}
+		ts.quote[w], ts.backslash[w], ts.ctrl[w], ts.nonascii[w] = q, bs, ct, na
+		parity ^= bits.OnesCount64(q) & 1
+	}
+	if parity == 1 {
+		return &IndexError{Offset: base + lastSetBit(ts.quote), Msg: "unterminated string literal (index rejects chunk)"}
+	}
+	return nil
+}
+
+// InputOffset returns the absolute stream offset of the next unconsumed
+// byte.
+func (ts *TokenSource) InputOffset() int { return ts.base + ts.pos }
+
+// ReadToken scans the next token with decoded payloads.
+func (ts *TokenSource) ReadToken() (jsontext.Token, error) { return ts.readToken(false) }
+
+// ReadTokenSkipString scans the next token, validating but not
+// materialising string payloads.
+func (ts *TokenSource) ReadTokenSkipString() (jsontext.Token, error) { return ts.readToken(true) }
+
+func (ts *TokenSource) readToken(skip bool) (jsontext.Token, error) {
+	data := ts.data
+	pos := ts.pos
+	for pos < len(data) && isSpace(data[pos]) {
+		pos++
+	}
+	if pos >= len(data) {
+		ts.pos = pos
+		return jsontext.Token{Kind: jsontext.TokEOF, Offset: ts.base + pos}, nil
+	}
+	switch c := data[pos]; c {
+	case '{':
+		return ts.delim(jsontext.TokBeginObject, pos)
+	case '}':
+		return ts.delim(jsontext.TokEndObject, pos)
+	case '[':
+		return ts.delim(jsontext.TokBeginArray, pos)
+	case ']':
+		return ts.delim(jsontext.TokEndArray, pos)
+	case ':':
+		return ts.delim(jsontext.TokColon, pos)
+	case ',':
+		return ts.delim(jsontext.TokComma, pos)
+	case '"':
+		return ts.readString(pos, skip)
+	case 't':
+		if ts.hasLiteral(pos, "true") {
+			return ts.literal(jsontext.TokTrue, pos, 4)
+		}
+		return ts.delegate(pos, skip)
+	case 'f':
+		if ts.hasLiteral(pos, "false") {
+			return ts.literal(jsontext.TokFalse, pos, 5)
+		}
+		return ts.delegate(pos, skip)
+	case 'n':
+		if ts.hasLiteral(pos, "null") {
+			return ts.literal(jsontext.TokNull, pos, 4)
+		}
+		return ts.delegate(pos, skip)
+	default:
+		if c == '-' || (c >= '0' && c <= '9') {
+			if tok, ok := ts.fastNumber(pos, skip); ok {
+				return tok, nil
+			}
+		}
+		return ts.delegate(pos, skip)
+	}
+}
+
+func (ts *TokenSource) delim(kind jsontext.TokenKind, pos int) (jsontext.Token, error) {
+	ts.pos = pos + 1
+	return jsontext.Token{Kind: kind, Offset: ts.base + pos}, nil
+}
+
+func (ts *TokenSource) hasLiteral(pos int, lit string) bool {
+	return pos+len(lit) <= len(ts.data) && string(ts.data[pos:pos+len(lit)]) == lit
+}
+
+func (ts *TokenSource) literal(kind jsontext.TokenKind, pos, n int) (jsontext.Token, error) {
+	ts.pos = pos + n
+	return jsontext.Token{Kind: kind, Offset: ts.base + pos}, nil
+}
+
+// readString resolves a string token positionally: the closing quote is
+// the next structural-quote bit, and the span between the quotes is
+// "clean" when it holds no backslash, no control byte and (in decoding
+// mode) no non-ASCII byte — exactly the precondition of the reference
+// lexer's fast path, so the bytes need never be scanned. Anything else
+// delegates to the reference lexer for identical decoding and errors.
+func (ts *TokenSource) readString(open int, skip bool) (jsontext.Token, error) {
+	if !hasBit(ts.quote, open) {
+		// Reachable only after a stray backslash outside a string, which
+		// itself lexes as an error first; delegate defensively.
+		return ts.delegate(open, skip)
+	}
+	close := nextSetBit(ts.quote, open+1)
+	if close < 0 {
+		// Unterminated: the reference lexer words the error.
+		return ts.delegate(open, skip)
+	}
+	if anyInRange(ts.backslash, open+1, close) || anyInRange(ts.ctrl, open+1, close) ||
+		(!skip && anyInRange(ts.nonascii, open+1, close)) {
+		return ts.delegate(open, skip)
+	}
+	var s string
+	if !skip {
+		s = ts.internBytes(ts.data[open+1 : close])
+	}
+	ts.pos = close + 1
+	return jsontext.Token{Kind: jsontext.TokString, Str: s, Offset: ts.base + open}, nil
+}
+
+// fastNumber resolves plain integer literals — no sign beyond a leading
+// '-', no fraction, no exponent, at most 18 digits — without strconv,
+// mirroring the reference lexer's allocation-free skip-mode path (the
+// int64 → float64 conversion rounds exactly as strconv.ParseFloat
+// would; the mirrored grammar is held in lockstep by FuzzTokenSource
+// and TestTokenSourceMatchesLexer). Decoding mode and every other
+// spelling delegate, keeping NumRaw, overflow handling and error
+// wording identical.
+func (ts *TokenSource) fastNumber(pos int, skip bool) (jsontext.Token, bool) {
+	if !skip {
+		return jsontext.Token{}, false
+	}
+	data := ts.data
+	i := pos
+	if data[i] == '-' {
+		i++
+	}
+	switch {
+	case i < len(data) && data[i] == '0':
+		i++
+	case i < len(data) && data[i] >= '1' && data[i] <= '9':
+		for i < len(data) && data[i] >= '0' && data[i] <= '9' {
+			i++
+		}
+	default:
+		return jsontext.Token{}, false
+	}
+	if i < len(data) && (data[i] == '.' || data[i] == 'e' || data[i] == 'E') {
+		return jsontext.Token{}, false
+	}
+	digits := i - pos
+	neg := data[pos] == '-'
+	if neg {
+		digits--
+	}
+	if digits > 18 {
+		return jsontext.Token{}, false
+	}
+	var v int64
+	for _, c := range data[pos:i] {
+		if c != '-' {
+			v = v*10 + int64(c-'0')
+		}
+	}
+	if neg {
+		v = -v
+	}
+	ts.pos = i
+	return jsontext.Token{Kind: jsontext.TokNumber, Num: float64(v), Offset: ts.base + pos}, true
+}
+
+// delegate hands the token at pos to the reference lexer and rebases
+// its offsets onto the stream.
+func (ts *TokenSource) delegate(pos int, skip bool) (jsontext.Token, error) {
+	tok, end, err := ts.scan.ScanAt(ts.data, pos, skip)
+	if err != nil {
+		if se, ok := err.(*jsontext.SyntaxError); ok {
+			return jsontext.Token{}, &jsontext.SyntaxError{Offset: se.Offset + ts.base, Msg: se.Msg}
+		}
+		return jsontext.Token{}, err
+	}
+	ts.pos = end
+	tok.Offset += ts.base
+	return tok, nil
+}
+
+// internBytes dedups field-name strings, as the lexer's intern cache
+// does for the delegated path.
+func (ts *TokenSource) internBytes(b []byte) string {
+	if ts.intern == nil {
+		return string(b)
+	}
+	if s, ok := ts.intern[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	ts.intern[s] = s
+	return s
+}
+
+// hasBit reports whether bit i of the packed bitmap is set.
+func hasBit(bm []uint64, i int) bool { return bm[i>>6]&(1<<uint(i&63)) != 0 }
+
+// nextSetBit returns the smallest set bit position >= from, or -1.
+func nextSetBit(bm []uint64, from int) int {
+	w := from >> 6
+	if w >= len(bm) {
+		return -1
+	}
+	word := bm[w] &^ ((1 << uint(from&63)) - 1)
+	for {
+		if word != 0 {
+			return w*64 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= len(bm) {
+			return -1
+		}
+		word = bm[w]
+	}
+}
+
+// anyInRange reports whether any bit in [lo, hi) is set.
+func anyInRange(bm []uint64, lo, hi int) bool {
+	if lo >= hi {
+		return false
+	}
+	wLo, wHi := lo>>6, (hi-1)>>6
+	maskLo := ^uint64(0) << uint(lo&63)
+	maskHi := ^uint64(0) >> uint(63-(hi-1)&63)
+	if wLo == wHi {
+		return bm[wLo]&maskLo&maskHi != 0
+	}
+	if bm[wLo]&maskLo != 0 || bm[wHi]&maskHi != 0 {
+		return true
+	}
+	for w := wLo + 1; w < wHi; w++ {
+		if bm[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// lastSetBit returns the largest set bit position, or -1.
+func lastSetBit(bm []uint64) int {
+	for w := len(bm) - 1; w >= 0; w-- {
+		if bm[w] != 0 {
+			return w*64 + 63 - bits.LeadingZeros64(bm[w])
+		}
+	}
+	return -1
+}

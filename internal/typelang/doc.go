@@ -1,0 +1,22 @@
+// Package typelang implements the type algebra at the centre of the
+// tutorial: the record, sequence (array) and union types that §3 names
+// as the three constructors a language needs "to directly and naturally
+// manage JSON data", plus the Null/Bool/Int/Num/Str atoms, Any (top)
+// and Bottom (bottom). Types carry counting annotations (how many
+// values each node summarises, how often each record field occurs), the
+// basis of the precision metrics and of witness generation.
+//
+// Every other formalism in the repository converts through this
+// algebra: the schema languages of §2 (JSON Schema, Joi, JSound)
+// translate to and from it, the inference tools of §4.1 produce it, the
+// code generators of §3 (TypeScript, Swift) consume it, and the
+// translators of §5 are driven by it.
+//
+// In the streamed inference pipeline this package is the reduce: Merge
+// is the associative, commutative least upper bound — parameterised by
+// kind or label equivalence — that lets document types fold in batches,
+// across workers, and finally across chunks in stream order, with
+// MergeAll amortising union canonicalisation over whole batches.
+//
+// Types are immutable once built; all operations return new values.
+package typelang

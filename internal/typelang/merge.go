@@ -33,8 +33,15 @@ func (e Equiv) String() string {
 }
 
 // Merge returns the least upper bound of a and b under equivalence e.
-// It is commutative and associative, and idempotent up to counts
-// (structural equality ignores counts).
+// It is commutative and associative on arbitrary inputs, and
+// idempotent up to counts (structural equality ignores counts) on
+// canonical inputs — types already in e's canonical form, which
+// everything this package and the inference map phase produce. A
+// non-canonical input (say, a hand-built union of two records under
+// K) is deeply canonicalised whenever fusion touches it, but a lone
+// alternative is reused as-is: that reuse is what keeps the
+// collection fold O(changed part) per document, and it is why
+// idempotence needs the canonical precondition.
 func Merge(a, b *Type, e Equiv) *Type {
 	alts := make([]*Type, 0, 4)
 	alts = appendAlts(alts, a)

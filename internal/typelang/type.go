@@ -1,16 +1,6 @@
-// Package typelang implements the type algebra at the centre of the
-// tutorial: the record, sequence (array) and union types that §3 names
-// as the three constructors a language needs "to directly and naturally
-// manage JSON data", plus the Null/Bool/Int/Num/Str atoms, Any (top) and
-// Bottom (bottom).
-//
-// Every other formalism in the repository converts through this algebra:
-// the schema languages of §2 (JSON Schema, Joi, JSound) translate to and
-// from it, the inference tools of §4.1 produce it, the code generators
-// of §3 (TypeScript, Swift) consume it, and the translators of §5 are
-// driven by it.
-//
-// Types are immutable once built; all operations return new values.
+// type.go defines the Type node, its constructors and renderings; the
+// least upper bound lives in merge.go, subtyping in subtype.go.
+
 package typelang
 
 import (
