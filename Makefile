@@ -3,9 +3,10 @@ GO ?= go
 # The packages with first-class doc.go documentation; `make docs`
 # smoke-tests that each still renders.
 DOC_PKGS = repro/internal/jsontext repro/internal/infer \
-           repro/internal/typelang repro/internal/mison repro/internal/core
+           repro/internal/typelang repro/internal/mison repro/internal/core \
+           repro/internal/registry
 
-.PHONY: all build vet test race bench bench-stream docs fixtures ci
+.PHONY: all build vet test race bench bench-stream docs fixtures serve smoke-daemon ci
 
 all: build
 
@@ -20,7 +21,7 @@ test:
 
 # Concurrency-sensitive packages under the race detector.
 race:
-	$(GO) test -race ./internal/infer/ ./internal/typelang/ ./internal/jsontext/ ./internal/mison/
+	$(GO) test -race ./internal/infer/ ./internal/typelang/ ./internal/jsontext/ ./internal/mison/ ./internal/registry/ ./cmd/jsinferd/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
@@ -42,6 +43,16 @@ docs:
 	@for pkg in $(DOC_PKGS); do \
 		$(GO) doc $$pkg >/dev/null || exit 1; done
 	@echo "docs ok"
+
+# Run the jsinferd ingest daemon locally (ctrl-C to stop).
+serve:
+	$(GO) run repro/cmd/jsinferd -addr :8787
+
+# End-to-end daemon smoke: boot jsinferd, POST a checked-in fixture,
+# and assert the served schema is byte-identical to `jsinfer -stream`
+# over the same file.
+smoke-daemon:
+	./scripts/smoke_jsinferd.sh
 
 # Regenerate the checked-in NDJSON fixtures (deterministic seeds).
 fixtures:

@@ -27,6 +27,7 @@ import (
 	"repro/internal/mongoschema"
 	"repro/internal/normalize"
 	"repro/internal/profile"
+	"repro/internal/registry"
 	"repro/internal/skeleton"
 	"repro/internal/skinfer"
 	"repro/internal/sparkinfer"
@@ -90,7 +91,11 @@ func BenchmarkE3ParallelInference(b *testing.B) {
 // parallel variants lex on the workers instead of the feeding
 // goroutine, and the mison rows lex through the structural index
 // (bitmap chunking, positional string skipping) instead of the
-// byte-at-a-time scan.
+// byte-at-a-time scan. The parallel rows reduce through the sharded
+// collector tree by default; the single-collector rows pin the old
+// ordered in-line fold as the A/B baseline, and the registry-ingest
+// rows measure the same bytes arriving through the live-merge registry
+// (shared symbol table, collector tree left open across requests).
 func BenchmarkE3StreamingInference(b *testing.B) {
 	docs := genjson.Collection(genjson.Twitter{Seed: 13}, 5000)
 	raw := jsontext.MarshalLines(docs)
@@ -151,6 +156,34 @@ func BenchmarkE3StreamingInference(b *testing.B) {
 				}
 			})
 		}
+		// The old ordered in-line fold (ReduceShards: 1), the A/B
+		// baseline for the default sharded reduce above.
+		b.Run(fmt.Sprintf("mison-parallel-%d-single-collector", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(raw)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := infer.InferStreamParallel(bytes.NewReader(raw),
+					infer.Options{Equiv: typelang.EquivLabel, Workers: workers, ReduceShards: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// The registry ingest path: same pipeline, but folding into one
+		// long-lived collection's collector tree through the shared
+		// symbol table — the steady-state per-request cost of the
+		// jsinferd daemon (the schema converges after the first request,
+		// so later iterations measure warm live-merge).
+		b.Run(fmt.Sprintf("registry-ingest-%d", workers), func(b *testing.B) {
+			reg := registry.New(registry.Options{Equiv: typelang.EquivLabel, Workers: workers})
+			defer reg.Close()
+			b.SetBytes(int64(len(raw)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := reg.Ingest("bench", bytes.NewReader(raw)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

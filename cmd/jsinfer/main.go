@@ -16,12 +16,14 @@
 // value trees), and the workers lex and type document-aligned byte
 // chunks in parallel, so collections far larger than memory infer at
 // multi-worker speed. -tokenizer picks the streamed lexing machinery:
-// "scan" (default) is the byte-at-a-time reference lexer, "mison" the
-// structural-index fast path (bitmap chunking and lexing, identical
-// results). Streaming is parametric-only. A streamed report has no
-// precision column in its single pass; -precision fills it by
-// re-reading the input in a bounded-memory second pass, which requires
-// file arguments (stdin cannot be re-read).
+// "mison" (default) is the structural-index fast path (bitmap chunking
+// and lexing), "scan" the byte-at-a-time reference lexer kept as the
+// fallback and A/B baseline — both produce identical results.
+// Streaming is parametric-only. A streamed report has no precision
+// column in its single pass; -precision fills it by re-reading the
+// input in a bounded-memory second pass, which requires file arguments
+// (stdin cannot be re-read). Flag combinations that could only fail
+// after the (potentially huge) first pass are rejected up front.
 //
 // -counted renders the selected parametric engine's own counting
 // annotations; for Spark/Skinfer (whose types carry no counts) it
@@ -47,9 +49,15 @@ func main() {
 	simplify := flag.Bool("simplify", false, "drop union alternatives subsumed by others")
 	workers := flag.Int("workers", 0, "parallel inference workers (parametric engines; 0 = GOMAXPROCS)")
 	stream := flag.Bool("stream", false, "stream the input instead of materialising it (parametric engines only)")
-	tokenizer := flag.String("tokenizer", "scan", "with -stream: lexing machinery, scan or mison")
+	tokenizer := flag.String("tokenizer", "mison", "with -stream: lexing machinery, mison (default) or scan")
 	precision := flag.Bool("precision", false, "with -stream: compute precision in a second pass over the input files")
 	flag.Parse()
+	tokenizerSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "tokenizer" {
+			tokenizerSet = true
+		}
+	})
 
 	var eng core.Engine
 	switch *engine {
@@ -79,21 +87,13 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown tokenizer %q", *tokenizer))
 	}
-	if tz != core.TokenizerScan && !*stream {
-		fatal(fmt.Errorf("-tokenizer selects the streamed lexer; add -stream"))
+	// Flag-only validation happens before any input is read: a bad
+	// combination must exit non-zero immediately, not after a
+	// potentially huge inference pass (or, worse, be silently ignored).
+	if err := validateStreamFlags(*stream, *precision, tokenizerSet, *output, flag.NArg()); err != nil {
+		fatal(err)
 	}
 	if *stream {
-		// Flag-only validation happens before the (potentially huge)
-		// inference pass: -precision re-reads the input for the report's
-		// precision column, so it needs the report output and re-readable
-		// file arguments — anything else would waste the whole first
-		// pass before erroring.
-		if *precision && *output != "report" {
-			fatal(fmt.Errorf("-precision only affects -output report"))
-		}
-		if *precision && flag.NArg() == 0 {
-			fatal(fmt.Errorf("-precision with -stream needs file arguments: stdin cannot be re-read"))
-		}
 		var err error
 		result, ndocs, err = streamInput(flag.Args(), eng, core.StreamOptions{Workers: *workers, Tokenizer: tz})
 		if err != nil {
@@ -167,6 +167,31 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown output %q", *output))
 	}
+}
+
+// validateStreamFlags rejects stream-flag combinations up front, before
+// any input is read: -precision re-reads the input for the report's
+// precision column, so it needs -stream, the report output and
+// re-readable file arguments (stdin cannot be re-read); -tokenizer
+// configures the streamed lexer, so explicitly setting it without
+// -stream is a mistake rather than something to ignore.
+func validateStreamFlags(stream, precision, tokenizerSet bool, output string, nArgs int) error {
+	if !stream {
+		if precision {
+			return fmt.Errorf("-precision requires -stream (a materialised report always includes precision)")
+		}
+		if tokenizerSet {
+			return fmt.Errorf("-tokenizer selects the streamed lexer; add -stream")
+		}
+		return nil
+	}
+	if precision && output != "report" {
+		return fmt.Errorf("-precision only affects -output report")
+	}
+	if precision && nArgs == 0 {
+		return fmt.Errorf("-precision with -stream needs file arguments: stdin cannot be re-read")
+	}
+	return nil
 }
 
 func readInput(files []string) ([]*jsonvalue.Value, error) {

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+// TestValidateStreamFlags pins the fail-fast matrix: every combination
+// that could only fail after (or silently survive) a full inference
+// pass must be rejected before any input is read.
+func TestValidateStreamFlags(t *testing.T) {
+	cases := []struct {
+		name                            string
+		stream, precision, tokenizerSet bool
+		output                          string
+		nArgs                           int
+		wantErr                         bool
+	}{
+		{"plain materialised", false, false, false, "type", 1, false},
+		{"plain streamed stdin", true, false, false, "type", 0, false},
+		{"streamed report from files with precision", true, true, false, "report", 2, false},
+		{"explicit tokenizer with stream", true, false, true, "type", 0, false},
+
+		{"precision without stream", false, true, false, "report", 1, true},
+		{"tokenizer without stream", false, false, true, "type", 1, true},
+		{"precision on non-report output", true, true, false, "type", 1, true},
+		{"precision from stdin", true, true, false, "report", 0, true},
+	}
+	for _, c := range cases {
+		err := validateStreamFlags(c.stream, c.precision, c.tokenizerSet, c.output, c.nArgs)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: err = %v, wantErr = %v", c.name, err, c.wantErr)
+		}
+	}
+}

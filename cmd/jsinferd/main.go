@@ -1,0 +1,238 @@
+// Command jsinferd is the schema-inference ingest daemon: a long-running
+// HTTP service over the live-merge registry (internal/registry). Clients
+// stream NDJSON at named collections and read back the monotonically
+// growing schema at any time, in any of jsinfer's output formats — the
+// batch CLI turned into a service, with byte-identical schemas.
+//
+// Usage:
+//
+//	jsinferd [-addr :8787] [-engine parametric-L|parametric-K]
+//	         [-workers N] [-shards N] [-tokenizer mison|scan]
+//
+// API:
+//
+//	POST /v1/collections/{name}/ingest
+//	    Body: NDJSON or concatenated JSON, streamed straight into the
+//	    chunked token pipeline (bounded memory; the body is never
+//	    materialised). Returns a JSON summary {collection, docs,
+//	    total_docs, version}. A malformed document merges exactly the
+//	    documents before it and yields 400 with the absolute body
+//	    offset; the collection keeps the prefix.
+//	GET /v1/collections/{name}/schema?output=type|counted|jsonschema|typescript|swift
+//	    The live schema in jsinfer's output formats: text/plain for
+//	    type/counted/typescript/swift, application/json for jsonschema.
+//	    With ?meta=1, a JSON envelope with docs/version/schema instead.
+//	GET /v1/collections
+//	    JSON list of collections with docs/version/error counters.
+//	GET /v1/stats
+//	    Registry-wide aggregates (collections, docs, ingests, errors,
+//	    interned symbols).
+//	GET /healthz
+//	    Liveness.
+//
+// Concurrent ingests — to one collection or many — fold through each
+// collection's sharded collector tree; schema reads are lock-free
+// snapshots that never block ingest. See docs/ARCHITECTURE.md for the
+// collector tree and the snapshot consistency model.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jsontext"
+	"repro/internal/jsonvalue"
+	"repro/internal/registry"
+	"repro/internal/typelang"
+)
+
+func main() {
+	addr := flag.String("addr", ":8787", "listen address")
+	engine := flag.String("engine", "parametric-L", "inference engine: parametric-L or parametric-K")
+	workers := flag.Int("workers", 0, "parallel chunk workers per ingest request (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "leaf collectors per collection (0 = auto)")
+	tokenizer := flag.String("tokenizer", "mison", "streamed lexing machinery: mison or scan")
+	flag.Parse()
+
+	opts := registry.Options{Workers: *workers, Shards: *shards}
+	switch *engine {
+	case "parametric-L":
+		opts.Equiv = typelang.EquivLabel
+	case "parametric-K":
+		opts.Equiv = typelang.EquivKind
+	default:
+		log.Fatalf("jsinferd: unknown engine %q (want parametric-L or parametric-K)", *engine)
+	}
+	switch *tokenizer {
+	case "mison":
+		opts.Tokenizer = core.TokenizerMison
+	case "scan":
+		opts.Tokenizer = core.TokenizerScan
+	default:
+		log.Fatalf("jsinferd: unknown tokenizer %q (want mison or scan)", *tokenizer)
+	}
+
+	reg := registry.New(opts)
+	srv := &http.Server{Addr: *addr, Handler: newHandler(reg)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Println("jsinferd: shutting down")
+		// Drain in-flight ingests: an interrupted POST would leave the
+		// client unable to tell which prefix of its body was merged.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("jsinferd: shutdown: %v", err)
+		}
+	}()
+	log.Printf("jsinferd: engine %s, tokenizer %s, listening on %s", *engine, *tokenizer, *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("jsinferd: %v", err)
+	}
+	<-done
+}
+
+// newHandler builds the daemon's routing table over reg. It is the seam
+// the tests drive through httptest.
+func newHandler(reg *registry.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, jsonvalue.ObjectFromPairs("status", "ok"))
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := reg.Stats()
+		writeJSON(w, http.StatusOK, jsonvalue.ObjectFromPairs(
+			"collections", st.Collections,
+			"docs", st.Docs,
+			"ingests", st.Ingests,
+			"errors", st.Errors,
+			"symbols", st.Symbols,
+		))
+	})
+	mux.HandleFunc("GET /v1/collections", func(w http.ResponseWriter, r *http.Request) {
+		snaps := reg.List()
+		items := make([]*jsonvalue.Value, len(snaps))
+		for i, s := range snaps {
+			items[i] = snapshotMeta(s)
+		}
+		writeJSON(w, http.StatusOK, jsonvalue.ObjectFromPairs(
+			"collections", jsonvalue.NewArray(items...)))
+	})
+	mux.HandleFunc("POST /v1/collections/{name}/ingest", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if name == "" {
+			writeError(w, http.StatusBadRequest, "empty collection name")
+			return
+		}
+		res, err := reg.Ingest(name, r.Body)
+		if err != nil {
+			// The prefix before the error is merged and kept; report
+			// both the failure and how far ingest got.
+			writeJSON(w, http.StatusBadRequest, jsonvalue.ObjectFromPairs(
+				"error", err.Error(),
+				"collection", res.Collection,
+				"docs", res.Docs,
+				"total_docs", res.TotalDocs,
+				"version", int64(res.Version),
+			))
+			return
+		}
+		writeJSON(w, http.StatusOK, jsonvalue.ObjectFromPairs(
+			"collection", res.Collection,
+			"docs", res.Docs,
+			"total_docs", res.TotalDocs,
+			"version", int64(res.Version),
+		))
+	})
+	mux.HandleFunc("GET /v1/collections/{name}/schema", func(w http.ResponseWriter, r *http.Request) {
+		snap, ok := reg.Get(r.PathValue("name"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown collection "+r.PathValue("name"))
+			return
+		}
+		output := r.URL.Query().Get("output")
+		if output == "" {
+			output = "type"
+		}
+		if r.URL.Query().Get("meta") != "" {
+			rendered, err := renderSchema(snap.Type, output)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			meta := snapshotMeta(snap).WithField("schema", jsonvalue.FromGo(rendered))
+			writeJSON(w, http.StatusOK, meta)
+			return
+		}
+		switch output {
+		case "jsonschema":
+			writeJSON(w, http.StatusOK, core.TypeToJSONSchema(snap.Type))
+		default:
+			rendered, err := renderSchema(snap.Type, output)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			s, _ := rendered.(string)
+			fmt.Fprintln(w, s)
+		}
+	})
+	return mux
+}
+
+// renderSchema renders t in one of jsinfer's output formats: a string
+// for the text forms, a *jsonvalue.Value for jsonschema.
+func renderSchema(t *core.Type, output string) (any, error) {
+	switch output {
+	case "type":
+		return t.String(), nil
+	case "counted":
+		return t.StringCounted(), nil
+	case "typescript":
+		return core.TypeToTypeScript("Root", t), nil
+	case "swift":
+		return core.TypeToSwift("Root", t), nil
+	case "jsonschema":
+		return core.TypeToJSONSchema(t), nil
+	default:
+		return nil, fmt.Errorf("unknown output %q (want type, counted, jsonschema, typescript or swift)", output)
+	}
+}
+
+// snapshotMeta is the JSON envelope of one collection snapshot, minus
+// the schema itself.
+func snapshotMeta(s registry.Snapshot) *jsonvalue.Value {
+	return jsonvalue.ObjectFromPairs(
+		"name", s.Name,
+		"docs", s.Docs,
+		"version", int64(s.Version),
+		"ingests", s.Ingests,
+		"errors", s.Errors,
+		"schema_nodes", s.Type.Size(),
+	)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v *jsonvalue.Value) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(jsontext.MarshalIndent(v, "  "))
+	w.Write([]byte("\n"))
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, jsonvalue.ObjectFromPairs("error", msg))
+}

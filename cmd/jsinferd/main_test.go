@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/genjson"
+	"repro/internal/jsontext"
+	"repro/internal/registry"
+	"repro/internal/typelang"
+)
+
+func newTestServer(t *testing.T, opts registry.Options) (*httptest.Server, *registry.Registry) {
+	t.Helper()
+	reg := registry.New(opts)
+	srv := httptest.NewServer(newHandler(reg))
+	t.Cleanup(func() {
+		srv.Close()
+		reg.Close()
+	})
+	return srv, reg
+}
+
+func post(t *testing.T, url string, body []byte) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(out)
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(out)
+}
+
+// TestServedSchemaMatchesBatchCLI is the acceptance criterion end to
+// end: ingest a checked-in fixture over HTTP and the served schema must
+// be byte-identical to what `jsinfer -stream` prints for the same file
+// (the CLI is fmt.Println over core.InferSchemaStreamFiles's Type).
+func TestServedSchemaMatchesBatchCLI(t *testing.T) {
+	fixtures, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.ndjson"))
+	if err != nil || len(fixtures) == 0 {
+		t.Fatalf("fixtures: %v (%d found)", err, len(fixtures))
+	}
+	srv, _ := newTestServer(t, registry.Options{Equiv: typelang.EquivLabel})
+	for _, name := range fixtures {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := filepath.Base(name)
+		if code, body := post(t, srv.URL+"/v1/collections/"+col+"/ingest", data); code != http.StatusOK {
+			t.Fatalf("%s: ingest status %d: %s", col, code, body)
+		}
+		inf, n, err := core.InferSchemaStreamFiles([]string{name}, core.ParametricL, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, served := get(t, srv.URL+"/v1/collections/"+col+"/schema")
+		if want := inf.Type.String() + "\n"; served != want {
+			t.Errorf("%s: served schema diverges from jsinfer -stream\n cli:    %s daemon: %s", col, want, served)
+		}
+		_, counted := get(t, srv.URL+"/v1/collections/"+col+"/schema?output=counted")
+		if want := inf.Type.StringCounted() + "\n"; counted != want {
+			t.Errorf("%s: counted rendering diverges\n cli:    %s daemon: %s", col, want, counted)
+		}
+		_, body := get(t, srv.URL+"/v1/collections/"+col+"/schema?meta=1")
+		meta, err := jsontext.Parse([]byte(body))
+		if err != nil {
+			t.Fatalf("%s: meta envelope is not JSON: %v", col, err)
+		}
+		if docs, _ := meta.Get("docs"); docs.Int() != int64(n) {
+			t.Errorf("%s: meta docs = %d, want %d", col, docs.Int(), n)
+		}
+	}
+}
+
+// TestConcurrentIngestOneCollection: many clients POSTing slices of one
+// stream concurrently must converge to exactly the batch schema.
+func TestConcurrentIngestOneCollection(t *testing.T) {
+	docs := genjson.Collection(genjson.Twitter{Seed: 301}, 600)
+	data := jsontext.MarshalLines(docs)
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	const clients = 6
+	var parts [clients][]byte
+	for i, ln := range lines {
+		parts[i%clients] = append(parts[i%clients], ln...)
+	}
+	srv, reg := newTestServer(t, registry.Options{Equiv: typelang.EquivLabel, Workers: 2})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/v1/collections/tweets/ingest", "", bytes.NewReader(parts[c]))
+			if err != nil {
+				t.Errorf("client %d: %v", c, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("client %d: status %d", c, resp.StatusCode)
+			}
+		}(c)
+	}
+	wg.Wait()
+	want, _, err := core.InferSchemaStream(bytes.NewReader(data), core.ParametricL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, served := get(t, srv.URL+"/v1/collections/tweets/schema")
+	if served != want.Type.String()+"\n" {
+		t.Errorf("concurrent ingest diverges from batch\n batch:  %s\n daemon: %s", want.Type, served)
+	}
+	snap, _ := reg.Get("tweets")
+	if snap.Docs != int64(len(docs)) || snap.Version != clients {
+		t.Errorf("docs=%d version=%d, want %d/%d", snap.Docs, snap.Version, len(docs), clients)
+	}
+}
+
+// TestIngestErrorReturns400AndKeepsPrefix: malformed bodies report the
+// absolute offset, keep the valid prefix, and show up in stats.
+func TestIngestErrorReturns400AndKeepsPrefix(t *testing.T) {
+	srv, _ := newTestServer(t, registry.Options{})
+	code, body := post(t, srv.URL+"/v1/collections/c/ingest", []byte("{\"a\": 1}\n{]\n"))
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (%s)", code, body)
+	}
+	v, err := jsontext.Parse([]byte(body))
+	if err != nil {
+		t.Fatalf("error body is not JSON: %v", err)
+	}
+	if msg, ok := v.Get("error"); !ok || !strings.Contains(msg.Str(), "offset") {
+		t.Errorf("error message should carry the offset, got %s", body)
+	}
+	if d, _ := v.Get("docs"); d.Int() != 1 {
+		t.Errorf("docs = %d, want the 1 doc before the error", d.Int())
+	}
+	_, served := get(t, srv.URL+"/v1/collections/c/schema")
+	if served != "{a: Int}\n" {
+		t.Errorf("prefix schema = %q, want {a: Int}", served)
+	}
+	_, stats := get(t, srv.URL+"/v1/stats")
+	sv, err := jsontext.Parse([]byte(stats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := sv.Get("errors"); e.Int() != 1 {
+		t.Errorf("stats errors = %d, want 1\n%s", e.Int(), stats)
+	}
+}
+
+// TestEndpointsAndFormats covers healthz, list, the remaining output
+// formats and the error paths.
+func TestEndpointsAndFormats(t *testing.T) {
+	srv, _ := newTestServer(t, registry.Options{Equiv: typelang.EquivLabel})
+	if code, body := get(t, srv.URL+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthz = %d %s", code, body)
+	}
+	if code, _ := get(t, srv.URL+"/v1/collections/none/schema"); code != http.StatusNotFound {
+		t.Errorf("unknown collection schema status = %d, want 404", code)
+	}
+	if code, _ := post(t, srv.URL+"/v1/collections/orders/ingest",
+		[]byte(`{"id": 1, "total": 9.5, "tags": ["a"]}`+"\n")); code != http.StatusOK {
+		t.Fatalf("ingest status %d", code)
+	}
+	if code, _ := get(t, srv.URL+"/v1/collections/orders/schema?output=nope"); code != http.StatusBadRequest {
+		t.Errorf("unknown output status = %d, want 400", code)
+	}
+
+	_, js := get(t, srv.URL+"/v1/collections/orders/schema?output=jsonschema")
+	doc, err := jsontext.Parse([]byte(js))
+	if err != nil {
+		t.Fatalf("jsonschema output is not JSON: %v", err)
+	}
+	if ty, _ := doc.Get("type"); ty.Str() != "object" {
+		t.Errorf("jsonschema type = %q, want object", ty.Str())
+	}
+	_, ts := get(t, srv.URL+"/v1/collections/orders/schema?output=typescript")
+	if !strings.Contains(ts, "total") {
+		t.Errorf("typescript output missing fields: %s", ts)
+	}
+	_, sw := get(t, srv.URL+"/v1/collections/orders/schema?output=swift")
+	if !strings.Contains(sw, "total") {
+		t.Errorf("swift output missing fields: %s", sw)
+	}
+
+	_, list := get(t, srv.URL+"/v1/collections")
+	lv, err := jsontext.Parse([]byte(list))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, _ := lv.Get("collections")
+	if cols.Len() != 1 {
+		t.Fatalf("list holds %d collections, want 1\n%s", cols.Len(), list)
+	}
+	first := cols.Elem(0)
+	if name, _ := first.Get("name"); name.Str() != "orders" {
+		t.Errorf("list name = %q", name.Str())
+	}
+	if d, _ := first.Get("docs"); d.Int() != 1 {
+		t.Errorf("list docs = %d, want 1", d.Int())
+	}
+
+	// GET on the ingest route (wrong method) must not be routed.
+	resp, err := http.Get(srv.URL + "/v1/collections/orders/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed && resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET ingest status = %d, want 405/404", resp.StatusCode)
+	}
+}
+
+// TestManyCollectionsConcurrently drives distinct collections in
+// parallel and checks isolation: each ends with its own schema.
+func TestManyCollectionsConcurrently(t *testing.T) {
+	srv, reg := newTestServer(t, registry.Options{Workers: 2, Shards: 2})
+	const cols = 5
+	var wg sync.WaitGroup
+	for c := 0; c < cols; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				body := fmt.Sprintf("{\"col%d\": %d}\n", c, i)
+				if code, out := post(t, fmt.Sprintf("%s/v1/collections/c%d/ingest", srv.URL, c), []byte(body)); code != http.StatusOK {
+					t.Errorf("c%d: status %d: %s", c, code, out)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < cols; c++ {
+		snap, ok := reg.Get(fmt.Sprintf("c%d", c))
+		if !ok || snap.Docs != 4 {
+			t.Errorf("c%d: docs=%d ok=%v, want 4", c, snap.Docs, ok)
+			continue
+		}
+		if want := fmt.Sprintf("{col%d: Int}", c); snap.Type.String() != want {
+			t.Errorf("c%d: schema %s, want %s", c, snap.Type, want)
+		}
+	}
+}

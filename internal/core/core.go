@@ -230,9 +230,10 @@ func InferSchemaWorkers(docs []*Value, engine Engine, workers int) (*Inference, 
 }
 
 // Tokenizer selects the lexing machinery of the streamed engines:
-// TokenizerScan is the reference byte-at-a-time lexer, TokenizerMison
-// the structural-index fast path (identical results, bitmap-driven
-// chunking and lexing).
+// TokenizerMison (the default) is the structural-index fast path
+// (bitmap-driven chunking and lexing), TokenizerScan the reference
+// byte-at-a-time lexer kept as the fallback — identical results either
+// way.
 type Tokenizer = infer.Tokenizer
 
 // The tokenizers of the streamed engines.
@@ -246,8 +247,12 @@ type StreamOptions struct {
 	// Workers bounds the parallel chunk workers; 0 means GOMAXPROCS.
 	Workers int
 	// Tokenizer picks the lexing machinery; the zero value is
-	// TokenizerScan.
+	// TokenizerMison.
 	Tokenizer Tokenizer
+	// ReduceShards is the leaf count of the sharded collector tree the
+	// chunk results fold through: 0 sizes it automatically, 1 selects
+	// the single ordered in-line fold.
+	ReduceShards int
 }
 
 // InferSchemaStream infers a parametric schema from a stream of JSON
@@ -282,9 +287,10 @@ func InferSchemaStreamWith(r io.Reader, engine Engine, opts StreamOptions) (*Inf
 		return nil, 0, fmt.Errorf("core: engine %s cannot infer from a stream", engine)
 	}
 	t, n, err := infer.InferStreamParallel(r, infer.Options{
-		Equiv:     eq,
-		Workers:   opts.Workers,
-		Tokenizer: opts.Tokenizer,
+		Equiv:        eq,
+		Workers:      opts.Workers,
+		Tokenizer:    opts.Tokenizer,
+		ReduceShards: opts.ReduceShards,
 	})
 	return &Inference{
 		Engine:     engine,

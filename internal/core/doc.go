@@ -13,12 +13,15 @@
 //   - InferSchemaStream / InferSchemaStreamWith and their *Files
 //     variants run the parametric engines over streams of any size in
 //     bounded memory, typing documents straight from tokens;
-//     StreamOptions selects the worker count and the tokenizer
-//     (TokenizerScan for the reference lexer, TokenizerMison for the
-//     structural-index fast path — identical results);
+//     StreamOptions selects the worker count, the tokenizer
+//     (TokenizerMison, the default structural-index fast path, or
+//     TokenizerScan, the reference lexer — identical results) and the
+//     reduce shape (ReduceShards leaves of the collector tree);
 //   - StreamPrecision / StreamPrecisionFiles grade a schema against
 //     re-readable input in a bounded-memory second pass, filling the
 //     precision column a single streamed pass cannot compute.
 //
-// The cmd/jsinfer command is a thin CLI over exactly this surface.
+// The cmd/jsinfer command is a thin CLI over exactly this surface, and
+// internal/registry + cmd/jsinferd serve the same inference as a
+// long-running ingest daemon with live, versioned schemas.
 package core

@@ -1,0 +1,245 @@
+package infer
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/typelang"
+)
+
+// This file is the sharded collector tree — the distributed reduce that
+// removes the last sequential stage of the streamed pipeline. Chunk
+// results used to fold through one collector goroutine in stream order;
+// with wide worker pools that single fold became the bottleneck (the
+// merge inside typelang dominates the streamed profile). The tree splits
+// the fold: N leaf collectors each own a shard of the chunk results and
+// fold their share on their own goroutine, and a root fuses the shard
+// partials with typelang.Merge — on demand for snapshots, and in the
+// background whenever a leaf publishes, so reads mostly hit a cache.
+//
+// By associativity and commutativity of the merge the tree's result is
+// byte-identical (same rendering, same counts) to the single ordered
+// fold's, which is pinned by the collector tests. The tree is also the
+// live-merge engine of internal/registry: long-lived collections fold
+// ingest traffic through it and serve snapshot reads that never block
+// the ingest path.
+
+// maxAutoShards caps the automatically-sized collector tree: shard
+// partials multiply the final fuse cost, and past a handful of leaves
+// the fold is never the bottleneck again.
+const maxAutoShards = 8
+
+// collectorBatch is how many chunk types a leaf buffers per MergeAll.
+// Chunk types are already batch-merged summaries (not single documents),
+// so a small batch amortises canonicalisation without delaying
+// snapshot visibility much.
+const collectorBatch = 8
+
+// leafState is a leaf's published partial: the merged type and document
+// count of everything folded so far, plus a generation that bumps on
+// every publish (the root's cache key).
+type leafState struct {
+	acc  *typelang.Type
+	docs int64
+	gen  uint64
+}
+
+// leafMsg is one unit of leaf work: a chunk type to fold, or (when wg is
+// non-nil) a flush marker to acknowledge once everything enqueued before
+// it is folded and published.
+type leafMsg struct {
+	t    *typelang.Type
+	docs int64
+	wg   *sync.WaitGroup
+}
+
+// leafCollector is one shard of the tree: a goroutine draining in,
+// folding with the batched MergeAll discipline, and publishing its
+// partial through an atomic pointer that snapshot readers load without
+// any lock.
+type leafCollector struct {
+	in    chan leafMsg
+	state atomic.Pointer[leafState]
+	done  chan struct{}
+}
+
+func (l *leafCollector) run(e typelang.Equiv, poke chan<- struct{}) {
+	defer close(l.done)
+	var (
+		acc  = typelang.Bottom
+		docs int64
+		gen  uint64
+		buf  = make([]*typelang.Type, 0, collectorBatch+1)
+	)
+	publish := func() {
+		if len(buf) > 0 {
+			acc = typelang.MergeAll(buf, e)
+			buf = buf[:0]
+		}
+		gen++
+		l.state.Store(&leafState{acc: acc, docs: docs, gen: gen})
+		select {
+		case poke <- struct{}{}: // wake the root fuser
+		default: // a fuse is already pending; it will see this publish
+		}
+	}
+	for msg := range l.in {
+		if msg.wg != nil {
+			publish()
+			msg.wg.Done()
+			continue
+		}
+		if len(buf) == 0 {
+			buf = append(buf, acc)
+		}
+		buf = append(buf, msg.t)
+		docs += msg.docs
+		if len(buf) == collectorBatch+1 {
+			publish()
+		}
+	}
+	publish()
+}
+
+// ShardedCollector is the collector tree. Add distributes chunk results
+// round-robin across the leaves (each Add is one channel send — the
+// caller never does merge work), Snapshot reads a consistent-per-leaf
+// view without blocking any leaf, Flush makes everything already added
+// visible to subsequent snapshots, and Close drains the tree and returns
+// the final fold.
+//
+// Add and Snapshot may be called concurrently from any number of
+// goroutines. Add after Close panics.
+type ShardedCollector struct {
+	equiv  typelang.Equiv
+	leaves []*leafCollector
+	rr     atomic.Uint64
+	poke   chan struct{}
+	fused  chan struct{} // closed when the root fuser exits
+
+	// root caches the fused type keyed by the sum of leaf generations;
+	// the doc count is not cached — an equal generation sum implies the
+	// gathered count matches, so Snapshot always returns the gathered
+	// one.
+	root struct {
+		mu    sync.Mutex
+		t     *typelang.Type
+		gen   uint64 // sum of leaf generations when t was fused
+		valid bool
+	}
+}
+
+// NewShardedCollector builds a tree of `shards` leaf collectors folding
+// under equivalence e; shards <= 0 sizes the tree automatically
+// (GOMAXPROCS capped at maxAutoShards). A single-leaf tree is valid and
+// degenerates to one background folder.
+func NewShardedCollector(shards int, e typelang.Equiv) *ShardedCollector {
+	if shards <= 0 {
+		shards = min(runtime.GOMAXPROCS(0), maxAutoShards)
+	}
+	c := &ShardedCollector{
+		equiv:  e,
+		leaves: make([]*leafCollector, shards),
+		poke:   make(chan struct{}, 1),
+		fused:  make(chan struct{}),
+	}
+	for i := range c.leaves {
+		l := &leafCollector{
+			in:   make(chan leafMsg, 2*collectorBatch),
+			done: make(chan struct{}),
+		}
+		l.state.Store(&leafState{acc: typelang.Bottom})
+		c.leaves[i] = l
+		go l.run(e, c.poke)
+	}
+	go c.rootLoop()
+	return c
+}
+
+// rootLoop is the periodic root fuse: every leaf publish pokes it (the
+// buffered channel coalesces bursts), and it refreshes the cached fused
+// type so snapshot reads are mostly cache hits.
+func (c *ShardedCollector) rootLoop() {
+	defer close(c.fused)
+	for range c.poke {
+		c.Snapshot()
+	}
+}
+
+// gather loads every leaf's published state: a consistent view per leaf,
+// and a generation sum that identifies the exact set of publishes seen.
+func (c *ShardedCollector) gather() (alts []*typelang.Type, docs int64, gen uint64) {
+	alts = make([]*typelang.Type, len(c.leaves))
+	for i, l := range c.leaves {
+		s := l.state.Load()
+		alts[i] = s.acc
+		docs += s.docs
+		gen += s.gen
+	}
+	return alts, docs, gen
+}
+
+// Add folds one chunk result (its merged type and document count) into
+// the tree. It distributes round-robin and costs the caller one channel
+// send; the merge work happens on the leaf goroutines.
+func (c *ShardedCollector) Add(t *typelang.Type, docs int64) {
+	i := c.rr.Add(1) - 1
+	c.leaves[i%uint64(len(c.leaves))].in <- leafMsg{t: t, docs: docs}
+}
+
+// Flush blocks until every Add that happened before the call is folded
+// and visible to Snapshot. Concurrent Adds by other goroutines may or
+// may not be included. Ingest paths flush before reporting completion,
+// which is what gives a client read-your-writes on the next snapshot.
+func (c *ShardedCollector) Flush() {
+	var wg sync.WaitGroup
+	wg.Add(len(c.leaves))
+	for _, l := range c.leaves {
+		l.in <- leafMsg{wg: &wg}
+	}
+	wg.Wait()
+}
+
+// Snapshot returns the merged type and document count of everything the
+// leaves have published. It never blocks Add or the leaves: it loads the
+// published partials, serves the root's cached fuse when it is current,
+// and otherwise fuses inline. Chunk results buffered inside a leaf but
+// not yet merged are not visible until that leaf's next publish (or a
+// Flush); successive snapshots only ever grow.
+func (c *ShardedCollector) Snapshot() (*typelang.Type, int64) {
+	alts, docs, gen := c.gather()
+	c.root.mu.Lock()
+	if c.root.valid && c.root.gen == gen {
+		t := c.root.t
+		c.root.mu.Unlock()
+		return t, docs
+	}
+	c.root.mu.Unlock()
+	// The merge runs outside the cache lock so concurrent snapshot
+	// readers are never stuck behind it.
+	t := typelang.MergeAll(alts, c.equiv)
+	c.root.mu.Lock()
+	// Leaf generations are monotone, so a larger sum is a strictly newer
+	// view; a concurrent fuse that saw more publishes wins.
+	if !c.root.valid || gen > c.root.gen {
+		c.root.t, c.root.gen, c.root.valid = t, gen, true
+	}
+	c.root.mu.Unlock()
+	return t, docs
+}
+
+// Close drains the tree — every pending Add is folded — stops the leaf
+// and root goroutines, and returns the final merged type and document
+// count. The collector must not be used after Close.
+func (c *ShardedCollector) Close() (*typelang.Type, int64) {
+	for _, l := range c.leaves {
+		close(l.in)
+	}
+	for _, l := range c.leaves {
+		<-l.done
+	}
+	close(c.poke)
+	<-c.fused
+	return c.Snapshot()
+}

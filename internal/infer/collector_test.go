@@ -1,0 +1,221 @@
+package infer
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/genjson"
+	"repro/internal/jsontext"
+	"repro/internal/typelang"
+)
+
+// TestShardedCollectorMatchesSequentialFold: whatever the shard count,
+// the tree's final fold must be byte-identical (rendering and counts) to
+// the plain sequential MergeAll over the same inputs.
+func TestShardedCollectorMatchesSequentialFold(t *testing.T) {
+	docs := genjson.Collection(genjson.GitHub{Seed: 91}, 300)
+	for _, e := range []typelang.Equiv{typelang.EquivKind, typelang.EquivLabel} {
+		ts := make([]*typelang.Type, len(docs))
+		for i, d := range docs {
+			ts[i] = TypeOf(d, e)
+		}
+		want := typelang.MergeAll(ts, e)
+		for _, shards := range []int{1, 2, 3, 8, 0} {
+			col := NewShardedCollector(shards, e)
+			for _, ty := range ts {
+				col.Add(ty, 1)
+			}
+			got, n := col.Close()
+			if n != int64(len(docs)) {
+				t.Errorf("equiv=%v shards=%d: %d docs, want %d", e, shards, n, len(docs))
+			}
+			if got.StringCounted() != want.StringCounted() {
+				t.Errorf("equiv=%v shards=%d: tree fold diverges\n want: %s\n got:  %s",
+					e, shards, want.StringCounted(), got.StringCounted())
+			}
+		}
+	}
+}
+
+// TestShardedCollectorSnapshotSemantics: snapshots grow monotonically,
+// Flush makes prior Adds visible, and a snapshot never blocks Add.
+func TestShardedCollectorSnapshotSemantics(t *testing.T) {
+	col := NewShardedCollector(2, typelang.EquivKind)
+	if ty, n := col.Snapshot(); n != 0 || ty.Kind != typelang.KBottom {
+		t.Fatalf("empty snapshot = %s/%d, want ⊥/0", ty, n)
+	}
+	col.Add(atomInt, 1)
+	col.Add(atomStr, 1)
+	col.Flush()
+	if ty, n := col.Snapshot(); n != 2 || ty.String() != "(Int + Str)" {
+		t.Errorf("post-flush snapshot = %s/%d, want (Int + Str)/2", ty, n)
+	}
+	col.Add(atomBool, 1)
+	col.Flush()
+	if ty, n := col.Snapshot(); n != 3 || ty.String() != "(Bool + Int + Str)" {
+		t.Errorf("snapshot = %s/%d, want (Bool + Int + Str)/3", ty, n)
+	}
+	if ty, n := col.Close(); n != 3 || ty.String() != "(Bool + Int + Str)" {
+		t.Errorf("close = %s/%d, want (Bool + Int + Str)/3", ty, n)
+	}
+}
+
+// TestShardedCollectorConcurrent is the race-detector workout: parallel
+// adders against continuous snapshot readers, with the final fold
+// checked for exactness.
+func TestShardedCollectorConcurrent(t *testing.T) {
+	const adders, perAdder = 8, 200
+	col := NewShardedCollector(4, typelang.EquivLabel)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_, n := col.Snapshot()
+				if n < last {
+					t.Errorf("snapshot docs regressed: %d after %d", n, last)
+					return
+				}
+				last = n
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for a := 0; a < adders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < perAdder; i++ {
+				ty := typelang.RecordOwned(1, []typelang.Field{
+					{Name: fmt.Sprintf("f%d", (a+i)%5), Type: atomInt, Count: 1},
+				})
+				col.Add(ty, 1)
+			}
+		}(a)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	_, n := col.Close()
+	if n != adders*perAdder {
+		t.Errorf("final docs = %d, want %d", n, adders*perAdder)
+	}
+}
+
+// TestInferStreamParallelReduceShardSweep pins the acceptance criterion
+// directly on the engine: across worker counts and shard counts —
+// including the single-collector baseline — the streamed schema must be
+// byte-identical to the sequential engine's.
+func TestInferStreamParallelReduceShardSweep(t *testing.T) {
+	docs := genjson.Collection(genjson.Twitter{Seed: 92}, 400)
+	data := jsontext.MarshalLines(docs)
+	for _, e := range []typelang.Equiv{typelang.EquivKind, typelang.EquivLabel} {
+		want, wantN, err := InferStream(bytes.NewReader(data), Options{Equiv: e})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, shards := range []int{0, 1, 2, 5} {
+				got, n, err := InferStreamParallel(bytes.NewReader(data),
+					Options{Equiv: e, Workers: workers, ReduceShards: shards})
+				if err != nil {
+					t.Fatalf("equiv=%v workers=%d shards=%d: %v", e, workers, shards, err)
+				}
+				if n != wantN {
+					t.Errorf("equiv=%v workers=%d shards=%d: %d docs, want %d", e, workers, shards, n, wantN)
+				}
+				if got.StringCounted() != want.StringCounted() {
+					t.Errorf("equiv=%v workers=%d shards=%d: schema diverges\n want: %s\n got:  %s",
+						e, workers, shards, want.StringCounted(), got.StringCounted())
+				}
+			}
+		}
+	}
+}
+
+// TestInferStreamParallelSharedSymbols: a shared symbol table changes
+// nothing about the result and ends up holding the stream's field-name
+// vocabulary exactly once.
+func TestInferStreamParallelSharedSymbols(t *testing.T) {
+	docs := genjson.Collection(genjson.Orders{Seed: 93}, 200)
+	data := jsontext.MarshalLines(docs)
+	want, wantN, err := InferStream(bytes.NewReader(data), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tz := range []Tokenizer{TokenizerScan, TokenizerMison} {
+		st := jsontext.NewSymbolTable()
+		got, n, err := InferStreamParallel(bytes.NewReader(data),
+			Options{Workers: 4, Tokenizer: tz, Symbols: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != wantN || got.StringCounted() != want.StringCounted() {
+			t.Errorf("%v: shared-symbol run diverges (%d docs)\n want: %s\n got:  %s",
+				tz, n, want.StringCounted(), got.StringCounted())
+		}
+		if st.Len() == 0 {
+			t.Errorf("%v: symbol table empty after a field-bearing stream", tz)
+		}
+		// Every field name in the schema must be the canonical interned
+		// string — pointer-equal to the table's copy.
+		var walk func(ty *typelang.Type)
+		walk = func(ty *typelang.Type) {
+			switch ty.Kind {
+			case typelang.KRecord:
+				for _, f := range ty.Fields {
+					if canon := st.Intern([]byte(f.Name)); canon != f.Name {
+						t.Errorf("%v: field %q not canonical", tz, f.Name)
+					}
+					walk(f.Type)
+				}
+			case typelang.KArray:
+				walk(ty.Elem)
+			case typelang.KUnion:
+				for _, a := range ty.Alts {
+					walk(a)
+				}
+			}
+		}
+		walk(got)
+	}
+}
+
+// TestSymbolTableInternCanonical: equal byte sequences intern to the
+// same string value from any goroutine.
+func TestSymbolTableInternCanonical(t *testing.T) {
+	st := jsontext.NewSymbolTable()
+	const names = 64
+	var wg sync.WaitGroup
+	results := make([][]string, 8)
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]string, names)
+			for i := 0; i < names; i++ {
+				out[i] = st.Intern([]byte(fmt.Sprintf("field-%d", i)))
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+	if st.Len() != names {
+		t.Errorf("table holds %d symbols, want %d", st.Len(), names)
+	}
+	for g := 1; g < len(results); g++ {
+		for i := range results[g] {
+			if results[g][i] != results[0][i] {
+				t.Errorf("goroutine %d interned %q, goroutine 0 %q", g, results[g][i], results[0][i])
+			}
+		}
+	}
+}

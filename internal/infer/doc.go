@@ -33,14 +33,22 @@
 //     speed while only ever holding a bounded window of bytes.
 //
 // This package is the middle of the streamed pipeline (reader → chunker
-// → tokenizer → TypeFromTokens → ordered fold → typelang.Merge): the
+// → tokenizer → TypeFromTokens → ordered commit → collector tree): the
 // chunking stage (chunking.go) splits the stream into runs of whole
 // documents, the workers lex and type chunks in parallel, and chunk
-// results fold in stream order so schemas, document counts and error
-// offsets are exact. Options.Tokenizer picks the chunking and lexing
-// machinery — TokenizerScan for the reference byte-at-a-time lexer,
-// TokenizerMison for the structural-index fast path of internal/mison —
-// with identical results either way.
+// results commit in stream order so schemas, document counts and error
+// offsets are exact. Committed results fold through the sharded
+// collector tree (ShardedCollector, collector.go): N leaf collectors
+// merge their shard of the chunk results on their own goroutines and a
+// root collector fuses the partials with typelang.Merge, so the reduce
+// itself parallelises instead of serialising on one goroutine — and the
+// same tree, left open, is the live-merge engine behind
+// internal/registry's long-running collections (InferStreamInto).
+// Options.Tokenizer picks the chunking and lexing machinery —
+// TokenizerMison (the default) for the structural-index fast path of
+// internal/mison, TokenizerScan for the reference byte-at-a-time lexer —
+// with identical results either way, and Options.Symbols shares one
+// field-name symbol table across all workers.
 //
 // The DOM-based streaming engines (InferStreamDOM and
 // InferStreamParallelDOM) are retained for engines that need

@@ -26,16 +26,20 @@ const DefaultBatch = 256
 type Tokenizer uint8
 
 const (
-	// TokenizerScan is the reference path: the byte-at-a-time splitter
-	// finds chunk boundaries and jsontext.TokenReader lexes chunks.
-	TokenizerScan Tokenizer = iota
-	// TokenizerMison is the structural-index fast path: mison.Chunker
-	// finds chunk boundaries through the string/depth bitmaps and
+	// TokenizerMison — the zero value, and therefore the streamed
+	// default — is the structural-index fast path: mison.Chunker finds
+	// chunk boundaries through the string/depth bitmaps and
 	// mison.TokenSource lexes chunks positionally, falling back to the
 	// reference lexer per chunk (index rejection) and per token (dirty
 	// strings, fancy numbers, malformed constructs) so results stay
-	// byte-identical to TokenizerScan's.
-	TokenizerMison
+	// byte-identical to TokenizerScan's. It soaked behind the scan
+	// default while the equivalence suite and fuzz targets pinned it;
+	// it is faster on string-heavy data and never slower.
+	TokenizerMison Tokenizer = iota
+	// TokenizerScan is the reference path, kept selectable as the
+	// fallback and the A/B baseline: the byte-at-a-time splitter finds
+	// chunk boundaries and jsontext.TokenReader lexes chunks.
+	TokenizerScan
 )
 
 // String names the tokenizer.
@@ -62,8 +66,19 @@ type Options struct {
 	// parallel engines; 0 means DefaultBatch.
 	Batch int
 	// Tokenizer picks the streamed parallel engine's lexing machinery;
-	// the zero value is TokenizerScan.
+	// the zero value is TokenizerMison (TokenizerScan is the reference
+	// fallback).
 	Tokenizer Tokenizer
+	// ReduceShards is the leaf count of the sharded collector tree that
+	// folds chunk results in InferStreamParallel: 0 sizes it
+	// automatically (workers capped at maxAutoShards), 1 selects the
+	// single in-line ordered fold (the A/B baseline for the tree).
+	ReduceShards int
+	// Symbols, when non-nil, is a shared field-name symbol table: every
+	// worker interns record labels through it, deduping names across
+	// workers (and, in the registry, across requests) instead of once
+	// per worker.
+	Symbols *jsontext.SymbolTable
 }
 
 func (o Options) workers() int {
@@ -78,6 +93,13 @@ func (o Options) batch() int {
 		return DefaultBatch
 	}
 	return o.Batch
+}
+
+func (o Options) reduceShards() int {
+	if o.ReduceShards > 0 {
+		return o.ReduceShards
+	}
+	return min(o.workers(), maxAutoShards)
 }
 
 // Interned count-1 atoms for the map phase. Types are immutable once

@@ -242,6 +242,9 @@ func (f *tokenFold) finish() *typelang.Type {
 func InferStream(r io.Reader, opts Options) (*typelang.Type, int, error) {
 	tr := jsontext.NewTokenReader(r)
 	tr.SetInternStrings(true)
+	if opts.Symbols != nil {
+		tr.SetSymbolTable(opts.Symbols)
+	}
 	return foldTokenStream(tr, opts)
 }
 
@@ -288,23 +291,71 @@ type chunkResult struct {
 // scale with workers: the old pipeline parsed full value trees on one
 // goroutine and parallelised only the typing.
 //
-// Options.Tokenizer picks the lexing machinery: TokenizerScan walks
-// bytes through the reference lexer, TokenizerMison finds chunk
-// boundaries with mison.Chunker's structural bitmaps and lexes chunks
-// through mison.TokenSource, falling back to the reference lexer on any
-// chunk the structural index rejects. Both produce identical schemas,
-// counts and errors.
+// Options.Tokenizer picks the lexing machinery: TokenizerMison (the
+// default) finds chunk boundaries with mison.Chunker's structural
+// bitmaps and lexes chunks through mison.TokenSource, falling back to
+// the reference lexer on any chunk the structural index rejects;
+// TokenizerScan walks every byte through the reference lexer. Both
+// produce identical schemas, counts and errors.
 //
-// Chunk results are folded in stream order, so the outcome is exact:
+// Chunk results are committed in stream order, so the outcome is exact:
 // the returned type and document count are identical to InferStream's,
 // and on a malformed document the error (with absolute offset) plus the
 // count cover precisely the documents before it — work done on later
-// chunks is discarded.
+// chunks is discarded. The committed results fold through the sharded
+// collector tree (Options.ReduceShards leaves; see ShardedCollector), so
+// with wide worker pools the reduce itself runs in parallel instead of
+// serialising on the committer goroutine; by associativity and
+// commutativity of the merge the tree's result is byte-identical to the
+// single ordered fold's (ReduceShards: 1).
 func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error) {
 	workers := opts.workers()
 	if workers <= 1 && opts.Tokenizer == TokenizerScan {
 		return InferStream(r, opts)
 	}
+	if shards := opts.reduceShards(); shards > 1 {
+		// Sharded reduce: committed chunk results distribute across the
+		// collector tree, so the merge work that used to serialise on
+		// this goroutine runs on the leaf collectors in parallel.
+		col := NewShardedCollector(shards, opts.Equiv)
+		n, err := inferStreamChunks(r, opts, func(t *typelang.Type, docs int) {
+			col.Add(t, int64(docs))
+		})
+		acc, _ := col.Close()
+		return acc, n, err
+	}
+	// Single collector: the in-line ordered fold (the tree's A/B
+	// baseline, and the cheapest shape for narrow pools).
+	acc := typelang.Bottom
+	n, err := inferStreamChunks(r, opts, func(t *typelang.Type, _ int) {
+		acc = typelang.Merge(acc, t, opts.Equiv)
+	})
+	return acc, n, err
+}
+
+// InferStreamInto is InferStreamParallel folding into a caller-owned
+// collector tree instead of a fresh one: committed chunk results are
+// Added to col in stream order and the collector is left open, which is
+// what lets a long-lived accumulator (a registry collection) absorb many
+// streams — concurrently, even — into one monotonically-growing schema.
+// It returns the number of documents committed and the first error, with
+// exactly InferStreamParallel's error semantics: on a malformed document
+// the committed documents are precisely those before it. The caller
+// flushes or closes col to observe the result.
+func InferStreamInto(r io.Reader, opts Options, col *ShardedCollector) (int, error) {
+	return inferStreamChunks(r, opts, func(t *typelang.Type, docs int) {
+		col.Add(t, int64(docs))
+	})
+}
+
+// inferStreamChunks runs the chunked token pipeline — reader goroutine
+// splitting the stream into document-aligned chunks, workers lexing and
+// typing them in parallel — and calls commit with each chunk's merged
+// type and document count, in stream order. Commits stop at the first
+// error; the committed chunks are exactly those before it. It returns
+// the number of documents committed and that first error.
+func inferStreamChunks(r io.Reader, opts Options, commit func(*typelang.Type, int)) (int, error) {
+	workers := opts.workers()
 	work := make(chan byteChunk, 2*workers)
 	results := make(chan chunkResult, workers)
 	stop := make(chan struct{})
@@ -331,10 +382,16 @@ func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error)
 			defer wg.Done()
 			tr := jsontext.NewTokenReaderBytes(nil)
 			tr.SetInternStrings(true)
+			if opts.Symbols != nil {
+				tr.SetSymbolTable(opts.Symbols)
+			}
 			var ms *mison.TokenSource
 			if opts.Tokenizer == TokenizerMison {
 				ms = mison.NewTokenSource()
 				ms.SetInternStrings(true)
+				if opts.Symbols != nil {
+					ms.SetSymbolTable(opts.Symbols)
+				}
 			}
 			for ch := range work {
 				var src jsontext.TokenSource
@@ -359,13 +416,12 @@ func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error)
 		close(results)
 	}()
 
-	// Collector: fold chunk results in stream order for exact error and
-	// count semantics. Per-chunk types are tiny next to the typing work,
-	// so the ordered fold is not a bottleneck.
+	// Committer: release chunk results in stream order for exact error
+	// and count semantics. The bookkeeping here is cheap — the merge
+	// work happens in commit's collector (sharded or in-line).
 	var (
 		pending     = make(map[int]chunkResult)
 		next        int
-		acc         = typelang.Bottom
 		total       int
 		firstErr    error
 		firstErrIdx = -1
@@ -383,7 +439,7 @@ func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error)
 			if firstErr != nil {
 				continue
 			}
-			acc = typelang.Merge(acc, cr.t, opts.Equiv)
+			commit(cr.t, cr.n)
 			total += cr.n
 			if cr.err != nil {
 				firstErr = cr.err
@@ -402,5 +458,5 @@ func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error)
 	if rerr := <-readErrCh; rerr != nil && (firstErr == nil || firstErrIdx == next-1) {
 		firstErr = rerr
 	}
-	return acc, total, firstErr
+	return total, firstErr
 }

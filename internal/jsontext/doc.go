@@ -12,7 +12,10 @@
 // worker lexes raw document-aligned bytes through a warm TokenReader,
 // with ReadTokenSkipString validating value strings without
 // materialising them and SetInternStrings dedupping the field names
-// that do get decoded.
+// that do get decoded. SetSymbolTable goes one step further: a
+// SymbolTable is a sharded, concurrency-safe interner shared across
+// lexers, so workers — and, in the registry daemon, requests — hand out
+// one canonical string per field name process-wide.
 //
 // Two seams exist for alternative tokenizers. TokenSource is the pull
 // interface the inference engine programs against, implemented by both

@@ -116,6 +116,11 @@ type lexer struct {
 	data   []byte
 	pos    int
 	intern map[string]string
+	// symbols, when non-nil, is the shared cross-lexer interner behind
+	// the private intern map: a miss in the map resolves through the
+	// table, so every lexer attached to one table hands out the same
+	// canonical string for a given name.
+	symbols *SymbolTable
 }
 
 func (l *lexer) skipSpace() {
@@ -315,15 +320,26 @@ func (l *lexer) scanString(skip bool) (string, error) {
 
 // internBytes converts b to a string through the intern cache when one
 // is installed. The map lookup with a converted key does not allocate,
-// so repeated field names cost zero allocations after the first.
+// so repeated field names cost zero allocations after the first. With a
+// shared SymbolTable attached, the private map acts as a lock-free front
+// cache and a miss resolves through the table, so the returned string is
+// canonical across every lexer sharing that table.
 func (l *lexer) internBytes(b []byte) string {
 	if l.intern == nil {
+		if l.symbols != nil {
+			return l.symbols.Intern(b)
+		}
 		return string(b)
 	}
 	if s, ok := l.intern[string(b)]; ok {
 		return s
 	}
-	s := string(b)
+	var s string
+	if l.symbols != nil {
+		s = l.symbols.Intern(b)
+	} else {
+		s = string(b)
+	}
 	l.intern[s] = s
 	return s
 }

@@ -42,12 +42,14 @@ type Scanner struct {
 }
 
 // SetInternStrings toggles the decoded-string intern cache, exactly as
-// TokenReader.SetInternStrings does.
+// TokenReader.SetInternStrings does (off also detaches any shared
+// SymbolTable).
 func (s *Scanner) SetInternStrings(on bool) {
 	if on && s.lex.intern == nil {
 		s.lex.intern = make(map[string]string)
 	} else if !on {
 		s.lex.intern = nil
+		s.lex.symbols = nil
 	}
 }
 
@@ -58,6 +60,15 @@ func (s *Scanner) SetInternStrings(on bool) {
 func (s *Scanner) InternMap() map[string]string {
 	s.SetInternStrings(true)
 	return s.lex.intern
+}
+
+// SetSymbolTable attaches a shared field-name interner behind the
+// private intern cache, exactly as TokenReader.SetSymbolTable does.
+func (s *Scanner) SetSymbolTable(st *SymbolTable) {
+	s.lex.symbols = st
+	if st != nil {
+		s.SetInternStrings(true)
+	}
 }
 
 // ScanAt lexes the single token beginning at or after data[pos:]

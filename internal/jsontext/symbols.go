@@ -1,0 +1,81 @@
+package jsontext
+
+import "sync"
+
+// SymbolTable is a concurrency-safe field-name interner shared across
+// lexers: every distinct name is materialised as one canonical string no
+// matter how many workers, chunks or requests decode it. A per-lexer
+// intern map dedups repeats within one worker; the table dedups across
+// workers — the long-running registry attaches one table to every
+// tokenizer it owns, so a collection ingested by thousands of requests
+// still carries each label once.
+//
+// The table is sharded by a byte-level FNV-1a hash. The hit path takes
+// one shard read-lock and performs a map lookup whose []byte→string key
+// conversion does not allocate; the miss path (first occurrence of a
+// name process-wide) upgrades to the shard write-lock. Tables only ever
+// grow — JSON field-name vocabularies are tiny next to the documents
+// that carry them.
+type SymbolTable struct {
+	shards [symbolShards]symbolShard
+}
+
+// symbolShards spreads write contention; reads are shared-locked and
+// uncontended in steady state. 64 shards keeps the per-shard maps warm
+// without making Len a long walk.
+const symbolShards = 64
+
+type symbolShard struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// NewSymbolTable returns an empty table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{}
+}
+
+// Intern returns the canonical string for b, allocating it only on the
+// first occurrence process-wide.
+func (st *SymbolTable) Intern(b []byte) string {
+	sh := &st.shards[fnv1a(b)%symbolShards]
+	sh.mu.RLock()
+	s, ok := sh.m[string(b)] // compiler-optimised: no key allocation
+	sh.mu.RUnlock()
+	if ok {
+		return s
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s, ok := sh.m[string(b)]; ok {
+		return s
+	}
+	if sh.m == nil {
+		sh.m = make(map[string]string)
+	}
+	s = string(b)
+	sh.m[s] = s
+	return s
+}
+
+// Len returns the number of distinct symbols interned so far.
+func (st *SymbolTable) Len() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// fnv1a is the 32-bit FNV-1a hash over b.
+func fnv1a(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}

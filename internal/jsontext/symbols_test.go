@@ -1,0 +1,70 @@
+package jsontext
+
+import "testing"
+
+// drain reads tokens until EOF, failing the test on any error.
+func drain(t *testing.T, tr *TokenReader) {
+	t.Helper()
+	for {
+		tok, err := tr.ReadToken()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.Kind == TokEOF {
+			return
+		}
+	}
+}
+
+// TestSymbolTableCanonicalAcrossReaders: two readers sharing one table
+// hand out the same canonical string for the same field name, and the
+// table holds the vocabulary once.
+func TestSymbolTableCanonicalAcrossReaders(t *testing.T) {
+	st := NewSymbolTable()
+	read := func(in string) string {
+		tr := NewTokenReaderBytes([]byte(in))
+		tr.SetSymbolTable(st)
+		for {
+			tok, err := tr.ReadToken()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tok.Kind == TokString {
+				return tok.Str
+			}
+		}
+	}
+	a := read(`{"alpha": 1}`)
+	b := read(`{"alpha": 2}`)
+	if a != b || a != "alpha" {
+		t.Fatalf("readers decoded %q and %q, want alpha twice", a, b)
+	}
+	if st.Len() != 1 {
+		t.Errorf("table holds %d symbols, want 1", st.Len())
+	}
+}
+
+// TestSetInternStringsOffDetachesSymbolTable: turning interning off
+// must stop retaining decoded strings anywhere — including the shared
+// table, which would otherwise grow without bound on value strings in
+// a long-running process.
+func TestSetInternStringsOffDetachesSymbolTable(t *testing.T) {
+	st := NewSymbolTable()
+	tr := NewTokenReaderBytes([]byte(`{"alpha": "beta"}`))
+	tr.SetSymbolTable(st)
+	tr.SetInternStrings(false)
+	drain(t, tr)
+	if st.Len() != 0 {
+		t.Errorf("detached table grew to %d symbols, want 0", st.Len())
+	}
+
+	var sc Scanner
+	sc.SetSymbolTable(st)
+	sc.SetInternStrings(false)
+	if tok, _, err := sc.ScanAt([]byte(`"gamma"`), 0, false); err != nil || tok.Str != "gamma" {
+		t.Fatalf("ScanAt = %v, %v", tok, err)
+	}
+	if st.Len() != 0 {
+		t.Errorf("detached table grew to %d symbols after Scanner use, want 0", st.Len())
+	}
+}

@@ -46,8 +46,9 @@ type TokenSource struct {
 	ctrl      []uint64
 	nonascii  []uint64
 
-	scan   jsontext.Scanner
-	intern map[string]string
+	scan    jsontext.Scanner
+	intern  map[string]string
+	symbols *jsontext.SymbolTable
 }
 
 // TokenSource implements the TokenReader pull contract.
@@ -67,6 +68,19 @@ func (ts *TokenSource) SetInternStrings(on bool) {
 	} else {
 		ts.scan.SetInternStrings(false)
 		ts.intern = nil
+		ts.symbols = nil
+	}
+}
+
+// SetSymbolTable attaches a shared field-name interner behind the
+// private intern cache (which it enables), mirroring
+// jsontext.TokenReader.SetSymbolTable; both the positional fast path and
+// the delegated lexer canonicalise names through st. Pass nil to detach.
+func (ts *TokenSource) SetSymbolTable(st *jsontext.SymbolTable) {
+	ts.symbols = st
+	ts.scan.SetSymbolTable(st)
+	if st != nil && ts.intern == nil {
+		ts.intern = ts.scan.InternMap()
 	}
 }
 
@@ -302,15 +316,24 @@ func (ts *TokenSource) delegate(pos int, skip bool) (jsontext.Token, error) {
 }
 
 // internBytes dedups field-name strings, as the lexer's intern cache
-// does for the delegated path.
+// does for the delegated path; with a shared SymbolTable attached the
+// private cache fronts the table, so names are canonical across workers.
 func (ts *TokenSource) internBytes(b []byte) string {
 	if ts.intern == nil {
+		if ts.symbols != nil {
+			return ts.symbols.Intern(b)
+		}
 		return string(b)
 	}
 	if s, ok := ts.intern[string(b)]; ok {
 		return s
 	}
-	s := string(b)
+	var s string
+	if ts.symbols != nil {
+		s = ts.symbols.Intern(b)
+	} else {
+		s = string(b)
+	}
 	ts.intern[s] = s
 	return s
 }

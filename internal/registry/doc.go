@@ -1,0 +1,29 @@
+// Package registry is the live-merge schema registry: named collections
+// that each hold a monotonically-growing typelang.Type plus document,
+// ingest and error counters, fed incrementally by the streamed token
+// pipeline as documents arrive. It is the stateful layer that turns the
+// paper's batch map/reduce into a long-running service — the engine
+// behind the jsinferd daemon.
+//
+// Each collection owns a sharded collector tree (infer.ShardedCollector):
+// ingest requests run infer.InferStreamInto over their body, committing
+// chunk results into the tree where N leaf collectors fold them in
+// parallel and a root collector fuses the shard partials with
+// typelang.Merge. Snapshot reads (Get, List, Stats) load the leaves'
+// published partials without taking any lock the ingest path holds, so
+// reads never block writes.
+//
+// Consistency model: within one collection the schema only ever grows
+// (every snapshot subsumes every earlier one), an Ingest call flushes
+// its collector before returning (a client that completes a POST sees
+// its documents in the next read — read-your-writes), and a snapshot
+// taken while an ingest is in flight reflects some prefix of that
+// ingest's chunks. After all ingests complete, the snapshot is exactly
+// the schema batch inference (infer.InferStream) computes over the
+// concatenated inputs — byte-identical rendering and counts — which the
+// registry tests pin on the checked-in fixtures.
+//
+// All collections in one Registry share a jsontext.SymbolTable, so a
+// field name is materialised once per process no matter how many
+// workers, requests or collections decode it.
+package registry

@@ -1,0 +1,244 @@
+// registry.go holds the whole registry: collections, ingest, snapshots.
+// See doc.go for the package story and the consistency model.
+
+package registry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/infer"
+	"repro/internal/jsontext"
+	"repro/internal/typelang"
+)
+
+// Options configure a Registry; the zero value is usable (kind
+// equivalence, auto-sized workers and collector trees, the default
+// tokenizer).
+type Options struct {
+	// Equiv is the merge equivalence every collection folds under:
+	// typelang.EquivKind (K) or typelang.EquivLabel (L).
+	Equiv typelang.Equiv
+	// Workers bounds the parallel chunk workers of each ingest call; 0
+	// means GOMAXPROCS.
+	Workers int
+	// Shards is the leaf count of each collection's collector tree; 0
+	// sizes the tree automatically.
+	Shards int
+	// Batch is the documents-per-chunk target of the ingest pipeline; 0
+	// means infer.DefaultBatch.
+	Batch int
+	// Tokenizer picks the ingest pipeline's lexing machinery; the zero
+	// value is the mison structural-index fast path.
+	Tokenizer infer.Tokenizer
+}
+
+// Registry is a concurrent, versioned store of named collections. All
+// methods are safe for concurrent use; see doc.go for the consistency
+// model.
+type Registry struct {
+	opts    Options
+	symbols *jsontext.SymbolTable
+
+	mu   sync.RWMutex // guards cols (the map, not the collections)
+	cols map[string]*collection
+}
+
+// collection is one named schema accumulator.
+type collection struct {
+	name    string
+	col     *infer.ShardedCollector
+	version atomic.Uint64 // completed ingests
+	ingests atomic.Int64  // ingest requests finished (with or without error)
+	errors  atomic.Int64  // ingest requests that ended in an error
+}
+
+// New returns an empty registry.
+func New(opts Options) *Registry {
+	return &Registry{
+		opts:    opts,
+		symbols: jsontext.NewSymbolTable(),
+		cols:    make(map[string]*collection),
+	}
+}
+
+// collection returns the named collection, creating it (and its
+// collector tree) on first use.
+func (r *Registry) collection(name string) *collection {
+	r.mu.RLock()
+	c := r.cols[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.cols[name]; c != nil {
+		return c
+	}
+	c = &collection{
+		name: name,
+		col:  infer.NewShardedCollector(r.opts.Shards, r.opts.Equiv),
+	}
+	r.cols[name] = c
+	return c
+}
+
+// IngestResult reports one completed ingest call.
+type IngestResult struct {
+	// Collection is the collection name.
+	Collection string
+	// Docs is the number of documents this call merged in — on an
+	// error, exactly the documents before it.
+	Docs int
+	// TotalDocs is the collection's document count including this call.
+	TotalDocs int64
+	// Version is the collection version after this call.
+	Version uint64
+}
+
+// Ingest streams the documents on rd (NDJSON or concatenated JSON) into
+// the named collection, creating it if needed: the chunked token
+// pipeline lexes and types the body in parallel and commits chunk
+// results into the collection's collector tree in stream order. Any
+// number of Ingest calls may run concurrently, on the same or different
+// collections.
+//
+// On a malformed document the merged documents are exactly those before
+// it (the error carries an absolute body offset) and the error is both
+// returned and counted; the collection keeps the prefix. The result is
+// valid whether or not err is nil. Ingest flushes the collector before
+// returning, so a snapshot taken after it completes includes everything
+// it merged.
+func (r *Registry) Ingest(name string, rd io.Reader) (IngestResult, error) {
+	c := r.collection(name)
+	n, err := infer.InferStreamInto(rd, infer.Options{
+		Equiv:     r.opts.Equiv,
+		Workers:   r.opts.Workers,
+		Batch:     r.opts.Batch,
+		Tokenizer: r.opts.Tokenizer,
+		Symbols:   r.symbols,
+	}, c.col)
+	c.col.Flush()
+	c.ingests.Add(1)
+	if err != nil {
+		c.errors.Add(1)
+		err = fmt.Errorf("registry: ingest into %q: %w", name, err)
+	}
+	v := c.version.Add(1)
+	_, total := c.col.Snapshot()
+	return IngestResult{Collection: name, Docs: n, TotalDocs: total, Version: v}, err
+}
+
+// Snapshot is a point-in-time view of one collection. Type is immutable
+// (the registry never mutates published type nodes), so holding a
+// Snapshot costs nothing and blocks nothing.
+type Snapshot struct {
+	Name string
+	// Type is the schema merged so far; typelang.Bottom before any
+	// document arrives.
+	Type *typelang.Type
+	// Docs is the number of documents Type summarises.
+	Docs int64
+	// Version counts completed ingests. A snapshot taken while an
+	// ingest is in flight may already include documents of the next
+	// version.
+	Version uint64
+	// Ingests and Errors count finished ingest calls and how many of
+	// them ended in an error.
+	Ingests int64
+	Errors  int64
+}
+
+// Get returns a snapshot of the named collection. It never blocks
+// ingest: the read loads the collector leaves' published partials and
+// the root's cached fuse.
+func (r *Registry) Get(name string) (Snapshot, bool) {
+	r.mu.RLock()
+	c := r.cols[name]
+	r.mu.RUnlock()
+	if c == nil {
+		return Snapshot{}, false
+	}
+	return c.snapshot(), true
+}
+
+func (c *collection) snapshot() Snapshot {
+	// Version before type: the schema then subsumes everything the
+	// version claims (never the reverse).
+	v := c.version.Load()
+	t, docs := c.col.Snapshot()
+	return Snapshot{
+		Name:    c.name,
+		Type:    t,
+		Docs:    docs,
+		Version: v,
+		Ingests: c.ingests.Load(),
+		Errors:  c.errors.Load(),
+	}
+}
+
+// Version returns the named collection's version (completed ingests).
+func (r *Registry) Version(name string) (uint64, bool) {
+	r.mu.RLock()
+	c := r.cols[name]
+	r.mu.RUnlock()
+	if c == nil {
+		return 0, false
+	}
+	return c.version.Load(), true
+}
+
+// List snapshots every collection, sorted by name.
+func (r *Registry) List() []Snapshot {
+	r.mu.RLock()
+	cols := make([]*collection, 0, len(r.cols))
+	for _, c := range r.cols {
+		cols = append(cols, c)
+	}
+	r.mu.RUnlock()
+	out := make([]Snapshot, len(cols))
+	for i, c := range cols {
+		out[i] = c.snapshot()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Stats aggregates the registry.
+type Stats struct {
+	Collections int
+	Docs        int64
+	Ingests     int64
+	Errors      int64
+	// Symbols is the number of distinct field names interned across all
+	// workers, requests and collections.
+	Symbols int
+}
+
+// Stats returns registry-wide aggregates without blocking ingest.
+func (r *Registry) Stats() Stats {
+	s := Stats{Symbols: r.symbols.Len()}
+	for _, snap := range r.List() {
+		s.Collections++
+		s.Docs += snap.Docs
+		s.Ingests += snap.Ingests
+		s.Errors += snap.Errors
+	}
+	return s
+}
+
+// Close shuts down every collection's collector tree. The caller must
+// have stopped ingesting; snapshots taken before Close stay valid (types
+// are immutable), but the registry must not be used afterwards.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.cols {
+		c.col.Close()
+	}
+	r.cols = make(map[string]*collection)
+}

@@ -1,0 +1,258 @@
+package registry
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/genjson"
+	"repro/internal/infer"
+	"repro/internal/jsontext"
+	"repro/internal/typelang"
+)
+
+// batchType is the reference result: the sequential token engine over
+// the same bytes.
+func batchType(t *testing.T, data []byte, e typelang.Equiv) (*typelang.Type, int) {
+	t.Helper()
+	ty, n, err := infer.InferStream(bytes.NewReader(data), infer.Options{Equiv: e})
+	if err != nil {
+		t.Fatalf("batch InferStream: %v", err)
+	}
+	return ty, n
+}
+
+// TestIngestMatchesBatchInferStream pins the acceptance criterion on
+// every checked-in fixture: after one ingest, the live snapshot must be
+// byte-identical — same rendering, same counting annotations — to what
+// batch `jsinfer -stream` computes over the same file.
+func TestIngestMatchesBatchInferStream(t *testing.T) {
+	fixtures, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) == 0 {
+		t.Fatal("no testdata fixtures found")
+	}
+	for _, name := range fixtures {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range []typelang.Equiv{typelang.EquivKind, typelang.EquivLabel} {
+			want, wantN := batchType(t, data, e)
+			for _, shards := range []int{0, 1, 3} {
+				reg := New(Options{Equiv: e, Shards: shards})
+				res, err := reg.Ingest("c", bytes.NewReader(data))
+				if err != nil {
+					t.Fatalf("%s/%v: ingest: %v", name, e, err)
+				}
+				if res.Docs != wantN || res.TotalDocs != int64(wantN) {
+					t.Errorf("%s/%v: ingested %d docs (total %d), want %d", name, e, res.Docs, res.TotalDocs, wantN)
+				}
+				snap, ok := reg.Get("c")
+				if !ok {
+					t.Fatalf("%s/%v: collection missing after ingest", name, e)
+				}
+				if got := snap.Type.StringCounted(); got != want.StringCounted() {
+					t.Errorf("%s/%v/shards=%d: live schema diverges from batch\n batch: %s\n live:  %s",
+						name, e, shards, want.StringCounted(), got)
+				}
+				if snap.Docs != int64(wantN) || snap.Version != 1 {
+					t.Errorf("%s/%v: snapshot docs=%d version=%d, want docs=%d version=1",
+						name, e, snap.Docs, snap.Version, wantN)
+				}
+				reg.Close()
+			}
+		}
+	}
+}
+
+// TestConcurrentIngestStorm is the race-detector workout: many
+// goroutines ingesting slices into several collections while readers
+// snapshot continuously. Afterwards every collection's schema must be
+// byte-identical to the batch fold over everything it received —
+// regardless of arrival order, by commutativity of the merge — and the
+// counters must be exact.
+func TestConcurrentIngestStorm(t *testing.T) {
+	const (
+		collections = 3
+		writers     = 4
+		slices      = 5
+		docsPer     = 40
+	)
+	reg := New(Options{Equiv: typelang.EquivLabel, Workers: 2, Shards: 2})
+	defer reg.Close()
+
+	// Pre-build each collection's slices so the expected result is a
+	// deterministic function of what was sent.
+	parts := make(map[string][][]byte)
+	for c := 0; c < collections; c++ {
+		name := fmt.Sprintf("col-%d", c)
+		for s := 0; s < writers*slices; s++ {
+			docs := genjson.Collection(genjson.Twitter{Seed: int64(100*c + s)}, docsPer)
+			parts[name] = append(parts[name], jsontext.MarshalLines(docs))
+		}
+	}
+
+	stopReads := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(2)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stopReads:
+				return
+			default:
+				reg.List()
+				reg.Stats()
+			}
+		}
+	}()
+	go func() {
+		defer readers.Done()
+		var lastDocs int64
+		for {
+			select {
+			case <-stopReads:
+				return
+			default:
+				if snap, ok := reg.Get("col-0"); ok {
+					if snap.Docs < lastDocs {
+						t.Errorf("snapshot docs regressed: %d after %d", snap.Docs, lastDocs)
+						return
+					}
+					lastDocs = snap.Docs
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < collections; c++ {
+		name := fmt.Sprintf("col-%d", c)
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(name string, w int) {
+				defer wg.Done()
+				for s := 0; s < slices; s++ {
+					if _, err := reg.Ingest(name, bytes.NewReader(parts[name][w*slices+s])); err != nil {
+						t.Errorf("%s: ingest: %v", name, err)
+					}
+				}
+			}(name, w)
+		}
+	}
+	wg.Wait()
+	close(stopReads)
+	readers.Wait()
+
+	for c := 0; c < collections; c++ {
+		name := fmt.Sprintf("col-%d", c)
+		all := bytes.Join(parts[name], nil)
+		want, wantN := batchType(t, all, typelang.EquivLabel)
+		snap, ok := reg.Get(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		if got := snap.Type.StringCounted(); got != want.StringCounted() {
+			t.Errorf("%s: concurrent-ingest schema diverges from batch\n batch: %s\n live:  %s",
+				name, want.StringCounted(), got)
+		}
+		if snap.Docs != int64(wantN) {
+			t.Errorf("%s: docs=%d, want %d", name, snap.Docs, wantN)
+		}
+		if snap.Version != writers*slices || snap.Ingests != writers*slices || snap.Errors != 0 {
+			t.Errorf("%s: version=%d ingests=%d errors=%d, want %d/%d/0",
+				name, snap.Version, snap.Ingests, snap.Errors, writers*slices, writers*slices)
+		}
+	}
+	if st := reg.Stats(); st.Collections != collections || st.Symbols == 0 {
+		t.Errorf("stats = %+v, want %d collections and a non-empty symbol table", st, collections)
+	}
+}
+
+// TestIngestErrorKeepsPrefix: a malformed document merges exactly the
+// documents before it, counts the error, and leaves the collection
+// usable for later ingests.
+func TestIngestErrorKeepsPrefix(t *testing.T) {
+	reg := New(Options{})
+	defer reg.Close()
+	res, err := reg.Ingest("c", strings.NewReader("{\"a\": 1}\n{]\n{\"a\": 2}\n"))
+	if err == nil {
+		t.Fatal("expected a syntax error")
+	}
+	if res.Docs != 1 {
+		t.Errorf("merged %d docs before the error, want 1", res.Docs)
+	}
+	snap, _ := reg.Get("c")
+	if got := snap.Type.String(); got != "{a: Int}" {
+		t.Errorf("prefix schema = %s, want {a: Int}", got)
+	}
+	if snap.Errors != 1 || snap.Ingests != 1 || snap.Version != 1 {
+		t.Errorf("errors=%d ingests=%d version=%d, want 1/1/1", snap.Errors, snap.Ingests, snap.Version)
+	}
+	if _, err := reg.Ingest("c", strings.NewReader("{\"a\": true}\n")); err != nil {
+		t.Fatalf("ingest after error: %v", err)
+	}
+	snap, _ = reg.Get("c")
+	if got := snap.Type.String(); got != "{a: (Bool + Int)}" {
+		t.Errorf("schema after recovery = %s", got)
+	}
+	if snap.Docs != 2 || snap.Version != 2 {
+		t.Errorf("docs=%d version=%d after recovery, want 2/2", snap.Docs, snap.Version)
+	}
+}
+
+// TestSchemaGrowsMonotonically: every ingest's snapshot must subsume the
+// previous one (the registry's advertised consistency model).
+func TestSchemaGrowsMonotonically(t *testing.T) {
+	reg := New(Options{Equiv: typelang.EquivKind})
+	defer reg.Close()
+	prev := typelang.Bottom
+	for i, doc := range []string{
+		`{"a": 1}`, `{"b": "x"}`, `{"a": 1.5, "c": [1]}`, `{"c": ["s"]}`, `null`,
+	} {
+		if _, err := reg.Ingest("grow", strings.NewReader(doc+"\n")); err != nil {
+			t.Fatal(err)
+		}
+		snap, _ := reg.Get("grow")
+		if !typelang.Subtype(prev, snap.Type) {
+			t.Errorf("step %d: snapshot %s does not subsume previous %s", i, snap.Type, prev)
+		}
+		prev = snap.Type
+	}
+}
+
+// TestGetUnknownAndList covers the miss path and List ordering.
+func TestGetUnknownAndList(t *testing.T) {
+	reg := New(Options{})
+	defer reg.Close()
+	if _, ok := reg.Get("nope"); ok {
+		t.Error("Get on an unknown collection must miss")
+	}
+	if _, ok := reg.Version("nope"); ok {
+		t.Error("Version on an unknown collection must miss")
+	}
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if _, err := reg.Ingest(name, strings.NewReader("{}\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := reg.List()
+	if len(list) != 3 || list[0].Name != "alpha" || list[1].Name != "mid" || list[2].Name != "zeta" {
+		names := make([]string, len(list))
+		for i, s := range list {
+			names[i] = s.Name
+		}
+		t.Errorf("List order = %v, want [alpha mid zeta]", names)
+	}
+	if v, ok := reg.Version("alpha"); !ok || v != 1 {
+		t.Errorf("Version(alpha) = %d,%v, want 1,true", v, ok)
+	}
+}

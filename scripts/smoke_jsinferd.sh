@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Daemon smoke test: boot jsinferd, POST a checked-in fixture, and
+# assert the served schema is byte-identical to batch `jsinfer -stream`
+# over the same file (the acceptance criterion of the registry layer).
+# Run from anywhere; used by `make smoke-daemon` and CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fixture=testdata/tweets.ndjson
+addr=127.0.0.1:18787
+base="http://$addr"
+
+bindir=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$bindir"
+}
+trap cleanup EXIT
+
+go build -o "$bindir" ./cmd/jsinferd ./cmd/jsinfer
+
+"$bindir/jsinferd" -addr "$addr" &
+pid=$!
+
+for _ in $(seq 1 100); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "smoke: jsinferd exited before becoming healthy" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS "$base/healthz" >/dev/null
+
+echo "smoke: ingesting $fixture"
+curl -fsS -X POST --data-binary "@$fixture" "$base/v1/collections/smoke/ingest"
+
+served=$(curl -fsS "$base/v1/collections/smoke/schema")
+batch=$("$bindir/jsinfer" -stream "$fixture")
+
+if [ "$served" != "$batch" ]; then
+    echo "smoke: schema mismatch" >&2
+    echo "  daemon:  $served" >&2
+    echo "  jsinfer: $batch" >&2
+    exit 1
+fi
+
+stats=$(curl -fsS "$base/v1/stats")
+echo "smoke: stats $stats"
+echo "smoke ok: served schema is byte-identical to jsinfer -stream"
