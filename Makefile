@@ -6,7 +6,7 @@ DOC_PKGS = repro/internal/jsontext repro/internal/infer \
            repro/internal/typelang repro/internal/mison repro/internal/core \
            repro/internal/registry
 
-.PHONY: all build vet test race bench bench-stream docs fixtures serve smoke-daemon ci
+.PHONY: all build vet test race bench bench-stream bench-json docs fixtures serve smoke-daemon ci
 
 all: build
 
@@ -33,6 +33,14 @@ bench:
 bench-stream:
 	$(GO) test -run '^$$' -bench 'BenchmarkE3StreamingInference' -benchtime 200ms -benchmem .
 	$(GO) test -run '^$$' -bench 'BenchmarkTokenSourceVsLexer' -benchtime 200ms -benchmem ./internal/mison/
+
+# Perf trajectory: the E3 streamed rows (ns/op, MB/s, allocs/op) as a
+# machine-readable JSON report — `go test -bench -json` post-processed
+# by cmd/jsbenchjson into BENCH_5.json, which CI uploads as an artifact
+# so every build leaves a comparable benchmark record.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkE3StreamingInference' -benchtime 200ms -benchmem -json . \
+		| $(GO) run repro/cmd/jsbenchjson -out BENCH_5.json
 
 # Documentation smoke: formatting is clean, vet is clean, and every
 # documented package still renders a doc page.

@@ -91,11 +91,14 @@ func BenchmarkE3ParallelInference(b *testing.B) {
 // parallel variants lex on the workers instead of the feeding
 // goroutine, and the mison rows lex through the structural index
 // (bitmap chunking, positional string skipping) instead of the
-// byte-at-a-time scan. The parallel rows reduce through the sharded
-// collector tree by default; the single-collector rows pin the old
-// ordered in-line fold as the A/B baseline, and the registry-ingest
-// rows measure the same bytes arriving through the live-merge registry
-// (shared symbol table, collector tree left open across requests).
+// byte-at-a-time scan. All streamed rows fold through the mutable
+// accumulator core (typelang.Accum: absorb in place, seal per chunk /
+// per publish); the parallel rows reduce through the sharded collector
+// tree by default, the single-collector rows (explicit ReduceShards: 1)
+// pin the legacy ordered in-line Merge fold as the A/B baseline, and
+// the registry-ingest rows measure the same bytes arriving through the
+// live-merge registry (shared symbol table, collector tree left open
+// across requests).
 func BenchmarkE3StreamingInference(b *testing.B) {
 	docs := genjson.Collection(genjson.Twitter{Seed: 13}, 5000)
 	raw := jsontext.MarshalLines(docs)

@@ -8,6 +8,7 @@
 //
 //	jsinferd [-addr :8787] [-engine parametric-L|parametric-K]
 //	         [-workers N] [-shards N] [-tokenizer mison|scan]
+//	         [-max-body N]
 //
 // API:
 //
@@ -17,7 +18,14 @@
 //	    materialised). Returns a JSON summary {collection, docs,
 //	    total_docs, version}. A malformed document merges exactly the
 //	    documents before it and yields 400 with the absolute body
-//	    offset; the collection keeps the prefix.
+//	    offset; the collection keeps the prefix. With -max-body N, a
+//	    body exceeding N bytes yields 413 with the same bytes-kept
+//	    semantics: the documents that fit under the limit are merged
+//	    and reported.
+//	DELETE /v1/collections/{name}
+//	    Removes the collection and its accumulator (404 when the name
+//	    is unknown). The name is immediately reusable; a later ingest
+//	    starts from scratch.
 //	GET /v1/collections/{name}/schema?output=type|counted|jsonschema|typescript|swift
 //	    The live schema in jsinfer's output formats: text/plain for
 //	    type/counted/typescript/swift, application/json for jsonschema.
@@ -26,7 +34,7 @@
 //	    JSON list of collections with docs/version/error counters.
 //	GET /v1/stats
 //	    Registry-wide aggregates (collections, docs, ingests, errors,
-//	    interned symbols).
+//	    interned symbols, sealed schema nodes).
 //	GET /healthz
 //	    Liveness.
 //
@@ -61,6 +69,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel chunk workers per ingest request (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "leaf collectors per collection (0 = auto)")
 	tokenizer := flag.String("tokenizer", "mison", "streamed lexing machinery: mison or scan")
+	maxBody := flag.Int64("max-body", 0, "max ingest request body in bytes; 0 disables the limit")
 	flag.Parse()
 
 	opts := registry.Options{Workers: *workers, Shards: *shards}
@@ -82,7 +91,7 @@ func main() {
 	}
 
 	reg := registry.New(opts)
-	srv := &http.Server{Addr: *addr, Handler: newHandler(reg)}
+	srv := &http.Server{Addr: *addr, Handler: newHandler(reg, *maxBody)}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -106,8 +115,9 @@ func main() {
 }
 
 // newHandler builds the daemon's routing table over reg. It is the seam
-// the tests drive through httptest.
-func newHandler(reg *registry.Registry) http.Handler {
+// the tests drive through httptest. maxBody > 0 caps the ingest request
+// body (the -max-body backpressure flag); 0 means unlimited.
+func newHandler(reg *registry.Registry, maxBody int64) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, jsonvalue.ObjectFromPairs("status", "ok"))
@@ -120,6 +130,7 @@ func newHandler(reg *registry.Registry) http.Handler {
 			"ingests", st.Ingests,
 			"errors", st.Errors,
 			"symbols", st.Symbols,
+			"schema_nodes", st.SchemaNodes,
 		))
 	})
 	mux.HandleFunc("GET /v1/collections", func(w http.ResponseWriter, r *http.Request) {
@@ -137,11 +148,22 @@ func newHandler(reg *registry.Registry) http.Handler {
 			writeError(w, http.StatusBadRequest, "empty collection name")
 			return
 		}
-		res, err := reg.Ingest(name, r.Body)
+		body := r.Body
+		if maxBody > 0 {
+			body = http.MaxBytesReader(w, r.Body, maxBody)
+		}
+		res, err := reg.Ingest(name, body)
 		if err != nil {
 			// The prefix before the error is merged and kept; report
-			// both the failure and how far ingest got.
-			writeJSON(w, http.StatusBadRequest, jsonvalue.ObjectFromPairs(
+			// both the failure and how far ingest got. An over-limit
+			// body surfaces as 413 with exactly the malformed-doc
+			// bytes-kept semantics: the documents that fit are merged.
+			status := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeJSON(w, status, jsonvalue.ObjectFromPairs(
 				"error", err.Error(),
 				"collection", res.Collection,
 				"docs", res.Docs,
@@ -155,6 +177,17 @@ func newHandler(reg *registry.Registry) http.Handler {
 			"docs", res.Docs,
 			"total_docs", res.TotalDocs,
 			"version", int64(res.Version),
+		))
+	})
+	mux.HandleFunc("DELETE /v1/collections/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if !reg.Delete(name) {
+			writeError(w, http.StatusNotFound, "unknown collection "+name)
+			return
+		}
+		writeJSON(w, http.StatusOK, jsonvalue.ObjectFromPairs(
+			"collection", name,
+			"deleted", true,
 		))
 	})
 	mux.HandleFunc("GET /v1/collections/{name}/schema", func(w http.ResponseWriter, r *http.Request) {

@@ -21,8 +21,13 @@ import (
 
 func newTestServer(t *testing.T, opts registry.Options) (*httptest.Server, *registry.Registry) {
 	t.Helper()
+	return newTestServerMaxBody(t, opts, 0)
+}
+
+func newTestServerMaxBody(t *testing.T, opts registry.Options, maxBody int64) (*httptest.Server, *registry.Registry) {
+	t.Helper()
 	reg := registry.New(opts)
-	srv := httptest.NewServer(newHandler(reg))
+	srv := httptest.NewServer(newHandler(reg, maxBody))
 	t.Cleanup(func() {
 		srv.Close()
 		reg.Close()
@@ -268,5 +273,124 @@ func TestManyCollectionsConcurrently(t *testing.T) {
 		if want := fmt.Sprintf("{col%d: Int}", c); snap.Type.String() != want {
 			t.Errorf("c%d: schema %s, want %s", c, snap.Type, want)
 		}
+	}
+}
+
+// del issues a DELETE and returns status and body.
+func del(t *testing.T, url string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(out)
+}
+
+// TestDeleteCollectionEndpoint covers the admin delete: 404 on a
+// missing name, removal of the collection and its accumulator on an
+// existing one, and immediate reuse of the name from scratch.
+func TestDeleteCollectionEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, registry.Options{Equiv: typelang.EquivLabel})
+	if code, body := del(t, srv.URL+"/v1/collections/ghost"); code != http.StatusNotFound {
+		t.Fatalf("delete of unknown collection = %d (%s), want 404", code, body)
+	}
+	if code, _ := post(t, srv.URL+"/v1/collections/c/ingest", []byte(`{"a": 1}`+"\n")); code != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	code, body := del(t, srv.URL+"/v1/collections/c")
+	if code != http.StatusOK {
+		t.Fatalf("delete = %d (%s), want 200", code, body)
+	}
+	v, err := jsontext.Parse([]byte(body))
+	if err != nil {
+		t.Fatalf("delete body is not JSON: %v", err)
+	}
+	if d, _ := v.Get("deleted"); !d.Bool() {
+		t.Errorf("delete body = %s, want deleted: true", body)
+	}
+	if code, _ := get(t, srv.URL+"/v1/collections/c/schema"); code != http.StatusNotFound {
+		t.Errorf("schema after delete = %d, want 404", code)
+	}
+	if code, _ := del(t, srv.URL+"/v1/collections/c"); code != http.StatusNotFound {
+		t.Errorf("second delete = %d, want 404", code)
+	}
+	// The name is reusable: a fresh ingest starts an empty collection.
+	if code, _ := post(t, srv.URL+"/v1/collections/c/ingest", []byte(`{"b": "x"}`+"\n")); code != http.StatusOK {
+		t.Fatal("re-ingest failed")
+	}
+	if _, served := get(t, srv.URL+"/v1/collections/c/schema"); served != "{b: Str}\n" {
+		t.Errorf("recreated schema = %q, want {b: Str}", served)
+	}
+}
+
+// TestMaxBodyReturns413AndKeepsPrefix pins the -max-body backpressure:
+// a body over the limit yields 413 with exactly the malformed-doc
+// bytes-kept semantics — the documents that fit under the limit are
+// merged and reported, and the collection serves that prefix.
+func TestMaxBodyReturns413AndKeepsPrefix(t *testing.T) {
+	srv, _ := newTestServerMaxBody(t, registry.Options{}, 40)
+	doc := `{"a": 1}` + "\n" // 9 bytes; 40-byte limit fits 4 whole docs
+	code, body := post(t, srv.URL+"/v1/collections/c/ingest", []byte(strings.Repeat(doc, 10)))
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d (%s), want 413", code, body)
+	}
+	v, err := jsontext.Parse([]byte(body))
+	if err != nil {
+		t.Fatalf("413 body is not JSON: %v", err)
+	}
+	if d, _ := v.Get("docs"); d.Int() != 4 {
+		t.Errorf("docs = %d, want the 4 docs under the limit\n%s", d.Int(), body)
+	}
+	if msg, ok := v.Get("error"); !ok || !strings.Contains(msg.Str(), "request body too large") {
+		t.Errorf("error message = %s", body)
+	}
+	if _, served := get(t, srv.URL+"/v1/collections/c/schema?output=counted"); served != "{a:4: Int(4)}(4)\n" {
+		t.Errorf("kept prefix schema = %q, want counts of 4", served)
+	}
+
+	// An under-limit body on the same server ingests normally.
+	if code, out := post(t, srv.URL+"/v1/collections/ok/ingest", []byte(doc)); code != http.StatusOK {
+		t.Errorf("under-limit ingest = %d (%s), want 200", code, out)
+	}
+
+	// A body cut exactly on a document boundary keeps every whole doc.
+	srv2, _ := newTestServerMaxBody(t, registry.Options{}, 18)
+	code, body = post(t, srv2.URL+"/v1/collections/c/ingest", []byte(strings.Repeat(doc, 3)))
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("boundary cut status %d (%s), want 413", code, body)
+	}
+	v, err = jsontext.Parse([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := v.Get("docs"); d.Int() != 2 {
+		t.Errorf("boundary cut docs = %d, want 2\n%s", d.Int(), body)
+	}
+}
+
+// TestStatsSchemaNodesServed pins the sealed-snapshot stats surfaced on
+// /v1/stats.
+func TestStatsSchemaNodesServed(t *testing.T) {
+	srv, reg := newTestServer(t, registry.Options{})
+	if code, _ := post(t, srv.URL+"/v1/collections/c/ingest", []byte(`{"a": 1, "b": "x"}`+"\n")); code != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	snap, _ := reg.Get("c")
+	_, stats := get(t, srv.URL+"/v1/stats")
+	v, err := jsontext.Parse([]byte(stats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := v.Get("schema_nodes"); int(n.Int()) != snap.Type.Size() {
+		t.Errorf("schema_nodes = %d, want %d\n%s", n.Int(), snap.Type.Size(), stats)
 	}
 }

@@ -1,0 +1,83 @@
+package infer
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/jsontext"
+	"repro/internal/typelang"
+)
+
+// This file is the Accum-vs-MergeAll identity sweep: every streamed
+// engine now folds through typelang.Accum (worker folds, collector
+// leaves, the root fuse, the in-line auto fold), and this sweep pins
+// each of those seals byte-identical to the reference reduce — one
+// MergeAll over the per-document map-phase types — on every checked-in
+// fixture, under both equivalences, across shard counts (including the
+// explicit ReduceShards: 1 legacy Merge fold, the A/B baseline) and
+// both tokenizers.
+
+// mergeAllReference is the reference reduce: DOM-decode every document,
+// type it with the map phase, and fold the whole collection through one
+// MergeAll call.
+func mergeAllReference(t *testing.T, data []byte, e typelang.Equiv) *typelang.Type {
+	t.Helper()
+	docs, err := jsontext.NewDecoder(bytes.NewReader(data)).DecodeAll()
+	if err != nil {
+		t.Fatalf("reference decode: %v", err)
+	}
+	ts := make([]*typelang.Type, len(docs))
+	for i, d := range docs {
+		ts[i] = TypeOf(d, e)
+	}
+	return typelang.MergeAll(ts, e)
+}
+
+func assertAccumMatchesMergeAll(t *testing.T, label string, data []byte) {
+	t.Helper()
+	for _, e := range []typelang.Equiv{typelang.EquivKind, typelang.EquivLabel} {
+		want := mergeAllReference(t, data, e)
+		check := func(engine string, got *typelang.Type, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("%s/%v/%s: %v", label, e, engine, err)
+			}
+			if !typelang.Equal(want, got) || want.String() != got.String() ||
+				want.StringCounted() != got.StringCounted() {
+				t.Errorf("%s/%v/%s: accum fold diverges from MergeAll\n mergeall: %s\n accum:    %s",
+					label, e, engine, want.StringCounted(), got.StringCounted())
+			}
+		}
+		got, _, err := InferStream(bytes.NewReader(data), Options{Equiv: e})
+		check("sequential", got, err)
+		for _, tz := range []Tokenizer{TokenizerScan, TokenizerMison} {
+			for _, shards := range []int{0, 1, 2, 3, 8} {
+				got, _, err := InferStreamParallel(bytes.NewReader(data),
+					Options{Equiv: e, Workers: 4, ReduceShards: shards, Tokenizer: tz})
+				check(fmt.Sprintf("parallel-%v-shards-%d", tz, shards), got, err)
+			}
+		}
+	}
+}
+
+// TestAccumFoldMatchesMergeAllFixtures runs the sweep over every
+// checked-in NDJSON fixture.
+func TestAccumFoldMatchesMergeAllFixtures(t *testing.T) {
+	fixtures, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) == 0 {
+		t.Fatal("no testdata fixtures found")
+	}
+	for _, name := range fixtures {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertAccumMatchesMergeAll(t, filepath.Base(name), data)
+	}
+}

@@ -2,6 +2,7 @@ package infer
 
 import (
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -14,26 +15,29 @@ import (
 // with wide worker pools that single fold became the bottleneck (the
 // merge inside typelang dominates the streamed profile). The tree splits
 // the fold: N leaf collectors each own a shard of the chunk results and
-// fold their share on their own goroutine, and a root fuses the shard
-// partials with typelang.Merge — on demand for snapshots, and in the
-// background whenever a leaf publishes, so reads mostly hit a cache.
+// absorb their share into a typelang.Accum on their own goroutine,
+// sealing to an immutable partial only on publish, and a root fuses the
+// shard partials through an accumulator of its own — on demand for
+// snapshots, and in the background whenever a leaf publishes, so reads
+// mostly hit a cache.
 //
-// By associativity and commutativity of the merge the tree's result is
-// byte-identical (same rendering, same counts) to the single ordered
-// fold's, which is pinned by the collector tests. The tree is also the
-// live-merge engine of internal/registry: long-lived collections fold
-// ingest traffic through it and serve snapshot reads that never block
-// the ingest path.
+// By associativity and commutativity of the merge (Accum seals are
+// pinned byte-identical to the MergeAll reference fold) the tree's
+// result is byte-identical (same rendering, same counts) to the single
+// ordered fold's, which is pinned by the collector tests. The tree is
+// also the live-merge engine of internal/registry: long-lived
+// collections fold ingest traffic through it and serve snapshot reads
+// that never block the ingest path.
 
 // maxAutoShards caps the automatically-sized collector tree: shard
 // partials multiply the final fuse cost, and past a handful of leaves
 // the fold is never the bottleneck again.
 const maxAutoShards = 8
 
-// collectorBatch is how many chunk types a leaf buffers per MergeAll.
+// collectorBatch is how many chunk types a leaf absorbs per publish.
 // Chunk types are already batch-merged summaries (not single documents),
-// so a small batch amortises canonicalisation without delaying
-// snapshot visibility much.
+// so a small cadence amortises the seal without delaying snapshot
+// visibility much.
 const collectorBatch = 8
 
 // leafState is a leaf's published partial: the merged type and document
@@ -55,9 +59,11 @@ type leafMsg struct {
 }
 
 // leafCollector is one shard of the tree: a goroutine draining in,
-// folding with the batched MergeAll discipline, and publishing its
-// partial through an atomic pointer that snapshot readers load without
-// any lock.
+// absorbing chunk types into its live accumulator, and publishing the
+// sealed partial through an atomic pointer that snapshot readers load
+// without any lock. The seal is memoised inside the accumulator, so a
+// publish with nothing newly absorbed (a flush on a quiet shard) reuses
+// the previous sealed partial.
 type leafCollector struct {
 	in    chan leafMsg
 	state atomic.Pointer[leafState]
@@ -67,18 +73,22 @@ type leafCollector struct {
 func (l *leafCollector) run(e typelang.Equiv, poke chan<- struct{}) {
 	defer close(l.done)
 	var (
-		acc  = typelang.Bottom
-		docs int64
-		gen  uint64
-		buf  = make([]*typelang.Type, 0, collectorBatch+1)
+		acc     = typelang.NewAccum(e)
+		docs    int64
+		gen     uint64
+		pending int // chunk types absorbed since the last publish
 	)
 	publish := func() {
-		if len(buf) > 0 {
-			acc = typelang.MergeAll(buf, e)
-			buf = buf[:0]
+		if pending == 0 {
+			// Nothing absorbed since the last publish (a flush on a
+			// quiet shard): the stored state is already current, and
+			// skipping the generation bump keeps the root's
+			// vector-keyed fuse cache hot.
+			return
 		}
+		pending = 0
 		gen++
-		l.state.Store(&leafState{acc: acc, docs: docs, gen: gen})
+		l.state.Store(&leafState{acc: acc.Seal(), docs: docs, gen: gen})
 		select {
 		case poke <- struct{}{}: // wake the root fuser
 		default: // a fuse is already pending; it will see this publish
@@ -90,12 +100,10 @@ func (l *leafCollector) run(e typelang.Equiv, poke chan<- struct{}) {
 			msg.wg.Done()
 			continue
 		}
-		if len(buf) == 0 {
-			buf = append(buf, acc)
-		}
-		buf = append(buf, msg.t)
+		acc.Absorb(msg.t)
 		docs += msg.docs
-		if len(buf) == collectorBatch+1 {
+		pending++
+		if pending == collectorBatch {
 			publish()
 		}
 	}
@@ -118,14 +126,17 @@ type ShardedCollector struct {
 	poke   chan struct{}
 	fused  chan struct{} // closed when the root fuser exits
 
-	// root caches the fused type keyed by the sum of leaf generations;
-	// the doc count is not cached — an equal generation sum implies the
-	// gathered count matches, so Snapshot always returns the gathered
-	// one.
+	// root caches the fused type keyed by the per-leaf generation
+	// vector — the exact set of publishes the fuse saw. (A sum would
+	// collide: with concurrent publishes two different vectors can sum
+	// equal, and a collision would pair the cached schema with a doc
+	// count gathered from a different view.) The doc count is not
+	// cached — an equal vector implies the gathered view is exactly the
+	// cached fuse's input, so Snapshot always returns the gathered one.
 	root struct {
 		mu    sync.Mutex
 		t     *typelang.Type
-		gen   uint64 // sum of leaf generations when t was fused
+		gens  []uint64 // leaf generation vector when t was fused
 		valid bool
 	}
 }
@@ -168,16 +179,35 @@ func (c *ShardedCollector) rootLoop() {
 }
 
 // gather loads every leaf's published state: a consistent view per leaf,
-// and a generation sum that identifies the exact set of publishes seen.
-func (c *ShardedCollector) gather() (alts []*typelang.Type, docs int64, gen uint64) {
+// and the generation vector that identifies the exact set of publishes
+// seen.
+func (c *ShardedCollector) gather() (alts []*typelang.Type, docs int64, gens []uint64) {
 	alts = make([]*typelang.Type, len(c.leaves))
+	gens = make([]uint64, len(c.leaves))
 	for i, l := range c.leaves {
 		s := l.state.Load()
 		alts[i] = s.acc
 		docs += s.docs
-		gen += s.gen
+		gens[i] = s.gen
 	}
-	return alts, docs, gen
+	return alts, docs, gens
+}
+
+// gensNewer reports whether generation vector a is strictly newer than
+// b: at least as new on every leaf, newer on one. Concurrent gathers
+// can also be incomparable (each saw a publish the other missed);
+// neither then replaces the other in the cache.
+func gensNewer(a, b []uint64) bool {
+	newer := false
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			newer = true
+		}
+	}
+	return newer
 }
 
 // Add folds one chunk result (its merged type and document count) into
@@ -208,22 +238,30 @@ func (c *ShardedCollector) Flush() {
 // not yet merged are not visible until that leaf's next publish (or a
 // Flush); successive snapshots only ever grow.
 func (c *ShardedCollector) Snapshot() (*typelang.Type, int64) {
-	alts, docs, gen := c.gather()
+	alts, docs, gens := c.gather()
 	c.root.mu.Lock()
-	if c.root.valid && c.root.gen == gen {
+	if c.root.valid && slices.Equal(c.root.gens, gens) {
 		t := c.root.t
 		c.root.mu.Unlock()
 		return t, docs
 	}
 	c.root.mu.Unlock()
-	// The merge runs outside the cache lock so concurrent snapshot
-	// readers are never stuck behind it.
-	t := typelang.MergeAll(alts, c.equiv)
+	// The fuse runs outside the cache lock so concurrent snapshot
+	// readers are never stuck behind it; each fuse folds the (at most
+	// `shards`) sealed leaf partials through a fresh accumulator, so
+	// concurrent fuses share nothing mutable.
+	ra := typelang.NewAccum(c.equiv)
+	for _, alt := range alts {
+		ra.Absorb(alt)
+	}
+	t := ra.Seal()
 	c.root.mu.Lock()
-	// Leaf generations are monotone, so a larger sum is a strictly newer
-	// view; a concurrent fuse that saw more publishes wins.
-	if !c.root.valid || gen > c.root.gen {
-		c.root.t, c.root.gen, c.root.valid = t, gen, true
+	// Per-leaf generations are monotone, so an elementwise-newer vector
+	// is a strictly newer view: a concurrent fuse that saw more
+	// publishes wins, and incomparable concurrent views leave the cache
+	// alone.
+	if !c.root.valid || gensNewer(gens, c.root.gens) {
+		c.root.t, c.root.gens, c.root.valid = t, gens, true
 	}
 	c.root.mu.Unlock()
 	return t, docs

@@ -19,9 +19,11 @@
 // parallelised and distributed arbitrarily. The execution layer here
 // exploits that three ways:
 //
-//   - documents are typed and reduced in batches (one MergeAll per
-//     batch instead of one Merge per document), which amortises union
-//     canonicalisation over the batch;
+//   - the streamed engines fold through typelang.Accum, the mutable
+//     accumulator core: document types are absorbed in place and the
+//     canonical union is sealed once per chunk (and once per collector
+//     publish) instead of being rebuilt per merge — the DOM engines
+//     keep the batched MergeAll fold as the reference discipline;
 //   - InferParallel feeds batches through a bounded work queue to a
 //     worker pool; each worker folds its own partial type and the
 //     partials meet in a parallel binary tree reduction;
@@ -39,11 +41,13 @@
 // results commit in stream order so schemas, document counts and error
 // offsets are exact. Committed results fold through the sharded
 // collector tree (ShardedCollector, collector.go): N leaf collectors
-// merge their shard of the chunk results on their own goroutines and a
-// root collector fuses the partials with typelang.Merge, so the reduce
-// itself parallelises instead of serialising on one goroutine — and the
-// same tree, left open, is the live-merge engine behind
-// internal/registry's long-running collections (InferStreamInto).
+// absorb their shard of the chunk results into live typelang.Accums on
+// their own goroutines (sealing on publish) and a root accumulator
+// fuses the sealed partials, so the reduce itself parallelises instead
+// of serialising on one goroutine — and the same tree, left open, is
+// the live-merge engine behind internal/registry's long-running
+// collections (InferStreamInto). ReduceShards: 1 keeps the legacy
+// in-line ordered Merge fold selectable as the A/B baseline.
 // Options.Tokenizer picks the chunking and lexing machinery —
 // TokenizerMison (the default) for the structural-index fast path of
 // internal/mison, TokenizerScan for the reference byte-at-a-time lexer —

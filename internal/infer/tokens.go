@@ -28,6 +28,16 @@ import (
 // offset) on malformed input. Any jsontext.TokenSource feeds it: the
 // reference TokenReader or the mison structural-index tokenizer.
 func TypeFromTokens(tr jsontext.TokenSource, e typelang.Equiv) (*typelang.Type, error) {
+	var pool accumPool
+	pool.equiv = e
+	return typeFromTokensPooled(tr, e, &pool)
+}
+
+// typeFromTokensPooled is TypeFromTokens with a caller-owned
+// accumulator pool: the streamed engines thread one pool per worker so
+// the array-element folds inside every document reuse the same
+// accumulators instead of rebuilding canonical unions per array.
+func typeFromTokensPooled(tr jsontext.TokenSource, e typelang.Equiv, pool *accumPool) (*typelang.Type, error) {
 	tok, err := tr.ReadTokenSkipString()
 	if err != nil {
 		return nil, err
@@ -35,14 +45,37 @@ func TypeFromTokens(tr jsontext.TokenSource, e typelang.Equiv) (*typelang.Type, 
 	if tok.Kind == jsontext.TokEOF {
 		return nil, io.EOF
 	}
-	return typeFromToken(tr, tok, e, 0)
+	return typeFromToken(tr, tok, e, 0, pool)
+}
+
+// accumPool is a worker-local free list of typelang accumulators for
+// the per-document array-element folds. Arrays nest, so the pool holds
+// one accumulator per active nesting level at peak; put resets before
+// parking, so a pooled accumulator is always empty.
+type accumPool struct {
+	equiv typelang.Equiv
+	free  []*typelang.Accum
+}
+
+func (p *accumPool) get() *typelang.Accum {
+	if n := len(p.free); n > 0 {
+		a := p.free[n-1]
+		p.free = p.free[:n-1]
+		return a
+	}
+	return typelang.NewAccum(p.equiv)
+}
+
+func (p *accumPool) put(a *typelang.Accum) {
+	a.Reset()
+	p.free = append(p.free, a)
 }
 
 // typeFromToken types the value beginning at tok, pulling the rest of
 // its tokens from tr. The grammar enforced is exactly the parser's, so
 // the token path and the DOM path accept and reject the same inputs at
 // the same offsets.
-func typeFromToken(tr jsontext.TokenSource, tok jsontext.Token, e typelang.Equiv, depth int) (*typelang.Type, error) {
+func typeFromToken(tr jsontext.TokenSource, tok jsontext.Token, e typelang.Equiv, depth int, pool *accumPool) (*typelang.Type, error) {
 	if depth > jsontext.MaxDepth {
 		return nil, &jsontext.SyntaxError{Offset: tok.Offset, Msg: depthMsg}
 	}
@@ -59,9 +92,9 @@ func typeFromToken(tr jsontext.TokenSource, tok jsontext.Token, e typelang.Equiv
 	case jsontext.TokString:
 		return atomStr, nil
 	case jsontext.TokBeginArray:
-		return typeArrayTokens(tr, e, depth)
+		return typeArrayTokens(tr, e, depth, pool)
 	case jsontext.TokBeginObject:
-		return typeObjectTokens(tr, e, depth)
+		return typeObjectTokens(tr, e, depth, pool)
 	case jsontext.TokEOF:
 		return nil, &jsontext.SyntaxError{Offset: tok.Offset, Msg: "unexpected end of input, want value"}
 	default:
@@ -80,35 +113,45 @@ func numIsInt(f float64) bool {
 }
 
 // typeArrayTokens types array elements after the consumed '[': element
-// types are merged under e, exactly as TypeOf merges a materialised
-// array's element types.
-func typeArrayTokens(tr jsontext.TokenSource, e typelang.Equiv, depth int) (*typelang.Type, error) {
+// types fold under e through a pooled accumulator, sealing to exactly
+// the MergeAll of the element types — the per-document merge that used
+// to rebuild a canonical union per array now bumps accumulator buckets
+// and allocates only the sealed result.
+func typeArrayTokens(tr jsontext.TokenSource, e typelang.Equiv, depth int, pool *accumPool) (*typelang.Type, error) {
 	tok, err := tr.ReadTokenSkipString()
 	if err != nil {
 		return nil, err
 	}
 	if tok.Kind == jsontext.TokEndArray {
-		return typelang.NewArrayCounted(typelang.MergeAll(nil, e), 1, 0, 0), nil
+		return typelang.NewArrayCounted(nil, 1, 0, 0), nil
 	}
-	var ts []*typelang.Type
+	acc := pool.get()
+	n := 0
 	for {
-		et, err := typeFromToken(tr, tok, e, depth+1)
+		et, err := typeFromToken(tr, tok, e, depth+1, pool)
 		if err != nil {
+			pool.put(acc)
 			return nil, err
 		}
-		ts = append(ts, et)
+		acc.Absorb(et)
+		n++
 		sep, err := tr.ReadTokenSkipString()
 		if err != nil {
+			pool.put(acc)
 			return nil, err
 		}
 		switch sep.Kind {
 		case jsontext.TokComma:
 			if tok, err = tr.ReadTokenSkipString(); err != nil {
+				pool.put(acc)
 				return nil, err
 			}
 		case jsontext.TokEndArray:
-			return typelang.NewArrayCounted(typelang.MergeAll(ts, e), 1, len(ts), len(ts)), nil
+			elem := acc.Seal()
+			pool.put(acc)
+			return typelang.NewArrayCounted(elem, 1, n, n), nil
 		default:
+			pool.put(acc)
 			return nil, &jsontext.SyntaxError{Offset: sep.Offset, Msg: "unexpected " + sep.Kind.String() + " in array, want ',' or ']'"}
 		}
 	}
@@ -118,7 +161,7 @@ func typeArrayTokens(tr jsontext.TokenSource, e typelang.Equiv, depth int) (*typ
 // names are read in decoding mode (they are the record labels); field
 // values are typed token-by-token. Duplicate names keep the effective
 // last-binding view, matching TypeOf.
-func typeObjectTokens(tr jsontext.TokenSource, e typelang.Equiv, depth int) (*typelang.Type, error) {
+func typeObjectTokens(tr jsontext.TokenSource, e typelang.Equiv, depth int, pool *accumPool) (*typelang.Type, error) {
 	tok, err := tr.ReadToken()
 	if err != nil {
 		return nil, err
@@ -146,7 +189,7 @@ func typeObjectTokens(tr jsontext.TokenSource, e typelang.Equiv, depth int) (*ty
 		if err != nil {
 			return nil, err
 		}
-		vt, err := typeFromToken(tr, valTok, e, depth+1)
+		vt, err := typeFromToken(tr, valTok, e, depth+1, pool)
 		if err != nil {
 			return nil, err
 		}
@@ -199,39 +242,46 @@ func fieldIndex(fields []typelang.Field, seen map[string]int, name string) int {
 	return -1
 }
 
-// tokenFold accumulates document types with the same batched MergeAll
-// discipline as foldBatch: slot 0 carries the accumulator, and a merge
-// fires once the batch fills.
-type tokenFold struct {
-	acc   *typelang.Type
-	buf   []*typelang.Type
-	batch int
+// streamFold is the per-worker fold state of the token engines: the
+// chunk accumulator every document type is absorbed into, plus the
+// accumulator pool the map phase's array-element folds draw from. One
+// streamFold serves a whole worker lifetime — run Resets the chunk
+// accumulator between chunks, so the steady state absorbs and seals
+// without rebuilding canonical unions (the batched MergeAll discipline
+// this replaces re-canonicalised the whole accumulated schema on every
+// batch; see typelang.Accum).
+type streamFold struct {
 	equiv typelang.Equiv
+	fold  *typelang.Accum
+	pool  accumPool
 }
 
-func newTokenFold(opts Options) *tokenFold {
-	f := &tokenFold{acc: typelang.Bottom, batch: opts.batch(), equiv: opts.Equiv}
-	f.buf = make([]*typelang.Type, 0, f.batch+1)
-	return f
-}
-
-func (f *tokenFold) add(t *typelang.Type) {
-	if len(f.buf) == 0 {
-		f.buf = append(f.buf, f.acc)
-	}
-	f.buf = append(f.buf, t)
-	if len(f.buf) == f.batch+1 {
-		f.acc = typelang.MergeAll(f.buf, f.equiv)
-		f.buf = f.buf[:0]
+func newStreamFold(opts Options) *streamFold {
+	return &streamFold{
+		equiv: opts.Equiv,
+		fold:  typelang.NewAccum(opts.Equiv),
+		pool:  accumPool{equiv: opts.Equiv},
 	}
 }
 
-func (f *tokenFold) finish() *typelang.Type {
-	if len(f.buf) > 0 {
-		f.acc = typelang.MergeAll(f.buf, f.equiv)
-		f.buf = f.buf[:0]
+// run types every document on tr, absorbing each into the chunk
+// accumulator, and seals once at the end — the accumulate → seal shape
+// of the reduce. On an error the sealed type covers exactly the
+// documents typed before it (the partial document is discarded).
+func (sf *streamFold) run(tr jsontext.TokenSource) (*typelang.Type, int, error) {
+	sf.fold.Reset()
+	n := 0
+	for {
+		t, err := typeFromTokensPooled(tr, sf.equiv, &sf.pool)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = nil
+			}
+			return sf.fold.Seal(), n, err
+		}
+		sf.fold.Absorb(t)
+		n++
 	}
-	return f.acc
 }
 
 // InferStream types every document on r straight from tokens, without
@@ -245,23 +295,7 @@ func InferStream(r io.Reader, opts Options) (*typelang.Type, int, error) {
 	if opts.Symbols != nil {
 		tr.SetSymbolTable(opts.Symbols)
 	}
-	return foldTokenStream(tr, opts)
-}
-
-func foldTokenStream(tr jsontext.TokenSource, opts Options) (*typelang.Type, int, error) {
-	fold := newTokenFold(opts)
-	n := 0
-	for {
-		t, err := TypeFromTokens(tr, opts.Equiv)
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				err = nil
-			}
-			return fold.finish(), n, err
-		}
-		fold.add(t)
-		n++
-	}
+	return newStreamFold(opts).run(tr)
 }
 
 // byteChunk is one work unit of the parallel token engine: a run of
@@ -324,13 +358,24 @@ func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error)
 		acc, _ := col.Close()
 		return acc, n, err
 	}
-	// Single collector: the in-line ordered fold (the tree's A/B
-	// baseline, and the cheapest shape for narrow pools).
-	acc := typelang.Bottom
+	if opts.ReduceShards == 1 {
+		// Explicit single collector: the legacy in-line ordered Merge
+		// fold, kept selectable as the A/B reference for both the tree
+		// and the accumulator (like TokenizerScan for the tokenizer).
+		acc := typelang.Bottom
+		n, err := inferStreamChunks(r, opts, func(t *typelang.Type, _ int) {
+			acc = typelang.Merge(acc, t, opts.Equiv)
+		})
+		return acc, n, err
+	}
+	// Auto-sized single collector (narrow pool): the in-line ordered
+	// fold through an accumulator — no collector goroutines, and no
+	// per-chunk re-canonicalisation of the accumulated schema.
+	acc := typelang.NewAccum(opts.Equiv)
 	n, err := inferStreamChunks(r, opts, func(t *typelang.Type, _ int) {
-		acc = typelang.Merge(acc, t, opts.Equiv)
+		acc.Absorb(t)
 	})
-	return acc, n, err
+	return acc.Seal(), n, err
 }
 
 // InferStreamInto is InferStreamParallel folding into a caller-owned
@@ -393,6 +438,7 @@ func inferStreamChunks(r io.Reader, opts Options, commit func(*typelang.Type, in
 					ms.SetSymbolTable(opts.Symbols)
 				}
 			}
+			fold := newStreamFold(opts)
 			for ch := range work {
 				var src jsontext.TokenSource
 				if ms != nil {
@@ -406,7 +452,7 @@ func inferStreamChunks(r io.Reader, opts Options, commit func(*typelang.Type, in
 					tr.ResetBytes(ch.data, ch.base)
 					src = tr
 				}
-				t, n, err := foldTokenStream(src, opts)
+				t, n, err := fold.run(src)
 				results <- chunkResult{index: ch.index, t: t, n: n, err: err}
 			}
 		}()

@@ -7,11 +7,15 @@
 //
 // Each collection owns a sharded collector tree (infer.ShardedCollector):
 // ingest requests run infer.InferStreamInto over their body, committing
-// chunk results into the tree where N leaf collectors fold them in
-// parallel and a root collector fuses the shard partials with
-// typelang.Merge. Snapshot reads (Get, List, Stats) load the leaves'
-// published partials without taking any lock the ingest path holds, so
-// reads never block writes.
+// chunk results into the tree where N leaf collectors absorb them into
+// live typelang.Accums in parallel and a root accumulator fuses the
+// sealed shard partials — sealing happens lazily, on publish and on
+// read, memoised by leaf generation, so Get/List on a quiet collection
+// reuse the previous sealed snapshot. Snapshot reads (Get, List, Stats)
+// load the leaves' published partials without taking any lock the
+// ingest path holds, so reads never block writes. Delete removes a
+// collection and shuts its tree down, waiting out in-flight ingests;
+// the name is immediately reusable.
 //
 // Consistency model: within one collection the schema only ever grows
 // (every snapshot subsumes every earlier one), an Ingest call flushes

@@ -47,13 +47,24 @@ type Registry struct {
 	cols map[string]*collection
 }
 
-// collection is one named schema accumulator.
+// collection is one named schema accumulator: a live collector tree
+// (whose leaves absorb into typelang.Accums and whose root seals
+// lazily, memoised by leaf generation — so Get/List on a quiet
+// collection reuse the previous sealed snapshot) plus counters.
 type collection struct {
 	name    string
 	col     *infer.ShardedCollector
 	version atomic.Uint64 // completed ingests
 	ingests atomic.Int64  // ingest requests finished (with or without error)
 	errors  atomic.Int64  // ingest requests that ended in an error
+
+	// life guards the collector against Delete: ingests hold the read
+	// side for their whole run, Delete takes the write side before
+	// closing the tree, and closed marks a deleted collection so a
+	// racing ingest re-resolves the name instead of touching a closed
+	// collector.
+	life   sync.RWMutex
+	closed bool
 }
 
 // New returns an empty registry.
@@ -114,7 +125,18 @@ type IngestResult struct {
 // returning, so a snapshot taken after it completes includes everything
 // it merged.
 func (r *Registry) Ingest(name string, rd io.Reader) (IngestResult, error) {
-	c := r.collection(name)
+	var c *collection
+	for {
+		c = r.collection(name)
+		c.life.RLock()
+		if !c.closed {
+			break
+		}
+		// Deleted between lookup and lock: the name no longer maps to
+		// this collection, so resolve it again (creating a fresh one).
+		c.life.RUnlock()
+	}
+	defer c.life.RUnlock()
 	n, err := infer.InferStreamInto(rd, infer.Options{
 		Equiv:     r.opts.Equiv,
 		Workers:   r.opts.Workers,
@@ -181,6 +203,29 @@ func (c *collection) snapshot() Snapshot {
 	}
 }
 
+// Delete removes the named collection and shuts down its accumulator
+// tree, reporting whether it existed. It waits for in-flight ingests
+// into the collection to finish (their documents die with it); ingests
+// that resolve the name afterwards create a fresh, empty collection.
+// Snapshots taken before the delete stay valid — sealed types are
+// immutable and never alias collector state.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	c := r.cols[name]
+	if c != nil {
+		delete(r.cols, name)
+	}
+	r.mu.Unlock()
+	if c == nil {
+		return false
+	}
+	c.life.Lock()
+	c.closed = true
+	c.life.Unlock()
+	c.col.Close()
+	return true
+}
+
 // Version returns the named collection's version (completed ingests).
 func (r *Registry) Version(name string) (uint64, bool) {
 	r.mu.RLock()
@@ -217,9 +262,15 @@ type Stats struct {
 	// Symbols is the number of distinct field names interned across all
 	// workers, requests and collections.
 	Symbols int
+	// SchemaNodes is the total node count of the sealed snapshot
+	// schemas across all collections — the aggregate schema size the
+	// registry currently serves.
+	SchemaNodes int
 }
 
-// Stats returns registry-wide aggregates without blocking ingest.
+// Stats returns registry-wide aggregates without blocking ingest. The
+// schema sizes come from the same sealed (and memoised) snapshots
+// Get/List serve, so a quiet registry reports them without re-fusing.
 func (r *Registry) Stats() Stats {
 	s := Stats{Symbols: r.symbols.Len()}
 	for _, snap := range r.List() {
@@ -227,6 +278,7 @@ func (r *Registry) Stats() Stats {
 		s.Docs += snap.Docs
 		s.Ingests += snap.Ingests
 		s.Errors += snap.Errors
+		s.SchemaNodes += snap.Type.Size()
 	}
 	return s
 }

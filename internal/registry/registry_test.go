@@ -256,3 +256,101 @@ func TestGetUnknownAndList(t *testing.T) {
 		t.Errorf("Version(alpha) = %d,%v, want 1,true", v, ok)
 	}
 }
+
+// TestDeleteCollection covers the admin delete: existing collections
+// are removed (their accumulator tree shut down), missing names report
+// false, snapshots taken before the delete stay valid, and the name is
+// reusable — a later ingest starts a fresh, empty collection.
+func TestDeleteCollection(t *testing.T) {
+	reg := New(Options{Equiv: typelang.EquivLabel})
+	defer reg.Close()
+	if reg.Delete("nope") {
+		t.Error("Delete on an unknown collection must report false")
+	}
+	if _, err := reg.Ingest("c", strings.NewReader(`{"a": 1}`+"\n")); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := reg.Get("c")
+	if !ok || snap.Docs != 1 {
+		t.Fatalf("snapshot before delete: %+v, %v", snap, ok)
+	}
+	if !reg.Delete("c") {
+		t.Fatal("Delete on an existing collection must report true")
+	}
+	if _, ok := reg.Get("c"); ok {
+		t.Error("Get after Delete must miss")
+	}
+	if got := reg.Stats().Collections; got != 0 {
+		t.Errorf("Stats after delete: %d collections, want 0", got)
+	}
+	// The pre-delete snapshot is immutable and still renders.
+	if snap.Type.String() != "{a: Int}" {
+		t.Errorf("pre-delete snapshot mutated: %s", snap.Type)
+	}
+	// The name is reusable from scratch.
+	res, err := reg.Ingest("c", strings.NewReader(`{"b": "x"}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalDocs != 1 || res.Version != 1 {
+		t.Errorf("recreated collection: total %d version %d, want 1/1", res.TotalDocs, res.Version)
+	}
+	snap, _ = reg.Get("c")
+	if snap.Type.String() != "{b: Str}" {
+		t.Errorf("recreated schema = %s, want {b: Str}", snap.Type)
+	}
+}
+
+// TestDeleteUnderConcurrentIngest races deletes against ingests on the
+// same name: every ingest must either land in the pre-delete collection
+// (and die with it) or a fresh one — never panic, never corrupt.
+func TestDeleteUnderConcurrentIngest(t *testing.T) {
+	reg := New(Options{Equiv: typelang.EquivLabel, Workers: 2, Shards: 2})
+	defer reg.Close()
+	docs := genjson.Collection(genjson.Twitter{Seed: 91}, 40)
+	data := jsontext.MarshalLines(docs)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				if _, err := reg.Ingest("storm", bytes.NewReader(data)); err != nil {
+					t.Errorf("ingest: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			reg.Delete("storm")
+		}
+	}()
+	wg.Wait()
+	// Whatever survived is a consistent collection (possibly none).
+	if snap, ok := reg.Get("storm"); ok && snap.Docs%int64(len(docs)) != 0 {
+		t.Errorf("surviving collection holds a partial ingest: %d docs", snap.Docs)
+	}
+}
+
+// TestStatsSchemaNodes pins the sealed-snapshot stats: SchemaNodes sums
+// the served schema sizes across collections.
+func TestStatsSchemaNodes(t *testing.T) {
+	reg := New(Options{})
+	defer reg.Close()
+	if _, err := reg.Ingest("a", strings.NewReader(`{"x": 1}`+"\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Ingest("b", strings.NewReader(`[1, 2]`+"\n")); err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := reg.Get("a")
+	sb, _ := reg.Get("b")
+	want := sa.Type.Size() + sb.Type.Size()
+	if got := reg.Stats().SchemaNodes; got != want {
+		t.Errorf("SchemaNodes = %d, want %d", got, want)
+	}
+}

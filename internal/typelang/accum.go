@@ -1,0 +1,505 @@
+// accum.go is the mutable fold core: an open schema accumulator that
+// absorbs document types in place and seals to the canonical immutable
+// union on demand. Merge/MergeAll (merge.go) remain the reference
+// implementation; Accum is the hot-path engine the streamed inference
+// fold runs on.
+
+package typelang
+
+import (
+	"slices"
+	"strings"
+)
+
+// Accum is a mutable schema accumulator: the open (non-canonical on
+// every step) counterpart of the Merge fold. Absorb folds one canonical
+// *Type in without rebuilding the union — records are tracked through a
+// sorted field table that is merged in place, union alternatives stay
+// pre-classified in per-kind buckets, and counts are bumped on the
+// buckets instead of allocating fresh nodes — and Seal produces the
+// canonical immutable *Type, byte-identical (same rendering, same
+// counts) to folding the same types through MergeAll.
+//
+// The accumulator exists because the reduce used to dominate the
+// allocation profile of streamed inference: every batched MergeAll
+// rebuilt the canonical union — fresh alternative slices, re-sorted
+// field lists, new nodes — even when the accumulated schema had long
+// stopped changing shape. Absorbing into an Accum is allocation-free
+// once the schema shape has been seen, and the canonicalisation cost is
+// paid once per Seal instead of once per merge.
+//
+// Inputs must be canonical, exactly as Merge requires: types produced
+// by this package's constructors, by Merge/MergeAll, by Seal itself, or
+// by the inference map phase. Seal results never alias accumulator
+// state or absorbed inputs (other than the shared atom singletons), so
+// a sealed type may be published to other goroutines while the
+// accumulator keeps absorbing. An Accum itself is not safe for
+// concurrent use.
+//
+// The zero Accum is NOT ready to use; construct with NewAccum so the
+// equivalence is explicit.
+type Accum struct {
+	equiv Equiv
+
+	// gen counts mutations; sealGen/sealed memoise the last Seal so
+	// snapshot-heavy callers (collector leaves, the registry) re-seal
+	// only after new documents arrived.
+	gen     uint64
+	sealGen uint64
+	sealed  *Type
+
+	node accumNode
+}
+
+// NewAccum returns an empty accumulator folding under equivalence e.
+// Sealing it before any Absorb yields Bottom.
+func NewAccum(e Equiv) *Accum { return &Accum{equiv: e} }
+
+// Equiv returns the equivalence the accumulator folds under.
+func (a *Accum) Equiv() Equiv { return a.equiv }
+
+// Absorb folds one type into the accumulator: the in-place equivalent
+// of acc = Merge(acc, t, equiv). t must be canonical; nil and Bottom
+// are no-ops.
+func (a *Accum) Absorb(t *Type) {
+	if t == nil || t.Kind == KBottom {
+		return
+	}
+	a.node.absorb(t, a.equiv)
+	a.gen++
+}
+
+// Seal returns the canonical type of everything absorbed so far —
+// byte-identical to MergeAll over the same types — building fresh
+// immutable nodes that never alias accumulator state. Seals are
+// memoised: calling Seal repeatedly without intervening Absorbs returns
+// the same *Type without rebuilding.
+func (a *Accum) Seal() *Type {
+	if a.sealed != nil && a.sealGen == a.gen {
+		return a.sealed
+	}
+	a.sealed = a.node.seal(a.equiv)
+	a.sealGen = a.gen
+	return a.sealed
+}
+
+// Reset empties the accumulator for reuse, retaining the bucket and
+// field-table storage of the shapes it has seen so a worker absorbing
+// similar chunks allocates nothing on the next round. Previously sealed
+// types remain valid (they never alias accumulator state).
+func (a *Accum) Reset() {
+	a.node.reset()
+	a.gen++
+	a.sealed = nil
+}
+
+// Empty reports whether anything has been absorbed since construction
+// or the last Reset.
+func (a *Accum) Empty() bool { return a.node.empty() }
+
+// accumNode is one level of accumulator state: the union alternatives
+// kept pre-classified by kind, mirroring the buckets canonical()
+// rebuilds on every merge. Atoms are presence flags plus counts; the
+// array bucket and record groups recurse.
+type accumNode struct {
+	// total is the sum of the top-level counts of every absorbed
+	// alternative — the count of the sealed union, and of the sealed Any
+	// when an Any alternative collapsed the node.
+	total int64
+
+	haveAny  bool
+	haveNull bool
+	haveBool bool
+	haveInt  bool
+	haveNum  bool
+	haveStr  bool
+
+	nullCount int64
+	boolCount int64
+	intCount  int64
+	numCount  int64
+	strCount  int64
+
+	arr *arrayAccum
+
+	// recs are the record groups: exactly one under K (records always
+	// fuse); one per label set under L, in arrival order, sorted by
+	// label key at seal. Lookup on absorb is a linear scan while the
+	// groups are few (the common case; the scan is cheap — label sets
+	// differ in length most of the time, and equal field names are
+	// pointer-equal when the map phase interns them) and switches to
+	// recIndex, a label-key map, past smallRecordGroups — the hashed
+	// grouping the reference fold uses, so high-cardinality L data
+	// stays linear in documents instead of going quadratic in groups.
+	recs     []*recordAccum
+	recIndex map[string]*recordAccum
+}
+
+// smallRecordGroups bounds the linear group scan under L: below it the
+// scan beats paying a label-key allocation per absorbed record; above
+// it the map keeps group lookup O(fields) no matter how many label
+// sets the data holds.
+const smallRecordGroups = 16
+
+// arrayAccum accumulates the array alternatives of one node: arrays
+// always fuse (both equivalences act on records), so this is one count,
+// the observed length bounds, and the element-collection accumulator.
+type arrayAccum struct {
+	n              int // arrays absorbed; 0 marks the bucket inactive after a reset
+	count          int64
+	minLen, maxLen int
+	elem           accumNode
+}
+
+// recordAccum accumulates one record group: the field table kept sorted
+// by name and merged in place, the record count, and how many records
+// were absorbed (nrecs — the denominator of the optionality rule: a
+// field absent from any absorbed record is optional).
+type recordAccum struct {
+	key      string // label key, built lazily for the seal ordering
+	keyValid bool
+	nrecs    int
+	count    int64
+	fields   []fieldAccum
+}
+
+// fieldAccum is one field slot of a record group. seenIn counts the
+// absorbed records containing the field; after a Reset a slot with
+// seenIn == 0 is dead storage kept only so the next round can reuse it.
+type fieldAccum struct {
+	name     string
+	count    int64
+	optional bool
+	seenIn   int
+	node     accumNode
+}
+
+func (n *accumNode) absorb(t *Type, e Equiv) {
+	if t == nil {
+		return
+	}
+	if t.Kind == KUnion {
+		for _, alt := range t.Alts {
+			n.absorb(alt, e)
+		}
+		return
+	}
+	if t.Kind == KBottom {
+		return
+	}
+	n.total += t.Count
+	if n.haveAny {
+		// Any absorbs everything; only the count matters from here on.
+		return
+	}
+	switch t.Kind {
+	case KAny:
+		n.haveAny = true
+	case KNull:
+		n.haveNull = true
+		n.nullCount += t.Count
+	case KBool:
+		n.haveBool = true
+		n.boolCount += t.Count
+	case KInt:
+		n.haveInt = true
+		n.intCount += t.Count
+	case KNum:
+		n.haveNum = true
+		n.numCount += t.Count
+	case KStr:
+		n.haveStr = true
+		n.strCount += t.Count
+	case KArray:
+		if n.arr == nil {
+			n.arr = &arrayAccum{}
+		}
+		n.arr.absorb(t, e)
+	case KRecord:
+		n.recordGroup(t, e).absorb(t, e)
+	}
+}
+
+func (a *arrayAccum) absorb(t *Type, e Equiv) {
+	if a.n == 0 {
+		a.minLen, a.maxLen = t.MinLen, t.MaxLen
+	} else {
+		if t.MinLen < a.minLen {
+			a.minLen = t.MinLen
+		}
+		if t.MaxLen == -1 || a.maxLen == -1 {
+			a.maxLen = -1
+		} else if t.MaxLen > a.maxLen {
+			a.maxLen = t.MaxLen
+		}
+	}
+	a.n++
+	a.count += t.Count
+	a.elem.absorb(t.Elem, e)
+}
+
+// recordGroup finds (or creates) the group record t fuses into: the
+// single group under K, the group with t's label set under L.
+func (n *accumNode) recordGroup(t *Type, e Equiv) *recordAccum {
+	if e == EquivKind {
+		if len(n.recs) == 0 {
+			n.recs = append(n.recs, &recordAccum{})
+		}
+		return n.recs[0]
+	}
+	if n.recIndex != nil {
+		key := labelKey(t)
+		if ra := n.recIndex[key]; ra != nil {
+			return ra
+		}
+		ra := &recordAccum{key: key, keyValid: true}
+		n.recs = append(n.recs, ra)
+		n.recIndex[key] = ra
+		return ra
+	}
+	for _, ra := range n.recs {
+		if ra.sameLabels(t.Fields) {
+			return ra
+		}
+	}
+	// New group: its key is the incoming record's label set (the field
+	// table is still empty; absorb fills it right after).
+	ra := &recordAccum{key: labelKey(t), keyValid: true}
+	n.recs = append(n.recs, ra)
+	if len(n.recs) > smallRecordGroups {
+		n.recIndex = make(map[string]*recordAccum, 2*len(n.recs))
+		for _, g := range n.recs {
+			n.recIndex[g.labelKey()] = g
+		}
+	}
+	return ra
+}
+
+// sameLabels reports whether the group's label set equals the given
+// (name-sorted) field list's. Under L a group's field table holds
+// exactly its label set, even across a Reset: a reset group is only
+// ever recycled by a record matching its full retained name set (an
+// exact match marks every slot live again), so an L group never holds a
+// dead slot while it has absorbed records, and the straight aligned
+// walk below compares the label set either way.
+func (ra *recordAccum) sameLabels(fields []Field) bool {
+	if len(ra.fields) != len(fields) {
+		return false
+	}
+	for i := range fields {
+		if ra.fields[i].name != fields[i].Name {
+			return false
+		}
+	}
+	return true
+}
+
+// absorb merges one record into the group: a sorted merge walk over the
+// in-place field table. New names insert into the table (rare once the
+// shape has been seen); existing slots just bump counts and recurse.
+func (ra *recordAccum) absorb(t *Type, e Equiv) {
+	ra.nrecs++
+	ra.count += t.Count
+	fs := ra.fields
+	i := 0
+	prev := ""
+	for j := range t.Fields {
+		f := &t.Fields[j]
+		if j > 0 && f.Name < prev {
+			// Non-canonical (unsorted) input: restart the walk so the
+			// table stays sorted and duplicate-free regardless.
+			i = 0
+		}
+		prev = f.Name
+		for i < len(fs) && fs[i].name < f.Name {
+			i++
+		}
+		if i == len(fs) || fs[i].name != f.Name {
+			fs = slices.Insert(fs, i, fieldAccum{name: f.Name})
+			ra.keyValid = false
+		}
+		fa := &fs[i]
+		fa.count += f.Count
+		fa.optional = fa.optional || f.Optional
+		fa.seenIn++
+		fa.node.absorb(f.Type, e)
+		i++
+	}
+	ra.fields = fs
+}
+
+// labelKey renders the group's label set exactly as merge.go's labelKey
+// does — for the canonical union ordering at seal, and as the recIndex
+// key. It covers every slot in the field table: under L (the only
+// equivalence that uses keys) the table is exactly the label set even
+// across a Reset, because a reset group is only ever recycled by its
+// exact label set.
+func (ra *recordAccum) labelKey() string {
+	if !ra.keyValid {
+		var b strings.Builder
+		for i := range ra.fields {
+			if i > 0 {
+				b.WriteByte(0)
+			}
+			b.WriteString(ra.fields[i].name)
+		}
+		ra.key = b.String()
+		ra.keyValid = true
+	}
+	return ra.key
+}
+
+func (n *accumNode) empty() bool {
+	if n.haveAny || n.haveNull || n.haveBool || n.haveInt || n.haveNum || n.haveStr {
+		return false
+	}
+	if n.arr != nil && n.arr.n > 0 {
+		return false
+	}
+	for _, ra := range n.recs {
+		if ra.nrecs > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// seal builds the canonical type of the node: the same buckets, in the
+// same canonical alternative order, with the same counts, as canonical()
+// produces when MergeAll folds the absorbed types.
+func (n *accumNode) seal(e Equiv) *Type {
+	if n.haveAny {
+		return &Type{Kind: KAny, Count: n.total}
+	}
+	active := 0
+	for _, ra := range n.recs {
+		if ra.nrecs > 0 {
+			active++
+		}
+	}
+	nalts := active
+	if n.haveNull {
+		nalts++
+	}
+	if n.haveBool {
+		nalts++
+	}
+	if n.haveInt || n.haveNum {
+		nalts++
+	}
+	if n.haveStr {
+		nalts++
+	}
+	if n.arr != nil && n.arr.n > 0 {
+		nalts++
+	}
+	if nalts == 0 {
+		return Bottom
+	}
+	out := make([]*Type, 0, nalts)
+	if n.haveNull {
+		out = append(out, &Type{Kind: KNull, Count: n.nullCount})
+	}
+	if n.haveBool {
+		out = append(out, &Type{Kind: KBool, Count: n.boolCount})
+	}
+	// Num absorbs Int: Int values are Num values, so Int + Num = Num.
+	switch {
+	case n.haveNum:
+		out = append(out, &Type{Kind: KNum, Count: n.intCount + n.numCount})
+	case n.haveInt:
+		out = append(out, &Type{Kind: KInt, Count: n.intCount})
+	}
+	if n.haveStr {
+		out = append(out, &Type{Kind: KStr, Count: n.strCount})
+	}
+	if active == 1 || (active > 0 && e == EquivKind) {
+		for _, ra := range n.recs {
+			if ra.nrecs > 0 {
+				out = append(out, ra.seal(e))
+			}
+		}
+	} else if active > 1 {
+		groups := make([]*recordAccum, 0, active)
+		for _, ra := range n.recs {
+			if ra.nrecs > 0 {
+				groups = append(groups, ra)
+			}
+		}
+		slices.SortFunc(groups, func(a, b *recordAccum) int {
+			return strings.Compare(a.labelKey(), b.labelKey())
+		})
+		for _, ra := range groups {
+			out = append(out, ra.seal(e))
+		}
+	}
+	if n.arr != nil && n.arr.n > 0 {
+		out = append(out, n.arr.seal(e))
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return &Type{Kind: KUnion, Alts: out, Count: n.total}
+}
+
+func (ra *recordAccum) seal(e Equiv) *Type {
+	var fields []Field
+	for i := range ra.fields {
+		fa := &ra.fields[i]
+		if fa.seenIn == 0 {
+			continue // dead slot retained across a Reset
+		}
+		if fields == nil {
+			fields = make([]Field, 0, len(ra.fields))
+		}
+		fields = append(fields, Field{
+			Name:     fa.name,
+			Type:     fa.node.seal(e),
+			Optional: fa.optional || fa.seenIn < ra.nrecs,
+			Count:    fa.count,
+		})
+	}
+	// The field table is kept sorted and duplicate-free, so no re-sort:
+	// the slice is already in NewRecord's canonical order.
+	return &Type{Kind: KRecord, Fields: fields, Count: ra.count}
+}
+
+func (a *arrayAccum) seal(e Equiv) *Type {
+	elem := Bottom
+	if !a.elem.empty() {
+		elem = a.elem.seal(e)
+	}
+	return &Type{Kind: KArray, Elem: elem, Count: a.count, MinLen: a.minLen, MaxLen: a.maxLen}
+}
+
+// reset clears the node for reuse in place: atom buckets zero, the
+// array bucket and every record group reset recursively, all storage —
+// field tables, group lists, nested nodes — retained. Keeping the group
+// tables is the reuse payoff: a worker absorbing the next chunk (or the
+// next document's arrays) of the same shapes allocates nothing at all.
+func (n *accumNode) reset() {
+	n.total = 0
+	n.haveAny, n.haveNull, n.haveBool, n.haveInt, n.haveNum, n.haveStr = false, false, false, false, false, false
+	n.nullCount, n.boolCount, n.intCount, n.numCount, n.strCount = 0, 0, 0, 0, 0
+	if n.arr != nil {
+		n.arr.n = 0
+		n.arr.count = 0
+		n.arr.minLen, n.arr.maxLen = 0, 0
+		n.arr.elem.reset()
+	}
+	for _, ra := range n.recs {
+		ra.reset()
+	}
+}
+
+func (ra *recordAccum) reset() {
+	ra.nrecs = 0
+	ra.count = 0
+	for i := range ra.fields {
+		fa := &ra.fields[i]
+		fa.count = 0
+		fa.optional = false
+		fa.seenIn = 0
+		fa.node.reset()
+	}
+}

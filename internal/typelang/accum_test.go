@@ -1,0 +1,294 @@
+package typelang
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sealOf folds ts through a fresh accumulator and seals.
+func sealOf(e Equiv, ts ...*Type) *Type {
+	a := NewAccum(e)
+	for _, t := range ts {
+		a.Absorb(t)
+	}
+	return a.Seal()
+}
+
+// identical is the byte-identity relation the accumulator is pinned
+// under: same structure, same plain rendering, same counted rendering
+// (which covers counts, optionality and alternative order).
+func identical(a, b *Type) bool {
+	return Equal(a, b) && a.String() == b.String() && a.StringCounted() == b.StringCounted()
+}
+
+// TestAccumMatchesMergeAll is the core contract: folding any sequence
+// of canonical types through an Accum and sealing must be
+// byte-identical — rendering and counts — to MergeAll over the same
+// sequence, under both equivalences.
+func TestAccumMatchesMergeAll(t *testing.T) {
+	for _, e := range []Equiv{EquivKind, EquivLabel} {
+		e := e
+		f := func(s1, s2, s3, s4 int64) bool {
+			ts := []*Type{randomType(s1, 3), randomType(s2, 3), randomType(s3, 3), randomType(s4, 3)}
+			want := MergeAll(ts, e)
+			got := sealOf(e, ts...)
+			return identical(want, got)
+		}
+		cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(41 + int64(e)))}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("equiv %v: accum vs MergeAll: %v", e, err)
+		}
+	}
+}
+
+// TestAccumLatticeLaws runs the merge lattice laws through the
+// accumulator: commutativity and associativity hold exactly (including
+// counts, since counts are commutative sums), idempotence up to counts
+// on canonical inputs — the same contract TestMergeLatticeLaws pins on
+// Merge itself.
+func TestAccumLatticeLaws(t *testing.T) {
+	for _, e := range []Equiv{EquivKind, EquivLabel} {
+		e := e
+		comm := func(s1, s2 int64) bool {
+			a, b := randomType(s1, 3), randomType(s2, 3)
+			return identical(sealOf(e, a, b), sealOf(e, b, a))
+		}
+		assoc := func(s1, s2, s3 int64) bool {
+			a, b, c := randomType(s1, 3), randomType(s2, 3), randomType(s3, 3)
+			// Left-grouped: seal {a,b} first, feed the sealed type on.
+			l := sealOf(e, sealOf(e, a, b), c)
+			// Right-grouped.
+			r := sealOf(e, a, sealOf(e, b, c))
+			return identical(l, r) && identical(l, sealOf(e, a, b, c))
+		}
+		idem := func(s int64) bool {
+			canon := Merge(randomType(s, 3), randomType(s, 3), e)
+			return Equal(sealOf(e, canon, canon), canon) && Equal(sealOf(e, canon), canon)
+		}
+		cfg := func(seed int64) *quick.Config {
+			return &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(seed))}
+		}
+		if err := quick.Check(comm, cfg(811+int64(e))); err != nil {
+			t.Errorf("equiv %v: accum commutativity: %v", e, err)
+		}
+		if err := quick.Check(assoc, cfg(822+int64(e))); err != nil {
+			t.Errorf("equiv %v: accum associativity: %v", e, err)
+		}
+		if err := quick.Check(idem, cfg(833+int64(e))); err != nil {
+			t.Errorf("equiv %v: accum idempotence: %v", e, err)
+		}
+	}
+}
+
+// TestAccumIncrementalMatchesPairwiseFold pins the accumulator against
+// the pairwise Merge fold document by document: after every absorb the
+// seal equals the running Merge accumulator.
+func TestAccumIncrementalMatchesPairwiseFold(t *testing.T) {
+	for _, e := range []Equiv{EquivKind, EquivLabel} {
+		acc := NewAccum(e)
+		ref := Bottom
+		for i := int64(0); i < 60; i++ {
+			doc := randomType(1000+i, 3)
+			acc.Absorb(doc)
+			ref = Merge(ref, doc, e)
+			if got := acc.Seal(); !identical(ref, got) {
+				t.Fatalf("equiv %v: after %d absorbs:\n merge: %s\n accum: %s",
+					e, i+1, ref.StringCounted(), got.StringCounted())
+			}
+		}
+	}
+}
+
+// TestAccumResetReuse pins the Reset contract: a reused accumulator —
+// including one that absorbed completely different shapes before the
+// reset — behaves exactly like a fresh one, and types sealed before the
+// reset stay valid.
+func TestAccumResetReuse(t *testing.T) {
+	for _, e := range []Equiv{EquivKind, EquivLabel} {
+		a := NewAccum(e)
+		for round := int64(0); round < 8; round++ {
+			a.Reset()
+			var ts []*Type
+			for i := int64(0); i < 10; i++ {
+				ts = append(ts, randomType(7000+100*round+i, 3))
+			}
+			for _, d := range ts {
+				a.Absorb(d)
+			}
+			got := a.Seal()
+			want := MergeAll(ts, e)
+			if !identical(want, got) {
+				t.Fatalf("equiv %v round %d: reused accum diverges\n want: %s\n got:  %s",
+					e, round, want.StringCounted(), got.StringCounted())
+			}
+			rendered := got.StringCounted()
+			a.Reset()
+			a.Absorb(randomType(99*round, 3))
+			if got.StringCounted() != rendered {
+				t.Fatalf("equiv %v round %d: sealed type mutated by reuse", e, round)
+			}
+		}
+	}
+}
+
+// TestAccumResetLabelGroups exercises the L-group recycling invariant
+// directly: after a reset, a group is only recycled by its exact label
+// set, so an empty record and the old label set stay separate
+// alternatives.
+func TestAccumResetLabelGroups(t *testing.T) {
+	rab := NewRecordCounted(1, Field{Name: "a", Type: Atom(KInt, 1), Count: 1}, Field{Name: "b", Type: Atom(KStr, 1), Count: 1})
+	empty := &Type{Kind: KRecord, Count: 1}
+	ra := NewRecordCounted(1, Field{Name: "a", Type: Atom(KInt, 1), Count: 1})
+
+	a := NewAccum(EquivLabel)
+	a.Absorb(rab)
+	a.Seal()
+	a.Reset()
+	for _, seq := range [][]*Type{{empty, rab, ra}, {ra, empty}, {rab, rab}} {
+		a.Reset()
+		for _, d := range seq {
+			a.Absorb(d)
+		}
+		want := MergeAll(seq, EquivLabel)
+		if got := a.Seal(); !identical(want, got) {
+			t.Fatalf("recycled groups diverge\n want: %s\n got:  %s",
+				want.StringCounted(), got.StringCounted())
+		}
+	}
+}
+
+// TestAccumEdgeCases covers the explicit corner semantics: empty seal,
+// Bottom no-ops, Any collapse with counts, Int/Num absorption, empty
+// and unknown-bound arrays.
+func TestAccumEdgeCases(t *testing.T) {
+	a := NewAccum(EquivKind)
+	if !a.Empty() || a.Seal() != Bottom {
+		t.Error("fresh accum should seal to Bottom")
+	}
+	a.Absorb(nil)
+	a.Absorb(Bottom)
+	if !a.Empty() {
+		t.Error("nil/Bottom absorbs should be no-ops")
+	}
+	if a.Equiv() != EquivKind {
+		t.Error("Equiv getter wrong")
+	}
+
+	cases := []struct {
+		name string
+		ts   []*Type
+	}{
+		{"any-collapse", []*Type{Atom(KInt, 3), Atom(KAny, 2), Atom(KStr, 4)}},
+		{"int-num", []*Type{Atom(KInt, 3), Atom(KNum, 2), Atom(KInt, 1)}},
+		{"int-only", []*Type{Atom(KInt, 3), Atom(KInt, 4)}},
+		{"empty-array", []*Type{NewArrayCounted(nil, 1, 0, 0), NewArrayCounted(Atom(KInt, 2), 1, 2, 2)}},
+		{"unbounded-array", []*Type{NewArrayCounted(Atom(KInt, 1), 1, 1, -1), NewArrayCounted(Atom(KInt, 2), 1, 2, 2)}},
+		{"union-in", []*Type{Union(Int, Str), Union(Bool, Num)}},
+		{"atoms-uncounted", []*Type{Null, Bool, Int, Num, Str}},
+	}
+	for _, c := range cases {
+		for _, e := range []Equiv{EquivKind, EquivLabel} {
+			want := MergeAll(c.ts, e)
+			got := sealOf(e, c.ts...)
+			if !identical(want, got) {
+				t.Errorf("%s/%v:\n want: %s\n got:  %s", c.name, e,
+					want.StringCounted(), got.StringCounted())
+			}
+		}
+	}
+}
+
+// TestAccumSealMemoised pins the seal cache: repeated seals without
+// absorbs return the identical node, and any absorb invalidates it.
+func TestAccumSealMemoised(t *testing.T) {
+	a := NewAccum(EquivLabel)
+	a.Absorb(NewRecordCounted(1, Field{Name: "x", Type: Atom(KInt, 1), Count: 1}))
+	s1 := a.Seal()
+	if s2 := a.Seal(); s1 != s2 {
+		t.Error("seal without new absorbs should be memoised")
+	}
+	a.Absorb(NewRecordCounted(1, Field{Name: "x", Type: Atom(KStr, 1), Count: 1}))
+	s3 := a.Seal()
+	if s3 == s1 {
+		t.Error("absorb should invalidate the memoised seal")
+	}
+	if s1.StringCounted() != "{x:1: Int(1)}(1)" {
+		t.Errorf("earlier seal mutated: %s", s1.StringCounted())
+	}
+}
+
+// TestAccumUnsortedRecordInput exercises the non-canonical-input escape
+// hatch: a hand-built record with unsorted fields still folds into a
+// sorted, duplicate-free table.
+func TestAccumUnsortedRecordInput(t *testing.T) {
+	unsorted := &Type{Kind: KRecord, Count: 1, Fields: []Field{
+		{Name: "z", Type: Int, Count: 1},
+		{Name: "a", Type: Str, Count: 1},
+		{Name: "m", Type: Bool, Count: 1},
+	}}
+	got := sealOf(EquivKind, unsorted, unsorted)
+	if got.String() != "{a: Str, m: Bool, z: Int}" {
+		t.Errorf("unsorted input not normalised: %s", got.String())
+	}
+}
+
+func BenchmarkAccumAbsorb(b *testing.B) {
+	docs := make([]*Type, 64)
+	for i := range docs {
+		docs[i] = randomType(int64(9000+i), 3)
+	}
+	for _, e := range []Equiv{EquivKind, EquivLabel} {
+		e := e
+		b.Run(fmt.Sprintf("accum-%v", e), func(b *testing.B) {
+			b.ReportAllocs()
+			a := NewAccum(e)
+			for i := 0; i < b.N; i++ {
+				a.Reset()
+				for _, d := range docs {
+					a.Absorb(d)
+				}
+				a.Seal()
+			}
+		})
+		b.Run(fmt.Sprintf("mergeall-%v", e), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MergeAll(docs, e)
+			}
+		})
+	}
+}
+
+// TestAccumManyLabelGroups crosses the smallRecordGroups threshold so
+// group lookup switches from the linear scan to the label-key index,
+// and pins the result (and a post-reset reuse round) against MergeAll.
+func TestAccumManyLabelGroups(t *testing.T) {
+	var ts []*Type
+	for i := 0; i < 3*smallRecordGroups; i++ {
+		fields := []Field{{Name: fmt.Sprintf("f%02d", i), Type: Atom(KInt, 1), Count: 1}}
+		if i%3 == 0 {
+			fields = append(fields, Field{Name: "shared", Type: Atom(KStr, 1), Count: 1})
+		}
+		ts = append(ts, NewRecordCounted(1, fields...))
+	}
+	// Empty-label-set records must stay their own group alongside the
+	// indexed ones.
+	ts = append(ts, &Type{Kind: KRecord, Count: 1}, &Type{Kind: KRecord, Count: 1})
+	// Absorb each shape twice so indexed lookups hit existing groups.
+	ts = append(ts, ts...)
+
+	a := NewAccum(EquivLabel)
+	for round := 0; round < 2; round++ {
+		a.Reset()
+		for _, d := range ts {
+			a.Absorb(d)
+		}
+		want := MergeAll(ts, EquivLabel)
+		if got := a.Seal(); !identical(want, got) {
+			t.Fatalf("round %d: indexed groups diverge\n want: %s\n got:  %s",
+				round, want.StringCounted(), got.StringCounted())
+		}
+	}
+}

@@ -15,8 +15,14 @@
 // In the streamed inference pipeline this package is the reduce: Merge
 // is the associative, commutative least upper bound — parameterised by
 // kind or label equivalence — that lets document types fold in batches,
-// across workers, and finally across chunks in stream order, with
-// MergeAll amortising union canonicalisation over whole batches.
+// across workers, and finally across chunks in stream order. The hot
+// path folds through Accum (accum.go), the mutable accumulator that
+// absorbs types in place and seals to the canonical type on demand,
+// byte-identical to the Merge/MergeAll reference fold — which remains
+// the reference implementation and the A/B baseline.
 //
-// Types are immutable once built; all operations return new values.
+// Types are immutable once built; all operations on them return new
+// values. Accum is the one deliberately mutable value: it is owned by
+// a single goroutine, and only its sealed (immutable) outputs are
+// shared.
 package typelang
