@@ -36,11 +36,11 @@ bench-stream:
 
 # Perf trajectory: the E3 streamed rows (ns/op, MB/s, allocs/op) as a
 # machine-readable JSON report — `go test -bench -json` post-processed
-# by cmd/jsbenchjson into BENCH_5.json, which CI uploads as an artifact
+# by cmd/jsbenchjson into BENCH_6.json, which CI uploads as an artifact
 # so every build leaves a comparable benchmark record.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkE3StreamingInference' -benchtime 200ms -benchmem -json . \
-		| $(GO) run repro/cmd/jsbenchjson -out BENCH_5.json
+		| $(GO) run repro/cmd/jsbenchjson -out BENCH_6.json
 
 # Documentation smoke: formatting is clean, vet is clean, and every
 # documented package still renders a doc page.

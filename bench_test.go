@@ -124,12 +124,27 @@ func BenchmarkE3StreamingInference(b *testing.B) {
 	})
 	b.Run("mison-sequential", func(b *testing.B) {
 		// One worker, so the row isolates the tokenizer change from
-		// parallel speedup (the chunk pipeline itself stays on).
+		// parallel speedup (the chunk pipeline itself stays on). The
+		// default map phase is fused (documents absorb straight into
+		// the chunk accumulator, no per-document type).
 		b.SetBytes(int64(len(raw)))
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := infer.InferStreamParallel(bytes.NewReader(raw),
 				infer.Options{Equiv: typelang.EquivLabel, Workers: 1, Tokenizer: infer.TokenizerMison}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mison-sequential-refmap", func(b *testing.B) {
+		// The A/B baseline for the fused map: the same pipeline with the
+		// per-document canonical type materialised (MapReference) — the
+		// allocation storm the fused rows delete.
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := infer.InferStreamParallel(bytes.NewReader(raw),
+				infer.Options{Equiv: typelang.EquivLabel, Workers: 1, Tokenizer: infer.TokenizerMison, Map: infer.MapReference}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -159,6 +174,19 @@ func BenchmarkE3StreamingInference(b *testing.B) {
 				}
 			})
 		}
+		// The reference map phase under parallelism: per-document
+		// canonical types on every worker (MapReference), the A/B
+		// baseline for the fused map rows above.
+		b.Run(fmt.Sprintf("mison-parallel-%d-refmap", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(raw)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := infer.InferStreamParallel(bytes.NewReader(raw),
+					infer.Options{Equiv: typelang.EquivLabel, Workers: workers, Map: infer.MapReference}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 		// The old ordered in-line fold (ReduceShards: 1), the A/B
 		// baseline for the default sharded reduce above.
 		b.Run(fmt.Sprintf("mison-parallel-%d-single-collector", workers), func(b *testing.B) {

@@ -4,11 +4,19 @@
 //
 //	jsgen -kind twitter -n 1000 | jsinfer -engine parametric-L
 //	jsgen -kind orders  -n 5000 | jstranslate -format columnar -out o.col
+//	jsgen -kind wide -target 100MB > corpus.ndjson
 //
 // Usage:
 //
-//	jsgen -kind twitter|github|opendata|orders|typedrift|skewed|nested|nyt
-//	      [-n 1000] [-seed 1] [-indent]
+//	jsgen -kind twitter|github|opendata|orders|typedrift|skewed|nested|nyt|wide|sparse|deep
+//	      [-n 1000] [-target 100MB] [-seed 1] [-indent]
+//
+// -target SIZE (accepting 64K, 100MB, 1G, or a bare byte count)
+// overrides -n: documents are emitted until at least SIZE bytes are
+// written. The corpus a given (-kind, -seed, -target) names is
+// reproducible — documents are generated in index order from a
+// per-document seed, so the same invocation always yields the same
+// bytes, which is what GB-scale scaling runs need.
 package main
 
 import (
@@ -16,14 +24,37 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/genjson"
 	"repro/internal/jsontext"
 )
 
+// parseSize parses a human-friendly size: a bare byte count or a number
+// with a K/M/G suffix (optionally followed by B), case-insensitive.
+func parseSize(s string) (int64, error) {
+	t := strings.TrimSuffix(strings.ToUpper(strings.TrimSpace(s)), "B")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "K"):
+		mult, t = 1<<10, t[:len(t)-1]
+	case strings.HasSuffix(t, "M"):
+		mult, t = 1<<20, t[:len(t)-1]
+	case strings.HasSuffix(t, "G"):
+		mult, t = 1<<30, t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("invalid size %q (want e.g. 64K, 100MB, 1G)", s)
+	}
+	return n * mult, nil
+}
+
 func main() {
-	kind := flag.String("kind", "twitter", "generator: twitter, github, opendata, orders, typedrift, skewed, nested, nyt")
+	kind := flag.String("kind", "twitter", "generator: twitter, github, opendata, orders, typedrift, skewed, nested, nyt, wide, sparse, deep")
 	n := flag.Int("n", 1000, "number of documents")
+	target := flag.String("target", "", "emit documents until at least this many bytes are written (e.g. 100MB, 1G); overrides -n")
 	seed := flag.Int64("seed", 1, "generator seed")
 	indent := flag.Bool("indent", false, "pretty-print each document (multi-line, not NDJSON)")
 	flag.Parse()
@@ -46,20 +77,40 @@ func main() {
 		g = genjson.NestedArrays{Seed: *seed}
 	case "nyt":
 		g = genjson.NYTArticles{Seed: *seed}
+	case "wide":
+		g = genjson.Wide{Seed: *seed}
+	case "sparse":
+		g = genjson.Sparse{Seed: *seed}
+	case "deep":
+		g = genjson.Deep{Seed: *seed}
 	default:
 		fmt.Fprintf(os.Stderr, "jsgen: unknown kind %q\n", *kind)
 		os.Exit(1)
 	}
 
+	var targetBytes int64
+	if *target != "" {
+		tb, err := parseSize(*target)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jsgen: %v\n", err)
+			os.Exit(1)
+		}
+		targetBytes = tb
+	}
+
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
-	for i := 0; i < *n; i++ {
+	var written int64
+	for i := 0; targetBytes > 0 && written < targetBytes || targetBytes == 0 && i < *n; i++ {
 		doc := g.Generate(i)
+		var line []byte
 		if *indent {
-			w.Write(jsontext.MarshalIndent(doc, "  "))
+			line = jsontext.MarshalIndent(doc, "  ")
 		} else {
-			w.Write(jsontext.Marshal(doc))
+			line = jsontext.Marshal(doc)
 		}
+		w.Write(line)
 		w.WriteByte('\n')
+		written += int64(len(line)) + 1
 	}
 }

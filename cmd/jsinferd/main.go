@@ -12,10 +12,19 @@
 //
 // API:
 //
-//	POST /v1/collections/{name}/ingest
+//	PUT /v1/collections/{name}[?equiv=K|L]
+//	    Creates the collection without ingesting — under the given
+//	    merge equivalence when ?equiv= is set, the daemon default
+//	    otherwise. 201 on creation, 200 when it already exists with a
+//	    compatible equivalence, 409 when ?equiv= disagrees with the
+//	    equivalence the collection was created under.
+//	POST /v1/collections/{name}/ingest[?equiv=K|L]
 //	    Body: NDJSON or concatenated JSON, streamed straight into the
 //	    chunked token pipeline (bounded memory; the body is never
-//	    materialised). Returns a JSON summary {collection, docs,
+//	    materialised). With ?equiv=, a collection created by this call
+//	    folds under that equivalence instead of the daemon default; on
+//	    an existing collection a disagreeing ?equiv= yields 409 before
+//	    any byte is read. Returns a JSON summary {collection, docs,
 //	    total_docs, version}. A malformed document merges exactly the
 //	    documents before it and yields 400 with the absolute body
 //	    offset; the collection keeps the prefix. With -max-body N, a
@@ -142,18 +151,49 @@ func newHandler(reg *registry.Registry, maxBody int64) http.Handler {
 		writeJSON(w, http.StatusOK, jsonvalue.ObjectFromPairs(
 			"collections", jsonvalue.NewArray(items...)))
 	})
+	mux.HandleFunc("PUT /v1/collections/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if name == "" {
+			writeError(w, http.StatusBadRequest, "empty collection name")
+			return
+		}
+		co, err := collectionOpts(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		snap, created, err := reg.Create(name, co)
+		if err != nil {
+			writeError(w, http.StatusConflict, err.Error())
+			return
+		}
+		status := http.StatusOK
+		if created {
+			status = http.StatusCreated
+		}
+		writeJSON(w, status, snapshotMeta(snap).WithField("created", jsonvalue.FromGo(created)))
+	})
 	mux.HandleFunc("POST /v1/collections/{name}/ingest", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
 		if name == "" {
 			writeError(w, http.StatusBadRequest, "empty collection name")
 			return
 		}
+		co, err := collectionOpts(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
 		body := r.Body
 		if maxBody > 0 {
 			body = http.MaxBytesReader(w, r.Body, maxBody)
 		}
-		res, err := reg.Ingest(name, body)
+		res, err := reg.IngestWith(name, body, co)
 		if err != nil {
+			if errors.Is(err, registry.ErrEquivMismatch) {
+				writeError(w, http.StatusConflict, err.Error())
+				return
+			}
 			// The prefix before the error is merged and kept; report
 			// both the failure and how far ingest got. An over-limit
 			// body surfaces as 413 with exactly the malformed-doc
@@ -227,6 +267,26 @@ func newHandler(reg *registry.Registry, maxBody int64) http.Handler {
 	return mux
 }
 
+// collectionOpts parses the per-collection override parameters of a
+// create or ingest request: ?equiv=K|L (the jsinfer engine names
+// parametric-K/parametric-L are accepted too) pins the collection's
+// merge equivalence.
+func collectionOpts(r *http.Request) (registry.CollectionOptions, error) {
+	var co registry.CollectionOptions
+	switch q := r.URL.Query().Get("equiv"); q {
+	case "":
+	case "K", "k", "parametric-K":
+		e := typelang.EquivKind
+		co.Equiv = &e
+	case "L", "l", "parametric-L":
+		e := typelang.EquivLabel
+		co.Equiv = &e
+	default:
+		return co, fmt.Errorf("unknown equiv %q (want K or L)", q)
+	}
+	return co, nil
+}
+
 // renderSchema renders t in one of jsinfer's output formats: a string
 // for the text forms, a *jsonvalue.Value for jsonschema.
 func renderSchema(t *core.Type, output string) (any, error) {
@@ -251,6 +311,7 @@ func renderSchema(t *core.Type, output string) (any, error) {
 func snapshotMeta(s registry.Snapshot) *jsonvalue.Value {
 	return jsonvalue.ObjectFromPairs(
 		"name", s.Name,
+		"equiv", s.Equiv.String(),
 		"docs", s.Docs,
 		"version", int64(s.Version),
 		"ingests", s.Ingests,

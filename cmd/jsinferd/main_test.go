@@ -394,3 +394,87 @@ func TestStatsSchemaNodesServed(t *testing.T) {
 		t.Errorf("schema_nodes = %d, want %d\n%s", n.Int(), snap.Type.Size(), stats)
 	}
 }
+
+// TestEquivParamCreateAndIngest pins the per-collection equivalence
+// parameter: PUT creates under ?equiv=, ingest honours it, a
+// disagreeing ?equiv= on either endpoint is 409, and an unknown value
+// is 400.
+func TestEquivParamCreateAndIngest(t *testing.T) {
+	// Daemon default K; the collection pins L.
+	srv, _ := newTestServer(t, registry.Options{Equiv: typelang.EquivKind})
+	docs := genjson.Collection(genjson.SkewedOptional{Seed: 9, NumFields: 6}, 200)
+	body := jsontext.MarshalLines(docs)
+	wantL, _, err := core.InferSchemaStream(bytes.NewReader(body), core.ParametricL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantK, _, err := core.InferSchemaStream(bytes.NewReader(body), core.ParametricK, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantL.Type.String() == wantK.Type.String() {
+		t.Fatal("fixture does not distinguish K from L")
+	}
+
+	// PUT create with ?equiv=L -> 201, meta reports L.
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/collections/pinned?equiv=L", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT create: status %d body %s", resp.StatusCode, out)
+	}
+	meta, err := jsontext.Parse(out)
+	if err != nil {
+		t.Fatalf("PUT create body is not JSON: %v", err)
+	}
+	if e, _ := meta.Get("equiv"); e.Str() != "L" {
+		t.Fatalf("PUT create meta equiv = %q, want L (body %s)", e.Str(), out)
+	}
+	// Idempotent re-create -> 200.
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/v1/collections/pinned?equiv=L", nil)
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT re-create: status %d", resp.StatusCode)
+	}
+	// Conflicting re-create -> 409.
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/v1/collections/pinned?equiv=K", nil)
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("PUT conflicting create: status %d, want 409", resp.StatusCode)
+	}
+
+	// Ingest without override goes into the pinned collection fine, and
+	// the served schema is the L schema (not the daemon-default K one).
+	if code, body := post(t, srv.URL+"/v1/collections/pinned/ingest", body); code != http.StatusOK {
+		t.Fatalf("ingest: status %d body %s", code, body)
+	}
+	if _, got := get(t, srv.URL+"/v1/collections/pinned/schema"); got != wantL.Type.String()+"\n" {
+		t.Errorf("served schema:\n%s\nwant L schema:\n%s", got, wantL.Type)
+	}
+
+	// Ingest with a disagreeing override -> 409, nothing merged.
+	if code, out := post(t, srv.URL+"/v1/collections/pinned/ingest?equiv=K", body); code != http.StatusConflict {
+		t.Fatalf("conflicting ingest: status %d body %s", code, out)
+	}
+	// Ingest with ?equiv= creating a fresh collection honours it.
+	if code, out := post(t, srv.URL+"/v1/collections/fresh/ingest?equiv=parametric-L", body); code != http.StatusOK {
+		t.Fatalf("creating ingest: status %d body %s", code, out)
+	}
+	if _, got := get(t, srv.URL+"/v1/collections/fresh/schema"); got != wantL.Type.String()+"\n" {
+		t.Errorf("fresh collection schema:\n%s\nwant L schema:\n%s", got, wantL.Type)
+	}
+	// Unknown equiv value -> 400.
+	if code, _ := post(t, srv.URL+"/v1/collections/x/ingest?equiv=Z", body); code != http.StatusBadRequest {
+		t.Fatalf("equiv=Z: status %d, want 400", code)
+	}
+}

@@ -242,6 +242,18 @@ const (
 	TokenizerMison = infer.TokenizerMison
 )
 
+// MapMode selects the map phase of the streamed engines: MapFused (the
+// default) absorbs documents straight into the worker accumulators,
+// MapReference materialises the canonical per-document type first —
+// identical results either way.
+type MapMode = infer.MapMode
+
+// The map modes of the streamed engines.
+const (
+	MapFused     = infer.MapFused
+	MapReference = infer.MapReference
+)
+
 // StreamOptions tune the streamed inference engines.
 type StreamOptions struct {
 	// Workers bounds the parallel chunk workers; 0 means GOMAXPROCS.
@@ -253,6 +265,9 @@ type StreamOptions struct {
 	// chunk results fold through: 0 sizes it automatically, 1 selects
 	// the single ordered in-line fold.
 	ReduceShards int
+	// Map picks the map phase; the zero value is MapFused
+	// (MapReference is the per-document-type A/B baseline).
+	Map MapMode
 }
 
 // InferSchemaStream infers a parametric schema from a stream of JSON
@@ -291,6 +306,7 @@ func InferSchemaStreamWith(r io.Reader, engine Engine, opts StreamOptions) (*Inf
 		Workers:      opts.Workers,
 		Tokenizer:    opts.Tokenizer,
 		ReduceShards: opts.ReduceShards,
+		Map:          opts.Map,
 	})
 	return &Inference{
 		Engine:     engine,

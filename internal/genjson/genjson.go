@@ -630,3 +630,148 @@ func (g NYTArticles) Generate(i int) *jsonvalue.Value {
 	}
 	return jsonvalue.NewObject(fields...)
 }
+
+// Wide generates flat records with a large, stable column set — every
+// document carries all Columns fields, each with a type fixed by its
+// column index. There is no structural heterogeneity at all: the
+// generator isolates tokenisation and per-field absorption throughput,
+// which is what GB-scale scan benchmarks want to measure.
+type Wide struct {
+	Seed int64
+	// Columns is the number of fields per document (default 200).
+	Columns int
+}
+
+// Name implements Generator.
+func (g Wide) Name() string { return "wide" }
+
+func (g Wide) columns() int {
+	if g.Columns == 0 {
+		return 200
+	}
+	return g.Columns
+}
+
+// Generate implements Generator.
+func (g Wide) Generate(i int) *jsonvalue.Value {
+	r := rng(g.Seed, i)
+	n := g.columns()
+	fields := make([]jsonvalue.Field, n)
+	for f := 0; f < n; f++ {
+		var v *jsonvalue.Value
+		switch f % 4 { // type is a function of the column, never drifts
+		case 0:
+			v = jsonvalue.NewInt(int64(r.Intn(1 << 20)))
+		case 1:
+			v = jsonvalue.NewString(pick(r, words))
+		case 2:
+			v = jsonvalue.NewNumber(r.Float64() * 1000)
+		default:
+			v = jsonvalue.NewBool(r.Intn(2) == 0)
+		}
+		fields[f] = jsonvalue.Field{Name: fmt.Sprintf("c%03d", f), Value: v}
+	}
+	return jsonvalue.NewObject(fields...)
+}
+
+// Sparse generates flat records drawing a few fields per document from
+// a large key universe, so label sets vary wildly from document to
+// document. Under L-equivalence the merged schema grows one record
+// group per distinct label set — the stress case for record-group
+// lookup and field-table churn in the fold.
+type Sparse struct {
+	Seed int64
+	// Universe is the size of the key domain (default 500).
+	Universe int
+	// PerDoc is how many fields each document carries (default 8).
+	PerDoc int
+}
+
+// Name implements Generator.
+func (g Sparse) Name() string { return "sparse" }
+
+func (g Sparse) universe() int {
+	if g.Universe == 0 {
+		return 500
+	}
+	return g.Universe
+}
+
+func (g Sparse) perDoc() int {
+	if g.PerDoc == 0 {
+		return 8
+	}
+	return g.PerDoc
+}
+
+// Generate implements Generator.
+func (g Sparse) Generate(i int) *jsonvalue.Value {
+	r := rng(g.Seed, i)
+	u, k := g.universe(), g.perDoc()
+	if k > u {
+		k = u
+	}
+	fields := make([]jsonvalue.Field, 0, k)
+	seen := make(map[int]bool, k)
+	for len(fields) < k {
+		f := r.Intn(u)
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		var v *jsonvalue.Value
+		switch f % 3 {
+		case 0:
+			v = jsonvalue.NewInt(int64(r.Intn(1 << 16)))
+		case 1:
+			v = jsonvalue.NewString(pick(r, words))
+		default:
+			v = jsonvalue.NewBool(r.Intn(2) == 0)
+		}
+		fields = append(fields, jsonvalue.Field{Name: fmt.Sprintf("s%03d", f), Value: v})
+	}
+	return jsonvalue.NewObject(fields...)
+}
+
+// Deep generates documents whose dominant cost is nesting: a chain of
+// single-field records interleaved with arrays, Depth levels deep (well
+// under the parser's depth limit), with a small payload record at the
+// bottom. It exercises the recursive walk — staging-frame push/pop per
+// level — rather than field-table width.
+type Deep struct {
+	Seed int64
+	// Depth is the nesting depth (default 20).
+	Depth int
+}
+
+// Name implements Generator.
+func (g Deep) Name() string { return "deep" }
+
+func (g Deep) depth() int {
+	if g.Depth == 0 {
+		return 20
+	}
+	return g.Depth
+}
+
+// Generate implements Generator.
+func (g Deep) Generate(i int) *jsonvalue.Value {
+	r := rng(g.Seed, i)
+	v := jsonvalue.ObjectFromPairs(
+		"id", i,
+		"tag", pick(r, words),
+		"score", r.Float64(),
+	)
+	for d := g.depth(); d > 0; d-- {
+		if d%3 == 0 {
+			// An array level: a couple of siblings share the nested shape,
+			// so array-element merging happens at every third level.
+			v = jsonvalue.NewArray(v, jsonvalue.ObjectFromPairs("leaf", r.Intn(100)))
+		}
+		v = jsonvalue.NewObject(
+			jsonvalue.Field{Name: fmt.Sprintf("level%02d", d), Value: v},
+			jsonvalue.Field{Name: "n", Value: jsonvalue.NewInt(int64(d))},
+		)
+	}
+	return v
+}

@@ -17,6 +17,9 @@ func allGenerators() []Generator {
 		Orders{Seed: 6},
 		OpenData{Seed: 7},
 		NYTArticles{Seed: 14},
+		Wide{Seed: 15},
+		Sparse{Seed: 16},
+		Deep{Seed: 17},
 		Mixture{Seed: 8, Generators: []Generator{Twitter{Seed: 1}, GitHub{Seed: 2}}, Weights: []float64{1, 1}},
 	}
 }
@@ -231,5 +234,76 @@ func TestNYTArticlesShape(t *testing.T) {
 	}
 	if withPrint == 0 || withPrint == len(docs) {
 		t.Errorf("print_page should be optional: %d/%d", withPrint, len(docs))
+	}
+}
+
+func TestWideStableSchema(t *testing.T) {
+	g := Wide{Seed: 21, Columns: 50}
+	docs := Collection(g, 100)
+	kinds := make(map[string]jsonvalue.Kind)
+	for i, d := range docs {
+		if d.Len() != 50 {
+			t.Fatalf("doc %d: %d fields, want 50", i, d.Len())
+		}
+		for _, f := range d.Fields() {
+			k := f.Value.Kind()
+			if prev, ok := kinds[f.Name]; !ok {
+				kinds[f.Name] = k
+			} else if prev != k {
+				t.Fatalf("doc %d: column %s drifted %s -> %s", i, f.Name, prev, k)
+			}
+		}
+	}
+}
+
+func TestSparseLabelVariety(t *testing.T) {
+	g := Sparse{Seed: 22, Universe: 100, PerDoc: 5}
+	docs := Collection(g, 200)
+	labelSets := make(map[string]bool)
+	for i, d := range docs {
+		if d.Len() != 5 {
+			t.Fatalf("doc %d: %d fields, want 5", i, d.Len())
+		}
+		key := ""
+		for _, f := range d.Fields() {
+			key += f.Name + ","
+		}
+		labelSets[key] = true
+	}
+	// 5 keys out of 100: collisions across 200 docs should be rare, so
+	// nearly every document contributes a fresh label set.
+	if len(labelSets) < 150 {
+		t.Errorf("only %d distinct label sets across 200 docs", len(labelSets))
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	d := Deep{Seed: 23, Depth: 30}.Generate(0)
+	depth := 0
+	for d != nil {
+		switch d.Kind() {
+		case jsonvalue.Object:
+			depth++
+			if lv, ok := d.Get("id"); ok && lv != nil {
+				d = nil // reached the payload record
+				continue
+			}
+			var next *jsonvalue.Value
+			for _, f := range d.Fields() {
+				if f.Value.Kind() == jsonvalue.Object || f.Value.Kind() == jsonvalue.Array {
+					next = f.Value
+					break
+				}
+			}
+			d = next
+		case jsonvalue.Array:
+			depth++
+			d = d.Elem(0)
+		default:
+			d = nil
+		}
+	}
+	if depth < 30 {
+		t.Errorf("walked depth %d, want >= 30", depth)
 	}
 }

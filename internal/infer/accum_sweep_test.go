@@ -3,10 +3,13 @@ package infer
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/genjson"
 	"repro/internal/jsontext"
 	"repro/internal/typelang"
 )
@@ -16,9 +19,10 @@ import (
 // leaves, the root fuse, the in-line auto fold), and this sweep pins
 // each of those seals byte-identical to the reference reduce — one
 // MergeAll over the per-document map-phase types — on every checked-in
-// fixture, under both equivalences, across shard counts (including the
-// explicit ReduceShards: 1 legacy Merge fold, the A/B baseline) and
-// both tokenizers.
+// fixture, under both equivalences, across map modes (the fused
+// direct-absorption default and the per-document reference map, the A/B
+// baseline), shard counts (including the explicit ReduceShards: 1
+// legacy Merge fold), worker counts, and both tokenizers.
 
 // mergeAllReference is the reference reduce: DOM-decode every document,
 // type it with the map phase, and fold the whole collection through one
@@ -51,13 +55,17 @@ func assertAccumMatchesMergeAll(t *testing.T, label string, data []byte) {
 					label, e, engine, want.StringCounted(), got.StringCounted())
 			}
 		}
-		got, _, err := InferStream(bytes.NewReader(data), Options{Equiv: e})
-		check("sequential", got, err)
-		for _, tz := range []Tokenizer{TokenizerScan, TokenizerMison} {
-			for _, shards := range []int{0, 1, 2, 3, 8} {
-				got, _, err := InferStreamParallel(bytes.NewReader(data),
-					Options{Equiv: e, Workers: 4, ReduceShards: shards, Tokenizer: tz})
-				check(fmt.Sprintf("parallel-%v-shards-%d", tz, shards), got, err)
+		for _, mm := range []MapMode{MapFused, MapReference} {
+			got, _, err := InferStream(bytes.NewReader(data), Options{Equiv: e, Map: mm})
+			check(fmt.Sprintf("sequential-%v", mm), got, err)
+			for _, tz := range []Tokenizer{TokenizerScan, TokenizerMison} {
+				for _, workers := range []int{2, 4} {
+					for _, shards := range []int{0, 1, 2, 3, 8} {
+						got, _, err := InferStreamParallel(bytes.NewReader(data),
+							Options{Equiv: e, Workers: workers, ReduceShards: shards, Tokenizer: tz, Map: mm})
+						check(fmt.Sprintf("parallel-%v-%v-w%d-shards-%d", mm, tz, workers, shards), got, err)
+					}
+				}
 			}
 		}
 	}
@@ -79,5 +87,100 @@ func TestAccumFoldMatchesMergeAllFixtures(t *testing.T) {
 			t.Fatal(err)
 		}
 		assertAccumMatchesMergeAll(t, filepath.Base(name), data)
+	}
+}
+
+// TestMapModeErrorEquivalence pins the error behaviour of the fused
+// map to the reference map: on malformed input both modes must report
+// the same error message, the same syntax offset, and the same count
+// of documents typed before the failure, under every tokenizer and
+// worker shape. The fused path absorbs straight into the chunk
+// accumulator, so this is what guarantees aborting a half-absorbed
+// document never changes what the engine reports.
+func TestMapModeErrorEquivalence(t *testing.T) {
+	bad := []string{
+		"{\"a\": 1}\n{]\n",
+		"[1, 2\n",
+		"{\"a\": tru}\n",
+		"\"unterminated\n{\"a\": 1}\n",
+		"{\"a\": 1}\n12..5\n{\"b\": 2}\n",
+		"{\"a\": 1}\n{\"s\": \"ctrl\x01\"}\n{\"b\": 2}\n",
+		"{\"a\": [1, {\"b\": 2}, \n",
+		"{\"a\": {\"b\": 1, }}\n",
+	}
+	type outcome struct {
+		msg  string
+		off  int
+		docs int
+	}
+	for _, in := range bad {
+		runs := map[string]outcome{}
+		for _, mm := range []MapMode{MapFused, MapReference} {
+			_, n, err := InferStream(strings.NewReader(in), Options{Map: mm})
+			if err == nil {
+				t.Fatalf("%q: sequential %v accepted malformed input", in, mm)
+			}
+			runs[fmt.Sprintf("seq/%v", mm)] = outcome{err.Error(), syntaxOffset(err), n}
+			for _, tz := range []Tokenizer{TokenizerScan, TokenizerMison} {
+				for _, workers := range []int{2, 4} {
+					_, n, err := InferStreamParallel(strings.NewReader(in),
+						Options{Map: mm, Workers: workers, Batch: 1, Tokenizer: tz})
+					if err == nil {
+						t.Fatalf("%q: parallel %v/%v accepted malformed input", in, mm, tz)
+					}
+					runs[fmt.Sprintf("par-%v-w%d/%v", tz, workers, mm)] = outcome{err.Error(), syntaxOffset(err), n}
+				}
+			}
+		}
+		// Every run of the same engine shape must agree across map modes,
+		// and every shape must agree on message and offset overall (the
+		// doc count can legitimately differ between sequential and
+		// parallel only if chunking changed what was committed first —
+		// it must not, since errors are reported in stream order).
+		ref := runs[fmt.Sprintf("seq/%v", MapFused)]
+		for name, o := range runs {
+			if o.msg != ref.msg || o.off != ref.off || o.docs != ref.docs {
+				t.Errorf("%q: %s reports (%q, off %d, %d docs), seq/fused reports (%q, off %d, %d docs)",
+					in, name, o.msg, o.off, o.docs, ref.msg, ref.off, ref.docs)
+			}
+		}
+	}
+}
+
+// TestAbsorbSurfaceMatchesMergeAll drives typelang's direct-absorption
+// surface one generated document at a time (the exact calls the fused
+// walker makes) and pins the seal to the MergeAll reference — the unit
+// cut of the fused-map equivalence, with no tokenizer in the loop.
+func TestAbsorbSurfaceMatchesMergeAll(t *testing.T) {
+	gens := []genjson.Generator{
+		genjson.Twitter{Seed: 31},
+		genjson.GitHub{Seed: 32},
+		genjson.SkewedOptional{Seed: 33},
+		genjson.NestedArrays{Seed: 34},
+		genjson.Sparse{Seed: 35},
+		genjson.Deep{Seed: 36, Depth: 12},
+	}
+	for _, g := range gens {
+		docs := genjson.Collection(g, 120)
+		data := jsontext.MarshalLines(docs)
+		for _, e := range []typelang.Equiv{typelang.EquivKind, typelang.EquivLabel} {
+			want := mergeAllReference(t, data, e)
+			acc := typelang.NewAccum(e)
+			if err := func() error {
+				tr := jsontext.NewTokenReaderBytes(data)
+				for {
+					if err := AbsorbFromTokens(tr, acc); err != nil {
+						return err
+					}
+				}
+			}(); err != io.EOF {
+				t.Fatalf("%s/%v: %v", g.Name(), e, err)
+			}
+			got := acc.Seal()
+			if !typelang.Equal(want, got) || want.StringCounted() != got.StringCounted() {
+				t.Errorf("%s/%v: direct absorption diverges from MergeAll\n mergeall: %s\n absorbed: %s",
+					g.Name(), e, want.StringCounted(), got.StringCounted())
+			}
+		}
 	}
 }

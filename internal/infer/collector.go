@@ -49,11 +49,12 @@ type leafState struct {
 	gen  uint64
 }
 
-// leafMsg is one unit of leaf work: a chunk type to fold, or (when wg is
-// non-nil) a flush marker to acknowledge once everything enqueued before
-// it is folded and published.
+// leafMsg is one unit of leaf work: a chunk type (or a batch of them)
+// to fold, or (when wg is non-nil) a flush marker to acknowledge once
+// everything enqueued before it is folded and published.
 type leafMsg struct {
 	t    *typelang.Type
+	ts   []*typelang.Type
 	docs int64
 	wg   *sync.WaitGroup
 }
@@ -100,10 +101,16 @@ func (l *leafCollector) run(e typelang.Equiv, poke chan<- struct{}) {
 			msg.wg.Done()
 			continue
 		}
-		acc.Absorb(msg.t)
+		if msg.t != nil {
+			acc.Absorb(msg.t)
+			pending++
+		}
+		for _, t := range msg.ts {
+			acc.Absorb(t)
+			pending++
+		}
 		docs += msg.docs
-		pending++
-		if pending == collectorBatch {
+		if pending >= collectorBatch {
 			publish()
 		}
 	}
@@ -216,6 +223,21 @@ func gensNewer(a, b []uint64) bool {
 func (c *ShardedCollector) Add(t *typelang.Type, docs int64) {
 	i := c.rr.Add(1) - 1
 	c.leaves[i%uint64(len(c.leaves))].in <- leafMsg{t: t, docs: docs}
+}
+
+// AddBatch folds a batch of chunk results — their types and total
+// document count — into the tree with a single channel send; the whole
+// batch lands on one leaf, so snapshot monotonicity and the final fold
+// are exactly as if each type had been Added individually (the merge is
+// associative and commutative). The collector takes ownership of ts.
+// The batched ingest path commits through this: one hand-off per
+// committer batch instead of one per chunk.
+func (c *ShardedCollector) AddBatch(ts []*typelang.Type, docs int64) {
+	if len(ts) == 0 && docs == 0 {
+		return
+	}
+	i := c.rr.Add(1) - 1
+	c.leaves[i%uint64(len(c.leaves))].in <- leafMsg{ts: ts, docs: docs}
 }
 
 // Flush blocks until every Add that happened before the call is folded

@@ -27,12 +27,20 @@
 //   - InferParallel feeds batches through a bounded work queue to a
 //     worker pool; each worker folds its own partial type and the
 //     partials meet in a parallel binary tree reduction;
-//   - InferStream and InferStreamParallel type documents straight from
-//     tokens (TypeFromTokens, tokens.go) with no value tree at all;
+//   - InferStream and InferStreamParallel fuse the map into the reduce:
+//     AbsorbFromTokens (tokens.go) walks each document's tokens and
+//     absorbs its structure straight into the chunk's typelang.Accum
+//     through the direct-absorption surface (Accum.Doc), so no
+//     per-document canonical type — and no value tree — is ever built;
 //     the parallel engine's work queue carries raw document-aligned
 //     byte chunks, so lexing itself scales with workers and
 //     collections larger than memory are inferred at multi-worker
 //     speed while only ever holding a bounded window of bytes.
+//     Options.Map selects the discipline: MapFused (the default) or
+//     MapReference, which revives the per-document type + fold.Absorb
+//     map phase as the A/B baseline; both are pinned byte-identical —
+//     schemas, counts, document totals, and error offsets — by the
+//     accum sweep tests.
 //
 // This package is the middle of the streamed pipeline (reader → chunker
 // → tokenizer → TypeFromTokens → ordered commit → collector tree): the

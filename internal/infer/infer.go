@@ -54,6 +54,35 @@ func (t Tokenizer) String() string {
 	}
 }
 
+// MapMode selects the map phase of the streamed token engines.
+type MapMode uint8
+
+const (
+	// MapFused — the zero value, and therefore the streamed default —
+	// absorbs each document straight into the worker's chunk
+	// accumulator (AbsorbFromTokens): no canonical per-document type is
+	// ever materialised, so the map phase of a worker in steady state
+	// allocates nothing.
+	MapFused MapMode = iota
+	// MapReference materialises the canonical per-document type through
+	// a scratch accumulator and folds it into the chunk accumulator —
+	// the old map discipline, kept selectable as the A/B equivalence
+	// baseline (the same pattern as TokenizerScan and ReduceShards: 1).
+	MapReference
+)
+
+// String names the map mode.
+func (m MapMode) String() string {
+	switch m {
+	case MapFused:
+		return "fused"
+	case MapReference:
+		return "refmap"
+	default:
+		return "unknown"
+	}
+}
+
 // Options configure an inference run.
 type Options struct {
 	// Equiv is the merge equivalence: typelang.EquivKind (K) or
@@ -69,6 +98,9 @@ type Options struct {
 	// the zero value is TokenizerMison (TokenizerScan is the reference
 	// fallback).
 	Tokenizer Tokenizer
+	// Map picks the streamed engines' map phase; the zero value is
+	// MapFused (MapReference is the per-document-type A/B baseline).
+	Map MapMode
 	// ReduceShards is the leaf count of the sharded collector tree that
 	// folds chunk results in InferStreamParallel: 0 sizes it
 	// automatically (workers capped at maxAutoShards), 1 selects the

@@ -14,91 +14,84 @@ import (
 
 // This file is the token-only inference path: the map phase of the
 // paper's map/reduce needs the *type* of each document, never its value,
-// so documents are typed straight from the lexer's tokens. Compared to
-// the DOM path (jsontext.Decoder → TypeOf) it allocates no value nodes,
-// no element slices and no value-string payloads — and because the work
-// queue carries raw byte chunks instead of pre-parsed values, lexing
-// itself runs on every worker instead of serialising on the decoder
-// goroutine.
+// so documents are typed straight from the lexer's tokens. Since the
+// fused-map refactor it does not even materialise a canonical type per
+// document: AbsorbFromTokens lands each document's structure directly in
+// the worker's chunk accumulator (typelang.Target), so the steady state
+// of a worker — same shapes, chunk after chunk — allocates nothing in
+// the map phase at all. Compared to the DOM path (jsontext.Decoder →
+// TypeOf) it allocates no value nodes, no element slices and no
+// value-string payloads — and because the work queue carries raw byte
+// chunks instead of pre-parsed values, lexing itself runs on every
+// worker instead of serialising on the decoder goroutine.
 
-// TypeFromTokens types exactly one JSON value read from tr — the
-// token-level map phase, equivalent to jsontext parse followed by TypeOf
-// but with no intermediate value tree. It returns io.EOF when the stream
-// holds no further value, and a *jsontext.SyntaxError (with absolute
-// offset) on malformed input. Any jsontext.TokenSource feeds it: the
-// reference TokenReader or the mison structural-index tokenizer.
-func TypeFromTokens(tr jsontext.TokenSource, e typelang.Equiv) (*typelang.Type, error) {
-	var pool accumPool
-	pool.equiv = e
-	return typeFromTokensPooled(tr, e, &pool)
-}
-
-// typeFromTokensPooled is TypeFromTokens with a caller-owned
-// accumulator pool: the streamed engines thread one pool per worker so
-// the array-element folds inside every document reuse the same
-// accumulators instead of rebuilding canonical unions per array.
-func typeFromTokensPooled(tr jsontext.TokenSource, e typelang.Equiv, pool *accumPool) (*typelang.Type, error) {
+// AbsorbFromTokens types exactly one JSON value read from tr straight
+// into acc — the fused map phase: the document's structure lands in the
+// accumulator's union buckets and in-place field tables without an
+// intermediate canonical node. It returns io.EOF when the stream holds
+// no further value, and a *jsontext.SyntaxError (with absolute offset)
+// on malformed input; on an error the accumulator is left exactly as it
+// was (the partial document contributes nothing). Any
+// jsontext.TokenSource feeds it: the reference TokenReader or the mison
+// structural-index tokenizer.
+func AbsorbFromTokens(tr jsontext.TokenSource, acc *typelang.Accum) error {
 	tok, err := tr.ReadTokenSkipString()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if tok.Kind == jsontext.TokEOF {
-		return nil, io.EOF
+		return io.EOF
 	}
-	return typeFromToken(tr, tok, e, 0, pool)
+	return absorbValue(tr, tok, acc.Doc(), 0)
 }
 
-// accumPool is a worker-local free list of typelang accumulators for
-// the per-document array-element folds. Arrays nest, so the pool holds
-// one accumulator per active nesting level at peak; put resets before
-// parking, so a pooled accumulator is always empty.
-type accumPool struct {
-	equiv typelang.Equiv
-	free  []*typelang.Accum
-}
-
-func (p *accumPool) get() *typelang.Accum {
-	if n := len(p.free); n > 0 {
-		a := p.free[n-1]
-		p.free = p.free[:n-1]
-		return a
+// TypeFromTokens types exactly one JSON value read from tr, returning
+// its canonical per-document type — equivalent to jsontext parse
+// followed by TypeOf but with no intermediate value tree. It is the
+// thin compatibility wrapper over AbsorbFromTokens: absorb into a fresh
+// accumulator, seal (the MergeAll of one document is the document's
+// type). The streamed engines use AbsorbFromTokens directly.
+func TypeFromTokens(tr jsontext.TokenSource, e typelang.Equiv) (*typelang.Type, error) {
+	acc := typelang.NewAccum(e)
+	if err := AbsorbFromTokens(tr, acc); err != nil {
+		return nil, err
 	}
-	return typelang.NewAccum(p.equiv)
+	return acc.Seal(), nil
 }
 
-func (p *accumPool) put(a *typelang.Accum) {
-	a.Reset()
-	p.free = append(p.free, a)
-}
-
-// typeFromToken types the value beginning at tok, pulling the rest of
-// its tokens from tr. The grammar enforced is exactly the parser's, so
-// the token path and the DOM path accept and reject the same inputs at
-// the same offsets.
-func typeFromToken(tr jsontext.TokenSource, tok jsontext.Token, e typelang.Equiv, depth int, pool *accumPool) (*typelang.Type, error) {
+// absorbValue absorbs the value beginning at tok into dst, pulling the
+// rest of its tokens from tr. The grammar enforced is exactly the
+// parser's, so the token path and the DOM path accept and reject the
+// same inputs at the same offsets.
+func absorbValue(tr jsontext.TokenSource, tok jsontext.Token, dst typelang.Target, depth int) error {
 	if depth > jsontext.MaxDepth {
-		return nil, &jsontext.SyntaxError{Offset: tok.Offset, Msg: depthMsg}
+		return &jsontext.SyntaxError{Offset: tok.Offset, Msg: depthMsg}
 	}
 	switch tok.Kind {
 	case jsontext.TokNull:
-		return atomNull, nil
+		dst.AbsorbKind(typelang.KNull)
+		return nil
 	case jsontext.TokTrue, jsontext.TokFalse:
-		return atomBool, nil
+		dst.AbsorbKind(typelang.KBool)
+		return nil
 	case jsontext.TokNumber:
 		if numIsInt(tok.Num) {
-			return atomInt, nil
+			dst.AbsorbKind(typelang.KInt)
+		} else {
+			dst.AbsorbKind(typelang.KNum)
 		}
-		return atomNum, nil
+		return nil
 	case jsontext.TokString:
-		return atomStr, nil
+		dst.AbsorbKind(typelang.KStr)
+		return nil
 	case jsontext.TokBeginArray:
-		return typeArrayTokens(tr, e, depth, pool)
+		return absorbArray(tr, dst, depth)
 	case jsontext.TokBeginObject:
-		return typeObjectTokens(tr, e, depth, pool)
+		return absorbObject(tr, dst, depth)
 	case jsontext.TokEOF:
-		return nil, &jsontext.SyntaxError{Offset: tok.Offset, Msg: "unexpected end of input, want value"}
+		return &jsontext.SyntaxError{Offset: tok.Offset, Msg: "unexpected end of input, want value"}
 	default:
-		return nil, &jsontext.SyntaxError{Offset: tok.Offset, Msg: "unexpected " + tok.Kind.String() + ", want value"}
+		return &jsontext.SyntaxError{Offset: tok.Offset, Msg: "unexpected " + tok.Kind.String() + ", want value"}
 	}
 }
 
@@ -112,174 +105,157 @@ func numIsInt(f float64) bool {
 	return f == math.Trunc(f) && !math.IsInf(f, 0) && math.Abs(f) < 1<<53
 }
 
-// typeArrayTokens types array elements after the consumed '[': element
-// types fold under e through a pooled accumulator, sealing to exactly
-// the MergeAll of the element types — the per-document merge that used
-// to rebuild a canonical union per array now bumps accumulator buckets
-// and allocates only the sealed result.
-func typeArrayTokens(tr jsontext.TokenSource, e typelang.Equiv, depth int, pool *accumPool) (*typelang.Type, error) {
+// absorbArray absorbs array elements after the consumed '[' straight
+// into the array bucket's element collection; the array commits at ']'
+// with the observed length, and any error aborts the frame so the
+// accumulator keeps only complete documents.
+func absorbArray(tr jsontext.TokenSource, dst typelang.Target, depth int) error {
+	elem := dst.BeginArray()
 	tok, err := tr.ReadTokenSkipString()
 	if err != nil {
-		return nil, err
+		dst.AbortArray()
+		return err
 	}
 	if tok.Kind == jsontext.TokEndArray {
-		return typelang.NewArrayCounted(nil, 1, 0, 0), nil
+		dst.EndArray(0)
+		return nil
 	}
-	acc := pool.get()
 	n := 0
 	for {
-		et, err := typeFromToken(tr, tok, e, depth+1, pool)
-		if err != nil {
-			pool.put(acc)
-			return nil, err
+		if err := absorbValue(tr, tok, elem, depth+1); err != nil {
+			dst.AbortArray()
+			return err
 		}
-		acc.Absorb(et)
 		n++
 		sep, err := tr.ReadTokenSkipString()
 		if err != nil {
-			pool.put(acc)
-			return nil, err
+			dst.AbortArray()
+			return err
 		}
 		switch sep.Kind {
 		case jsontext.TokComma:
 			if tok, err = tr.ReadTokenSkipString(); err != nil {
-				pool.put(acc)
-				return nil, err
+				dst.AbortArray()
+				return err
 			}
 		case jsontext.TokEndArray:
-			elem := acc.Seal()
-			pool.put(acc)
-			return typelang.NewArrayCounted(elem, 1, n, n), nil
+			dst.EndArray(n)
+			return nil
 		default:
-			pool.put(acc)
-			return nil, &jsontext.SyntaxError{Offset: sep.Offset, Msg: "unexpected " + sep.Kind.String() + " in array, want ',' or ']'"}
+			dst.AbortArray()
+			return &jsontext.SyntaxError{Offset: sep.Offset, Msg: "unexpected " + sep.Kind.String() + " in array, want ',' or ']'"}
 		}
 	}
 }
 
-// typeObjectTokens types object members after the consumed '{'. Field
-// names are read in decoding mode (they are the record labels); field
-// values are typed token-by-token. Duplicate names keep the effective
-// last-binding view, matching TypeOf.
-func typeObjectTokens(tr jsontext.TokenSource, e typelang.Equiv, depth int, pool *accumPool) (*typelang.Type, error) {
+// absorbObject absorbs object members after the consumed '{' into an
+// open record staged on the accumulator. Field names are read in
+// decoding mode (they are the record labels); field values absorb
+// token-by-token into their staged slots. Duplicate names keep the
+// effective last-binding view, matching TypeOf. The record commits at
+// '}' — group lookup and the in-place field-table merge happen once,
+// there — and any error aborts the frame.
+func absorbObject(tr jsontext.TokenSource, dst typelang.Target, depth int) error {
 	tok, err := tr.ReadToken()
 	if err != nil {
-		return nil, err
+		return err
 	}
+	rec := dst.BeginRecord()
 	if tok.Kind == jsontext.TokEndObject {
-		return typelang.RecordOwned(1, nil), nil
+		dst.EndRecord(rec)
+		return nil
 	}
-	var (
-		fields []typelang.Field
-		seen   map[string]int // name -> index in fields, once past smallObject
-	)
 	for {
 		if tok.Kind != jsontext.TokString {
-			return nil, &jsontext.SyntaxError{Offset: tok.Offset, Msg: "unexpected " + tok.Kind.String() + ", want field name string"}
+			rec.Abort()
+			return &jsontext.SyntaxError{Offset: tok.Offset, Msg: "unexpected " + tok.Kind.String() + ", want field name string"}
 		}
 		name := tok.Str
 		colon, err := tr.ReadTokenSkipString()
 		if err != nil {
-			return nil, err
+			rec.Abort()
+			return err
 		}
 		if colon.Kind != jsontext.TokColon {
-			return nil, &jsontext.SyntaxError{Offset: colon.Offset, Msg: "unexpected " + colon.Kind.String() + ", want ':'"}
+			rec.Abort()
+			return &jsontext.SyntaxError{Offset: colon.Offset, Msg: "unexpected " + colon.Kind.String() + ", want ':'"}
 		}
 		valTok, err := tr.ReadTokenSkipString()
 		if err != nil {
-			return nil, err
+			rec.Abort()
+			return err
 		}
-		vt, err := typeFromToken(tr, valTok, e, depth+1, pool)
-		if err != nil {
-			return nil, err
-		}
-		// Duplicate names: last binding wins, first position kept (the
-		// position is erased by RecordOwned's sort anyway).
-		if idx := fieldIndex(fields, seen, name); idx >= 0 {
-			fields[idx].Type = vt
-		} else {
-			fields = append(fields, typelang.Field{Name: name, Type: vt, Count: 1})
-			if seen != nil {
-				seen[name] = len(fields) - 1
-			} else if len(fields) > smallObject {
-				seen = make(map[string]int, 2*len(fields))
-				for i := range fields {
-					seen[fields[i].Name] = i
-				}
-			}
+		if err := absorbValue(tr, valTok, rec.Field(name), depth+1); err != nil {
+			rec.Abort()
+			return err
 		}
 		sep, err := tr.ReadTokenSkipString()
 		if err != nil {
-			return nil, err
+			rec.Abort()
+			return err
 		}
 		switch sep.Kind {
 		case jsontext.TokComma:
 			if tok, err = tr.ReadToken(); err != nil {
-				return nil, err
+				rec.Abort()
+				return err
 			}
 		case jsontext.TokEndObject:
-			return typelang.RecordOwned(1, fields), nil
+			dst.EndRecord(rec)
+			return nil
 		default:
-			return nil, &jsontext.SyntaxError{Offset: sep.Offset, Msg: "unexpected " + sep.Kind.String() + " in object, want ',' or '}'"}
+			rec.Abort()
+			return &jsontext.SyntaxError{Offset: sep.Offset, Msg: "unexpected " + sep.Kind.String() + " in object, want ',' or '}'"}
 		}
 	}
-}
-
-// fieldIndex finds name among the built fields: a linear scan below the
-// smallObject threshold, the seen map above it.
-func fieldIndex(fields []typelang.Field, seen map[string]int, name string) int {
-	if seen != nil {
-		if i, ok := seen[name]; ok {
-			return i
-		}
-		return -1
-	}
-	for i := range fields {
-		if fields[i].Name == name {
-			return i
-		}
-	}
-	return -1
 }
 
 // streamFold is the per-worker fold state of the token engines: the
-// chunk accumulator every document type is absorbed into, plus the
-// accumulator pool the map phase's array-element folds draw from. One
-// streamFold serves a whole worker lifetime — run Resets the chunk
-// accumulator between chunks, so the steady state absorbs and seals
-// without rebuilding canonical unions (the batched MergeAll discipline
-// this replaces re-canonicalised the whole accumulated schema on every
-// batch; see typelang.Accum).
+// chunk accumulator every document is absorbed into — one accumulator
+// per worker for its whole lifetime, Reset (storage-retaining) between
+// chunks, so the steady state types documents of seen shapes without
+// allocating. Under MapReference each document detours through a
+// per-document scratch accumulator and its sealed canonical type, the
+// old map discipline kept selectable as the A/B baseline.
 type streamFold struct {
-	equiv typelang.Equiv
-	fold  *typelang.Accum
-	pool  accumPool
+	mode MapMode
+	fold *typelang.Accum
+	doc  *typelang.Accum // MapReference only: per-document scratch
 }
 
 func newStreamFold(opts Options) *streamFold {
-	return &streamFold{
-		equiv: opts.Equiv,
-		fold:  typelang.NewAccum(opts.Equiv),
-		pool:  accumPool{equiv: opts.Equiv},
+	sf := &streamFold{mode: opts.Map, fold: typelang.NewAccum(opts.Equiv)}
+	if sf.mode == MapReference {
+		sf.doc = typelang.NewAccum(opts.Equiv)
 	}
+	return sf
 }
 
 // run types every document on tr, absorbing each into the chunk
 // accumulator, and seals once at the end — the accumulate → seal shape
 // of the reduce. On an error the sealed type covers exactly the
-// documents typed before it (the partial document is discarded).
+// documents typed before it (the partial document is discarded: the
+// fused walker aborts its staged frames, and the reference mode's
+// partial document never leaves its scratch accumulator).
 func (sf *streamFold) run(tr jsontext.TokenSource) (*typelang.Type, int, error) {
 	sf.fold.Reset()
 	n := 0
 	for {
-		t, err := typeFromTokensPooled(tr, sf.equiv, &sf.pool)
+		var err error
+		if sf.mode == MapReference {
+			sf.doc.Reset()
+			if err = AbsorbFromTokens(tr, sf.doc); err == nil {
+				sf.fold.Absorb(sf.doc.Seal())
+			}
+		} else {
+			err = AbsorbFromTokens(tr, sf.fold)
+		}
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				err = nil
 			}
 			return sf.fold.Seal(), n, err
 		}
-		sf.fold.Absorb(t)
 		n++
 	}
 }
@@ -329,7 +305,10 @@ type chunkResult struct {
 // default) finds chunk boundaries with mison.Chunker's structural
 // bitmaps and lexes chunks through mison.TokenSource, falling back to
 // the reference lexer on any chunk the structural index rejects;
-// TokenizerScan walks every byte through the reference lexer. Both
+// TokenizerScan walks every byte through the reference lexer.
+// Options.Map picks the map phase: MapFused (the default) absorbs
+// documents straight into the worker's chunk accumulator, MapReference
+// materialises the per-document canonical type first. All combinations
 // produce identical schemas, counts and errors.
 //
 // Chunk results are committed in stream order, so the outcome is exact:
@@ -352,8 +331,8 @@ func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error)
 		// collector tree, so the merge work that used to serialise on
 		// this goroutine runs on the leaf collectors in parallel.
 		col := NewShardedCollector(shards, opts.Equiv)
-		n, err := inferStreamChunks(r, opts, func(t *typelang.Type, docs int) {
-			col.Add(t, int64(docs))
+		n, err := inferStreamChunks(r, opts, func(ts []*typelang.Type, docs int) {
+			col.AddBatch(ts, int64(docs))
 		})
 		acc, _ := col.Close()
 		return acc, n, err
@@ -363,8 +342,10 @@ func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error)
 		// fold, kept selectable as the A/B reference for both the tree
 		// and the accumulator (like TokenizerScan for the tokenizer).
 		acc := typelang.Bottom
-		n, err := inferStreamChunks(r, opts, func(t *typelang.Type, _ int) {
-			acc = typelang.Merge(acc, t, opts.Equiv)
+		n, err := inferStreamChunks(r, opts, func(ts []*typelang.Type, _ int) {
+			for _, t := range ts {
+				acc = typelang.Merge(acc, t, opts.Equiv)
+			}
 		})
 		return acc, n, err
 	}
@@ -372,34 +353,47 @@ func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error)
 	// fold through an accumulator — no collector goroutines, and no
 	// per-chunk re-canonicalisation of the accumulated schema.
 	acc := typelang.NewAccum(opts.Equiv)
-	n, err := inferStreamChunks(r, opts, func(t *typelang.Type, _ int) {
-		acc.Absorb(t)
+	n, err := inferStreamChunks(r, opts, func(ts []*typelang.Type, _ int) {
+		for _, t := range ts {
+			acc.Absorb(t)
+		}
 	})
 	return acc.Seal(), n, err
 }
 
 // InferStreamInto is InferStreamParallel folding into a caller-owned
 // collector tree instead of a fresh one: committed chunk results are
-// Added to col in stream order and the collector is left open, which is
-// what lets a long-lived accumulator (a registry collection) absorb many
-// streams — concurrently, even — into one monotonically-growing schema.
-// It returns the number of documents committed and the first error, with
-// exactly InferStreamParallel's error semantics: on a malformed document
-// the committed documents are precisely those before it. The caller
-// flushes or closes col to observe the result.
+// handed to col in stream order (batched — one channel send per commit
+// batch) and the collector is left open, which is what lets a
+// long-lived accumulator (a registry collection) absorb many streams —
+// concurrently, even — into one monotonically-growing schema. It
+// returns the number of documents committed and the first error, with
+// exactly InferStreamParallel's error semantics: on a malformed
+// document the committed documents are precisely those before it. The
+// caller flushes or closes col to observe the result.
 func InferStreamInto(r io.Reader, opts Options, col *ShardedCollector) (int, error) {
-	return inferStreamChunks(r, opts, func(t *typelang.Type, docs int) {
-		col.Add(t, int64(docs))
+	return inferStreamChunks(r, opts, func(ts []*typelang.Type, docs int) {
+		col.AddBatch(ts, int64(docs))
 	})
 }
 
+// commitBatch is how many in-order chunk results the committer buffers
+// per commit call: one collector hand-off (one channel send, one
+// round-robin step) then carries a batch of sealed partials instead of
+// one, cutting the per-chunk commit overhead that contributed to the
+// parallel engines' flat scaling. Error semantics are unaffected — the
+// buffer holds only already-committed (in-order, pre-error) results and
+// is flushed before the error is recorded.
+const commitBatch = 8
+
 // inferStreamChunks runs the chunked token pipeline — reader goroutine
 // splitting the stream into document-aligned chunks, workers lexing and
-// typing them in parallel — and calls commit with each chunk's merged
-// type and document count, in stream order. Commits stop at the first
-// error; the committed chunks are exactly those before it. It returns
-// the number of documents committed and that first error.
-func inferStreamChunks(r io.Reader, opts Options, commit func(*typelang.Type, int)) (int, error) {
+// typing them in parallel — and calls commit with batches of chunk
+// types (in stream order; ownership of the slice passes to commit).
+// Commits stop at the first error; the committed chunks are exactly
+// those before it. It returns the number of documents committed and
+// that first error.
+func inferStreamChunks(r io.Reader, opts Options, commit func([]*typelang.Type, int)) (int, error) {
 	workers := opts.workers()
 	work := make(chan byteChunk, 2*workers)
 	results := make(chan chunkResult, workers)
@@ -463,8 +457,9 @@ func inferStreamChunks(r io.Reader, opts Options, commit func(*typelang.Type, in
 	}()
 
 	// Committer: release chunk results in stream order for exact error
-	// and count semantics. The bookkeeping here is cheap — the merge
-	// work happens in commit's collector (sharded or in-line).
+	// and count semantics, buffering up to commitBatch in-order results
+	// per commit call. The bookkeeping here is cheap — the merge work
+	// happens in commit's collector (sharded or in-line).
 	var (
 		pending     = make(map[int]chunkResult)
 		next        int
@@ -472,7 +467,16 @@ func inferStreamChunks(r io.Reader, opts Options, commit func(*typelang.Type, in
 		firstErr    error
 		firstErrIdx = -1
 		stopped     bool
+		batch       []*typelang.Type
+		batchDocs   int
 	)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		commit(batch, batchDocs)
+		batch, batchDocs = nil, 0
+	}
 	for res := range results {
 		pending[res.index] = res
 		for {
@@ -485,9 +489,17 @@ func inferStreamChunks(r io.Reader, opts Options, commit func(*typelang.Type, in
 			if firstErr != nil {
 				continue
 			}
-			commit(cr.t, cr.n)
+			if batch == nil {
+				batch = make([]*typelang.Type, 0, commitBatch)
+			}
+			batch = append(batch, cr.t)
+			batchDocs += cr.n
 			total += cr.n
+			if len(batch) == commitBatch {
+				flush()
+			}
 			if cr.err != nil {
+				flush()
 				firstErr = cr.err
 				firstErrIdx = cr.index
 				if !stopped {
@@ -497,6 +509,7 @@ func inferStreamChunks(r io.Reader, opts Options, commit func(*typelang.Type, in
 			}
 		}
 	}
+	flush()
 	// A read failure truncates the final chunk, and the syntax error the
 	// worker reports on that cut is an artifact of the failed read, not
 	// of the data — so the I/O error wins over an error in the last

@@ -7,7 +7,7 @@
 // wrappers that build values from its tokens, and the schema inference
 // in internal/infer consumes its tokens directly without ever
 // materialising a value tree. In the streamed inference pipeline
-// (reader → chunker → tokenizer → infer.TypeFromTokens → ordered fold →
+// (reader → chunker → tokenizer → infer.AbsorbFromTokens → ordered fold →
 // typelang.Merge) this package is the tokenizer stage: every chunk
 // worker lexes raw document-aligned bytes through a warm TokenReader,
 // with ReadTokenSkipString validating value strings without

@@ -51,38 +51,47 @@ func (b *Bitmaps) build(data []byte) {
 	b.RBrace = resetWords(b.RBrace, nw)
 	b.LBracket = resetWords(b.LBracket, nw)
 	b.RBracket = resetWords(b.RBracket, nw)
-	// Phase 1+2: character bitmaps with escaped characters removed.
-	// The byte scan is the SWAR stand-in for the SIMD compares; escape
-	// tracking folds phase 2 into the same pass.
-	escaped := false
-	for i, c := range data {
-		w, bit := i>>6, uint(i&63)
-		if escaped {
-			escaped = false
-			if c == '\\' {
-				b.Backslash[w] |= 1 << bit
+	// Phase 1+2 on the shared SWAR classifier (swar.go): each 64-byte
+	// bitmap word is classified eight bytes at a time with the same
+	// word-at-a-time compares the Chunker and TokenSource use, then the
+	// escaped positions are struck out with escapedMask. The Backslash
+	// bitmap keeps ALL backslashes (escaped ones included) while every
+	// other class keeps only unescaped occurrences — the exact semantics
+	// of the old byte-at-a-time scan, pinned by TestBitmapsMatchScalar
+	// and the escape-equivalence suite.
+	var escCarry uint64
+	for w := 0; w < nw; w++ {
+		base := w * 64
+		var bs, qt, co, cm, lb, rb, lk, rk uint64
+		for lane := 0; lane < 8 && base+lane*8 < len(data); lane++ {
+			v := loadWord(data, base+lane*8)
+			sh := uint(lane * 8)
+			bs |= swarEq(v, '\\') << sh
+			qt |= swarEq(v, '"') << sh
+			co |= swarEq(v, ':') << sh
+			cm |= swarEq(v, ',') << sh
+			lb |= swarEq(v, '{') << sh
+			rb |= swarEq(v, '}') << sh
+			lk |= swarEq(v, '[') << sh
+			rk |= swarEq(v, ']') << sh
+		}
+		var esc uint64
+		if bs|escCarry != 0 { // escapes are rare; skip the walk entirely
+			if n := len(data) - base; n < 64 {
+				esc, escCarry = escapedMaskTail(bs, escCarry, n)
+			} else {
+				esc, escCarry = escapedMask(bs, escCarry)
 			}
-			continue
 		}
-		switch c {
-		case '\\':
-			b.Backslash[w] |= 1 << bit
-			escaped = true
-		case '"':
-			b.Quote[w] |= 1 << bit
-		case ':':
-			b.Colon[w] |= 1 << bit
-		case ',':
-			b.Comma[w] |= 1 << bit
-		case '{':
-			b.LBrace[w] |= 1 << bit
-		case '}':
-			b.RBrace[w] |= 1 << bit
-		case '[':
-			b.LBracket[w] |= 1 << bit
-		case ']':
-			b.RBracket[w] |= 1 << bit
-		}
+		keep := ^esc
+		b.Backslash[w] = bs
+		b.Quote[w] = qt & keep
+		b.Colon[w] = co & keep
+		b.Comma[w] = cm & keep
+		b.LBrace[w] = lb & keep
+		b.RBrace[w] = rb & keep
+		b.LBracket[w] = lk & keep
+		b.RBracket[w] = rk & keep
 	}
 	// Phase 3: string mask via bit-parallel prefix XOR over the
 	// structural quote bitmap, with an inter-word parity carry.

@@ -1,6 +1,7 @@
 package mison
 
 import (
+	"math/bits"
 	"testing"
 	"testing/quick"
 
@@ -335,5 +336,144 @@ func TestParseLinesParallelErrors(t *testing.T) {
 	}
 	if _, err := ParseLinesParallel([]byte("{\"a\": 1}\n"), 4); err == nil {
 		t.Error("no projection paths should fail")
+	}
+}
+
+// buildBitmapsScalar is the byte-at-a-time phases 1-2 that Bitmaps.build
+// replaced with the shared SWAR classifier — kept as the differential
+// oracle for TestBitmapsMatchScalar.
+func buildBitmapsScalar(data []byte) *Bitmaps {
+	nw := (len(data) + 63) / 64
+	b := &Bitmaps{N: len(data)}
+	b.Backslash = make([]uint64, nw)
+	b.Quote = make([]uint64, nw)
+	b.Colon = make([]uint64, nw)
+	b.Comma = make([]uint64, nw)
+	b.LBrace = make([]uint64, nw)
+	b.RBrace = make([]uint64, nw)
+	b.LBracket = make([]uint64, nw)
+	b.RBracket = make([]uint64, nw)
+	escaped := false
+	for i, c := range data {
+		w, bit := i>>6, uint(i&63)
+		if escaped {
+			escaped = false
+			if c == '\\' {
+				b.Backslash[w] |= 1 << bit
+			}
+			continue
+		}
+		switch c {
+		case '\\':
+			b.Backslash[w] |= 1 << bit
+			escaped = true
+		case '"':
+			b.Quote[w] |= 1 << bit
+		case ':':
+			b.Colon[w] |= 1 << bit
+		case ',':
+			b.Comma[w] |= 1 << bit
+		case '{':
+			b.LBrace[w] |= 1 << bit
+		case '}':
+			b.RBrace[w] |= 1 << bit
+		case '[':
+			b.LBracket[w] |= 1 << bit
+		case ']':
+			b.RBracket[w] |= 1 << bit
+		}
+	}
+	// Phase 3 (unchanged in the SWAR port, repeated here so the oracle
+	// is the complete old build): string mask + in-string filtering.
+	b.StringMask = make([]uint64, nw)
+	carry := uint64(0)
+	for w := 0; w < nw; w++ {
+		m := prefixXor(b.Quote[w]) ^ carry
+		b.StringMask[w] = m
+		if bits.OnesCount64(b.Quote[w])%2 == 1 {
+			carry = ^carry
+		}
+	}
+	for w := 0; w < nw; w++ {
+		keep := ^b.StringMask[w]
+		b.Colon[w] &= keep
+		b.Comma[w] &= keep
+		b.LBrace[w] &= keep
+		b.RBrace[w] &= keep
+		b.LBracket[w] &= keep
+		b.RBracket[w] &= keep
+	}
+	return b
+}
+
+// TestBitmapsMatchScalar pins the SWAR phases 1-2 to the byte-at-a-time
+// reference on adversarial escape layouts: backslash runs of every
+// parity straddling the 64-byte word boundary and the 8-byte lane
+// boundaries, plus structural characters immediately after.
+func TestBitmapsMatchScalar(t *testing.T) {
+	inputs := [][]byte{
+		[]byte(`{"a": 1, "b": "x,y:{z}", "c": [1, 2]}`),
+		[]byte(`{"esc": "a\"b\\", "q": "\\\"", "r": 1}`),
+		[]byte("{}"),
+		nil,
+	}
+	// Backslash runs of length 1..5 ending at offsets around the lane
+	// (8) and word (64) boundaries, followed by a quote and a colon.
+	for _, at := range []int{6, 7, 8, 9, 62, 63, 64, 65, 126, 127, 128} {
+		for run := 1; run <= 5; run++ {
+			in := make([]byte, 0, at+run+8)
+			for len(in) < at {
+				in = append(in, 'x')
+			}
+			for j := 0; j < run; j++ {
+				in = append(in, '\\')
+			}
+			in = append(in, '"', ':', ',', '{', '}', '[', ']')
+			inputs = append(inputs, in)
+		}
+	}
+	classes := []string{"Backslash", "Quote", "Colon", "Comma", "LBrace", "RBrace", "LBracket", "RBracket"}
+	for _, in := range inputs {
+		got, want := BuildBitmaps(in), buildBitmapsScalar(in)
+		for ci, pair := range [][2][]uint64{
+			{got.Backslash, want.Backslash},
+			{got.Quote, want.Quote},
+			{got.Colon, want.Colon},
+			{got.Comma, want.Comma},
+			{got.LBrace, want.LBrace},
+			{got.RBrace, want.RBrace},
+			{got.LBracket, want.LBracket},
+			{got.RBracket, want.RBracket},
+		} {
+			for w := range pair[1] {
+				if pair[0][w] != pair[1][w] {
+					t.Errorf("%q: %s word %d = %064b, want %064b",
+						in, classes[ci], w, pair[0][w], pair[1][w])
+				}
+			}
+		}
+	}
+}
+
+// TestBitmapsMatchScalarGenerated runs the same differential over real
+// escape-bearing documents from the workload generators.
+func TestBitmapsMatchScalarGenerated(t *testing.T) {
+	docs := genjson.Collection(genjson.Twitter{Seed: 99}, 50)
+	for _, d := range docs {
+		in := jsontext.Marshal(d)
+		got, want := BuildBitmaps(in), buildBitmapsScalar(in)
+		for w := range want.Quote {
+			if got.Quote[w] != want.Quote[w] ||
+				got.Backslash[w] != want.Backslash[w] ||
+				got.Colon[w] != want.Colon[w] ||
+				got.Comma[w] != want.Comma[w] ||
+				got.LBrace[w] != want.LBrace[w] ||
+				got.RBrace[w] != want.RBrace[w] ||
+				got.LBracket[w] != want.LBracket[w] ||
+				got.RBracket[w] != want.RBracket[w] ||
+				got.StringMask[w] != want.StringMask[w] {
+				t.Fatalf("doc %q: bitmap word %d diverges from scalar build", in, w)
+			}
+		}
 	}
 }

@@ -1,8 +1,7 @@
 package mison
 
 // swar.go is the word-at-a-time byte classifier shared by the streaming
-// Chunker and the TokenSource (the projecting Parser's Bitmaps.build
-// still classifies byte-at-a-time; porting it here is an open item).
+// Chunker, the TokenSource, and the projecting Parser's Bitmaps.build.
 // It is the Go-with-stdlib stand-in for Mison's AVX byte compares:
 // eight input bytes are loaded as one uint64 and classified with
 // branch-free arithmetic, producing one mask bit per byte, and the

@@ -4,6 +4,7 @@
 package registry
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -36,6 +37,22 @@ type Options struct {
 	Tokenizer infer.Tokenizer
 }
 
+// CollectionOptions override registry-wide defaults for one collection.
+// The zero value overrides nothing.
+type CollectionOptions struct {
+	// Equiv, when non-nil, pins the collection's merge equivalence
+	// instead of the registry default. A collection's equivalence is
+	// fixed for its whole life at creation: a later override that
+	// disagrees with it is rejected with ErrEquivMismatch (wrapped),
+	// never silently coerced — mixing equivalences in one accumulator
+	// would make the schema depend on request order.
+	Equiv *typelang.Equiv
+}
+
+// ErrEquivMismatch reports a per-collection equivalence override that
+// disagrees with the equivalence the collection was created under.
+var ErrEquivMismatch = errors.New("equivalence differs from the collection's")
+
 // Registry is a concurrent, versioned store of named collections. All
 // methods are safe for concurrent use; see doc.go for the consistency
 // model.
@@ -53,6 +70,7 @@ type Registry struct {
 // collection reuse the previous sealed snapshot) plus counters.
 type collection struct {
 	name    string
+	equiv   typelang.Equiv // fixed at creation
 	col     *infer.ShardedCollector
 	version atomic.Uint64 // completed ingests
 	ingests atomic.Int64  // ingest requests finished (with or without error)
@@ -76,26 +94,50 @@ func New(opts Options) *Registry {
 	}
 }
 
-// collection returns the named collection, creating it (and its
-// collector tree) on first use.
-func (r *Registry) collection(name string) *collection {
+// resolve returns the named collection, creating it (and its collector
+// tree) on first use — under the override's equivalence when co pins
+// one, the registry default otherwise. It reports whether this call
+// created the collection, and rejects an override that disagrees with
+// an existing collection's equivalence.
+func (r *Registry) resolve(name string, co CollectionOptions) (c *collection, created bool, err error) {
+	want := r.opts.Equiv
+	if co.Equiv != nil {
+		want = *co.Equiv
+	}
 	r.mu.RLock()
-	c := r.cols[name]
+	c = r.cols[name]
 	r.mu.RUnlock()
-	if c != nil {
-		return c
+	if c == nil {
+		r.mu.Lock()
+		if c = r.cols[name]; c == nil {
+			c = &collection{
+				name:  name,
+				equiv: want,
+				col:   infer.NewShardedCollector(r.opts.Shards, want),
+			}
+			r.cols[name] = c
+			created = true
+		}
+		r.mu.Unlock()
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if c := r.cols[name]; c != nil {
-		return c
+	if co.Equiv != nil && c.equiv != want {
+		return nil, false, fmt.Errorf("registry: collection %q: %w (collection %s, requested %s)",
+			name, ErrEquivMismatch, c.equiv, want)
 	}
-	c = &collection{
-		name: name,
-		col:  infer.NewShardedCollector(r.opts.Shards, r.opts.Equiv),
+	return c, created, nil
+}
+
+// Create ensures the named collection exists — under co's equivalence
+// when pinned, the registry default otherwise — and returns its
+// snapshot plus whether this call created it. Creating an existing
+// collection with a compatible (or absent) override is idempotent; an
+// incompatible override is rejected with ErrEquivMismatch (wrapped).
+func (r *Registry) Create(name string, co CollectionOptions) (Snapshot, bool, error) {
+	c, created, err := r.resolve(name, co)
+	if err != nil {
+		return Snapshot{}, false, err
 	}
-	r.cols[name] = c
-	return c
+	return c.snapshot(), created, nil
 }
 
 // IngestResult reports one completed ingest call.
@@ -125,9 +167,20 @@ type IngestResult struct {
 // returning, so a snapshot taken after it completes includes everything
 // it merged.
 func (r *Registry) Ingest(name string, rd io.Reader) (IngestResult, error) {
+	return r.IngestWith(name, rd, CollectionOptions{})
+}
+
+// IngestWith is Ingest with per-collection overrides: the collection is
+// created under co's pinned equivalence when it does not exist yet, and
+// an override that disagrees with an existing collection's equivalence
+// is rejected (ErrEquivMismatch, wrapped) before any byte is read.
+func (r *Registry) IngestWith(name string, rd io.Reader, co CollectionOptions) (IngestResult, error) {
 	var c *collection
 	for {
-		c = r.collection(name)
+		var err error
+		if c, _, err = r.resolve(name, co); err != nil {
+			return IngestResult{Collection: name}, err
+		}
 		c.life.RLock()
 		if !c.closed {
 			break
@@ -138,7 +191,7 @@ func (r *Registry) Ingest(name string, rd io.Reader) (IngestResult, error) {
 	}
 	defer c.life.RUnlock()
 	n, err := infer.InferStreamInto(rd, infer.Options{
-		Equiv:     r.opts.Equiv,
+		Equiv:     c.equiv,
 		Workers:   r.opts.Workers,
 		Batch:     r.opts.Batch,
 		Tokenizer: r.opts.Tokenizer,
@@ -160,6 +213,8 @@ func (r *Registry) Ingest(name string, rd io.Reader) (IngestResult, error) {
 // Snapshot costs nothing and blocks nothing.
 type Snapshot struct {
 	Name string
+	// Equiv is the merge equivalence the collection folds under.
+	Equiv typelang.Equiv
 	// Type is the schema merged so far; typelang.Bottom before any
 	// document arrives.
 	Type *typelang.Type
@@ -195,6 +250,7 @@ func (c *collection) snapshot() Snapshot {
 	t, docs := c.col.Snapshot()
 	return Snapshot{
 		Name:    c.name,
+		Equiv:   c.equiv,
 		Type:    t,
 		Docs:    docs,
 		Version: v,

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -352,5 +353,90 @@ func TestStatsSchemaNodes(t *testing.T) {
 	want := sa.Type.Size() + sb.Type.Size()
 	if got := reg.Stats().SchemaNodes; got != want {
 		t.Errorf("SchemaNodes = %d, want %d", got, want)
+	}
+}
+
+// TestPerCollectionEquivOverride pins the per-collection equivalence
+// overrides: a pinned collection folds under its own equivalence (not
+// the registry default), the override is fixed at creation, and a
+// disagreeing later override is rejected without touching the
+// collection.
+func TestPerCollectionEquivOverride(t *testing.T) {
+	data := jsontext.MarshalLines(genjson.Collection(genjson.SkewedOptional{Seed: 7, NumFields: 6}, 300))
+	wantK, _ := batchType(t, data, typelang.EquivKind)
+	wantL, _ := batchType(t, data, typelang.EquivLabel)
+	if wantK.StringCounted() == wantL.StringCounted() {
+		t.Fatal("fixture does not distinguish K from L; pick a drifting corpus")
+	}
+
+	reg := New(Options{Equiv: typelang.EquivKind})
+	defer reg.Close()
+	l := typelang.EquivLabel
+	k := typelang.EquivKind
+
+	// Pinned collection folds under L despite the K-default registry.
+	if _, err := reg.IngestWith("pinned", bytes.NewReader(data), CollectionOptions{Equiv: &l}); err != nil {
+		t.Fatalf("IngestWith(L): %v", err)
+	}
+	// Unpinned collection keeps the registry default.
+	if _, err := reg.Ingest("default", bytes.NewReader(data)); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	snap, _ := reg.Get("pinned")
+	if snap.Equiv != typelang.EquivLabel || snap.Type.StringCounted() != wantL.StringCounted() {
+		t.Errorf("pinned collection: equiv %v, schema %s; want L, %s", snap.Equiv, snap.Type, wantL)
+	}
+	snap, _ = reg.Get("default")
+	if snap.Equiv != typelang.EquivKind || snap.Type.StringCounted() != wantK.StringCounted() {
+		t.Errorf("default collection: equiv %v, schema %s; want K, %s", snap.Equiv, snap.Type, wantK)
+	}
+
+	// A disagreeing override is rejected, and the collection is intact.
+	before, _ := reg.Get("pinned")
+	if _, err := reg.IngestWith("pinned", bytes.NewReader(data), CollectionOptions{Equiv: &k}); !errors.Is(err, ErrEquivMismatch) {
+		t.Fatalf("IngestWith(K) on L collection: err = %v, want ErrEquivMismatch", err)
+	}
+	after, _ := reg.Get("pinned")
+	if after.Docs != before.Docs || after.Version != before.Version {
+		t.Errorf("rejected ingest mutated the collection: %+v -> %+v", before, after)
+	}
+	// A matching override (and no override at all) still ingests.
+	if _, err := reg.IngestWith("pinned", bytes.NewReader(data), CollectionOptions{Equiv: &l}); err != nil {
+		t.Fatalf("IngestWith(L) again: %v", err)
+	}
+	if _, err := reg.Ingest("pinned", bytes.NewReader(data)); err != nil {
+		t.Fatalf("unpinned ingest into pinned collection: %v", err)
+	}
+}
+
+// TestCreateCollection pins Create: idempotent creation, the created
+// flag, the pinned equivalence in the snapshot, and the mismatch error.
+func TestCreateCollection(t *testing.T) {
+	reg := New(Options{Equiv: typelang.EquivKind})
+	defer reg.Close()
+	l := typelang.EquivLabel
+
+	snap, created, err := reg.Create("c", CollectionOptions{Equiv: &l})
+	if err != nil || !created {
+		t.Fatalf("Create: snap=%+v created=%v err=%v", snap, created, err)
+	}
+	if snap.Equiv != typelang.EquivLabel || snap.Docs != 0 {
+		t.Errorf("created snapshot: %+v, want empty L collection", snap)
+	}
+	// Idempotent re-create: exists, compatible.
+	if _, created, err = reg.Create("c", CollectionOptions{Equiv: &l}); err != nil || created {
+		t.Fatalf("re-Create(L): created=%v err=%v, want existing, no error", created, err)
+	}
+	if _, created, err = reg.Create("c", CollectionOptions{}); err != nil || created {
+		t.Fatalf("re-Create(no override): created=%v err=%v", created, err)
+	}
+	// Mismatch.
+	k := typelang.EquivKind
+	if _, _, err = reg.Create("c", CollectionOptions{Equiv: &k}); !errors.Is(err, ErrEquivMismatch) {
+		t.Fatalf("Create(K) on L collection: err = %v, want ErrEquivMismatch", err)
+	}
+	// The rejected create did not replace the collection.
+	if snap, ok := reg.Get("c"); !ok || snap.Equiv != typelang.EquivLabel {
+		t.Errorf("collection after rejected create: %+v", snap)
 	}
 }

@@ -1,0 +1,511 @@
+// absorb.go is the direct absorption surface of the accumulator: the
+// fused map phase lands a document's structure straight in the union
+// buckets and in-place field tables, with no intermediate canonical
+// node. Absorb (accum.go) remains the *Type-consuming surface — both
+// seal byte-identical to the MergeAll reference fold.
+//
+// The surface is transactional per document. Atoms commit instantly.
+// Containers stage: a top-level array accumulates its elements in a
+// staging node committed only at EndArray, and every object accumulates
+// its fields in an OpenRecord committed only at EndRecord — so a
+// document abandoned mid-parse (a syntax error) leaves the accumulator
+// exactly as it was, once the walker aborts its open frames. Staging
+// nodes and open records are pooled on the Accum and retain their
+// storage, so the steady state absorbs documents of seen shapes without
+// allocating.
+
+package typelang
+
+import (
+	"slices"
+	"strings"
+)
+
+// Target addresses one accumulator node for direct absorption: the
+// accumulator root (Doc), an array's element collection (BeginArray),
+// or an open record's field (OpenRecord.Field). The zero Target is
+// invalid; all Targets derive from Accum.Doc.
+type Target struct {
+	acc  *Accum
+	n    *accumNode
+	root bool
+}
+
+// Doc returns the document target: the accumulator root every top-level
+// value is absorbed into. Absorptions through the returned Target (and
+// its derived targets) interleave freely with Absorb; Seal covers both.
+func (a *Accum) Doc() Target { return Target{acc: a, n: &a.node, root: true} }
+
+// AbsorbKind folds one atomic value of kind k into the target — the
+// direct equivalent of absorbing Atom(k, 1). k must be an atom kind
+// (KNull, KBool, KInt, KNum, KStr or KAny).
+func (t Target) AbsorbKind(k Kind) {
+	n := t.n
+	n.total++
+	if !n.haveAny {
+		switch k {
+		case KNull:
+			n.haveNull = true
+			n.nullCount++
+		case KBool:
+			n.haveBool = true
+			n.boolCount++
+		case KInt:
+			n.haveInt = true
+			n.intCount++
+		case KNum:
+			n.haveNum = true
+			n.numCount++
+		case KStr:
+			n.haveStr = true
+			n.strCount++
+		case KAny:
+			n.haveAny = true
+		default:
+			panic("typelang: AbsorbKind on non-atom kind " + k.String())
+		}
+	}
+	if t.root {
+		t.acc.gen++
+	}
+}
+
+// BeginArray opens an array value on the target and returns the target
+// its elements are absorbed into. The array commits on EndArray and is
+// discarded by AbortArray; exactly one of the two must follow. At the
+// accumulator root the elements accumulate in a staging node so an
+// abandoned document cannot pollute the schema; everywhere below the
+// root the enclosing record or array frame is itself staged, so
+// elements absorb in place.
+func (t Target) BeginArray() Target {
+	if t.root {
+		a := t.acc
+		if a.stageArr == nil {
+			a.stageArr = &accumNode{}
+		}
+		return Target{acc: a, n: a.stageArr}
+	}
+	n := t.n
+	if n.arr == nil {
+		n.arr = &arrayAccum{}
+	}
+	return Target{acc: t.acc, n: &n.arr.elem}
+}
+
+// EndArray commits the array opened by BeginArray on t, with n the
+// number of elements absorbed — the direct equivalent of absorbing
+// NewArrayCounted(elem, 1, n, n).
+func (t Target) EndArray(n int) {
+	nd := t.n
+	nd.total++
+	if t.root {
+		a := t.acc
+		if !nd.haveAny {
+			if nd.arr == nil {
+				nd.arr = &arrayAccum{}
+			}
+			nd.arr.extend(n)
+			nd.arr.elem.absorbNode(a.stageArr, a.equiv)
+		}
+		a.stageArr.reset()
+		a.gen++
+		return
+	}
+	if nd.haveAny {
+		return
+	}
+	// nd.arr exists: BeginArray activated it.
+	nd.arr.extend(n)
+}
+
+// AbortArray discards the array opened by BeginArray on t (a document
+// abandoned mid-parse). Below the root it is a no-op: the elements
+// landed inside an enclosing staged frame whose own abort discards
+// them.
+func (t Target) AbortArray() {
+	if t.root && t.acc.stageArr != nil {
+		t.acc.stageArr.reset()
+	}
+}
+
+// extend folds one directly-absorbed array of n elements into the
+// bucket's length bounds and counts.
+func (a *arrayAccum) extend(n int) {
+	if a.n == 0 {
+		a.minLen, a.maxLen = n, n
+	} else {
+		if n < a.minLen {
+			a.minLen = n
+		}
+		if a.maxLen != -1 && n > a.maxLen {
+			a.maxLen = n
+		}
+	}
+	a.n++
+	a.count++
+}
+
+// OpenRecord stages one object's fields until EndRecord commits them:
+// group lookup (which under L needs the full label set) and the field
+// table merge both happen once, at commit. Obtain with BeginRecord;
+// open records are pooled on the accumulator.
+type OpenRecord struct {
+	acc    *Accum
+	fields []stagedField
+	seen   map[string]int // name -> index in fields, once past smallOpenFields
+}
+
+// stagedField is one staged field slot: the name and the pooled node
+// its value was absorbed into.
+type stagedField struct {
+	name string
+	node *accumNode
+}
+
+// smallOpenFields bounds the linear duplicate-name scan of an open
+// record, mirroring the map phase's small-object threshold: below it a
+// scan over the staged fields beats maintaining a map; above it the map
+// keeps wide objects linear.
+const smallOpenFields = 16
+
+// BeginRecord opens an object value on the target. The record commits
+// on EndRecord and is discarded by Abort; exactly one of the two must
+// follow.
+func (t Target) BeginRecord() *OpenRecord {
+	a := t.acc
+	if n := len(a.recPool); n > 0 {
+		r := a.recPool[n-1]
+		a.recPool = a.recPool[:n-1]
+		return r
+	}
+	return &OpenRecord{acc: a}
+}
+
+// Field returns the target the named field's value is absorbed into.
+// Duplicate names keep the effective last-binding view, matching the
+// DOM map phase: the slot's previous absorption is discarded and the
+// new value lands in its place.
+func (r *OpenRecord) Field(name string) Target {
+	if i := r.index(name); i >= 0 {
+		n := r.fields[i].node
+		n.reset()
+		return Target{acc: r.acc, n: n}
+	}
+	n := r.acc.getNode()
+	r.fields = append(r.fields, stagedField{name: name, node: n})
+	if r.seen != nil {
+		r.seen[name] = len(r.fields) - 1
+	} else if len(r.fields) > smallOpenFields {
+		r.seen = make(map[string]int, 2*len(r.fields))
+		for i := range r.fields {
+			r.seen[r.fields[i].name] = i
+		}
+	}
+	return Target{acc: r.acc, n: n}
+}
+
+// index finds name among the staged fields: a linear scan below the
+// smallOpenFields threshold, the seen map above it.
+func (r *OpenRecord) index(name string) int {
+	if r.seen != nil {
+		if i, ok := r.seen[name]; ok {
+			return i
+		}
+		return -1
+	}
+	for i := range r.fields {
+		if r.fields[i].name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// EndRecord commits the staged record into the target — the direct
+// equivalent of absorbing the record type of its fields: group lookup
+// under the accumulator's equivalence, then a sorted merge of the
+// staged fields into the group's in-place field table.
+func (t Target) EndRecord(r *OpenRecord) {
+	n := t.n
+	n.total++
+	if !n.haveAny {
+		if !slices.IsSortedFunc(r.fields, compareStagedNames) {
+			slices.SortFunc(r.fields, compareStagedNames)
+		}
+		ra := n.stagedGroup(r.fields, t.acc)
+		ra.nrecs++
+		ra.count++
+		ra.absorbStaged(r.fields, t.acc.equiv)
+	}
+	t.acc.releaseOpen(r)
+	if t.root {
+		t.acc.gen++
+	}
+}
+
+// Abort discards the staged record (a document abandoned mid-parse),
+// returning it to the pool.
+func (r *OpenRecord) Abort() { r.acc.releaseOpen(r) }
+
+func compareStagedNames(a, b stagedField) int { return strings.Compare(a.name, b.name) }
+
+// stagedGroup finds (or creates) the group the staged record fuses
+// into — recordGroup's staged twin, except the label key is built in
+// the accumulator's scratch buffer so the common lookup allocates
+// nothing (the real key string is made only when a new group is born).
+func (n *accumNode) stagedGroup(fields []stagedField, a *Accum) *recordAccum {
+	if a.equiv == EquivKind {
+		if len(n.recs) == 0 {
+			n.recs = append(n.recs, &recordAccum{})
+		}
+		return n.recs[0]
+	}
+	if n.recIndex != nil {
+		key := a.stagedKey(fields)
+		if ra := n.recIndex[string(key)]; ra != nil {
+			return ra
+		}
+		ra := &recordAccum{key: string(key), keyValid: true}
+		n.recs = append(n.recs, ra)
+		n.recIndex[ra.key] = ra
+		return ra
+	}
+	for _, ra := range n.recs {
+		if ra.sameStagedLabels(fields) {
+			return ra
+		}
+	}
+	ra := &recordAccum{key: string(a.stagedKey(fields)), keyValid: true}
+	n.recs = append(n.recs, ra)
+	if len(n.recs) > smallRecordGroups {
+		n.recIndex = make(map[string]*recordAccum, 2*len(n.recs))
+		for _, g := range n.recs {
+			n.recIndex[g.labelKey()] = g
+		}
+	}
+	return ra
+}
+
+// stagedKey renders the staged label set exactly as labelKey does, into
+// the accumulator's scratch buffer.
+func (a *Accum) stagedKey(fields []stagedField) []byte {
+	b := a.keyBuf[:0]
+	for i := range fields {
+		if i > 0 {
+			b = append(b, 0)
+		}
+		b = append(b, fields[i].name...)
+	}
+	a.keyBuf = b
+	return b
+}
+
+// sameStagedLabels is sameLabels over a staged field list; the same
+// L-invariant argument applies (the table is exactly the label set).
+func (ra *recordAccum) sameStagedLabels(fields []stagedField) bool {
+	if len(ra.fields) != len(fields) {
+		return false
+	}
+	for i := range fields {
+		if ra.fields[i].name != fields[i].name {
+			return false
+		}
+	}
+	return true
+}
+
+// absorbStaged merges the staged (sorted, duplicate-free) fields into
+// the group's field table — recordAccum.absorb without the canonical
+// detour: each staged field bumps its slot and absorbs its staged node
+// in place.
+func (ra *recordAccum) absorbStaged(fields []stagedField, e Equiv) {
+	fs := ra.fields
+	i := 0
+	for j := range fields {
+		sf := &fields[j]
+		for i < len(fs) && fs[i].name < sf.name {
+			i++
+		}
+		if i == len(fs) || fs[i].name != sf.name {
+			fs = slices.Insert(fs, i, fieldAccum{name: sf.name})
+			ra.keyValid = false
+		}
+		fa := &fs[i]
+		fa.count++
+		fa.seenIn++
+		fa.node.absorbNode(sf.node, e)
+		i++
+	}
+	ra.fields = fs
+}
+
+// getNode takes a (reset, empty) node from the staging pool.
+func (a *Accum) getNode() *accumNode {
+	if n := len(a.nodePool); n > 0 {
+		nd := a.nodePool[n-1]
+		a.nodePool = a.nodePool[:n-1]
+		return nd
+	}
+	return &accumNode{}
+}
+
+// releaseOpen returns an open record and its staged nodes to their
+// pools, reset (storage retained) so the next document of the same
+// shape stages without allocating.
+func (a *Accum) releaseOpen(r *OpenRecord) {
+	for i := range r.fields {
+		r.fields[i].node.reset()
+		a.nodePool = append(a.nodePool, r.fields[i].node)
+		r.fields[i] = stagedField{}
+	}
+	r.fields = r.fields[:0]
+	clear(r.seen)
+	a.recPool = append(a.recPool, r)
+}
+
+// absorbNode folds one accumulator node into another — the accumulator
+// twin of absorb(t): absorbing src is equivalent to absorbing src's
+// seal, bucket by bucket, with no canonical node in between. It is the
+// commit step of the staged containers above.
+func (dst *accumNode) absorbNode(src *accumNode, e Equiv) {
+	dst.total += src.total
+	if dst.haveAny {
+		return
+	}
+	if src.haveAny {
+		dst.haveAny = true
+		return
+	}
+	if src.haveNull {
+		dst.haveNull = true
+		dst.nullCount += src.nullCount
+	}
+	if src.haveBool {
+		dst.haveBool = true
+		dst.boolCount += src.boolCount
+	}
+	if src.haveInt {
+		dst.haveInt = true
+		dst.intCount += src.intCount
+	}
+	if src.haveNum {
+		dst.haveNum = true
+		dst.numCount += src.numCount
+	}
+	if src.haveStr {
+		dst.haveStr = true
+		dst.strCount += src.strCount
+	}
+	if src.arr != nil && src.arr.n > 0 {
+		if dst.arr == nil {
+			dst.arr = &arrayAccum{}
+		}
+		dst.arr.absorbNodeArr(src.arr, e)
+	}
+	for _, sra := range src.recs {
+		if sra.nrecs == 0 {
+			continue // dead group retained across a reset
+		}
+		dra := dst.accumGroup(sra, e)
+		dra.nrecs += sra.nrecs
+		dra.count += sra.count
+		dra.absorbAccum(sra, e)
+	}
+}
+
+// absorbNodeArr folds one array bucket into another.
+func (a *arrayAccum) absorbNodeArr(src *arrayAccum, e Equiv) {
+	if a.n == 0 {
+		a.minLen, a.maxLen = src.minLen, src.maxLen
+	} else {
+		if src.minLen < a.minLen {
+			a.minLen = src.minLen
+		}
+		if src.maxLen == -1 || a.maxLen == -1 {
+			a.maxLen = -1
+		} else if src.maxLen > a.maxLen {
+			a.maxLen = src.maxLen
+		}
+	}
+	a.n += src.n
+	a.count += src.count
+	a.elem.absorbNode(&src.elem, e)
+}
+
+// accumGroup finds (or creates) the group a source record group fuses
+// into. Under L the source's label key doubles as the lookup key: a
+// live group's field table is exactly its label set on both sides.
+func (n *accumNode) accumGroup(src *recordAccum, e Equiv) *recordAccum {
+	if e == EquivKind {
+		if len(n.recs) == 0 {
+			n.recs = append(n.recs, &recordAccum{})
+		}
+		return n.recs[0]
+	}
+	if n.recIndex != nil {
+		key := src.labelKey()
+		if ra := n.recIndex[key]; ra != nil {
+			return ra
+		}
+		ra := &recordAccum{key: key, keyValid: true}
+		n.recs = append(n.recs, ra)
+		n.recIndex[key] = ra
+		return ra
+	}
+	for _, ra := range n.recs {
+		if ra.sameAccumLabels(src) {
+			return ra
+		}
+	}
+	ra := &recordAccum{key: src.labelKey(), keyValid: true}
+	n.recs = append(n.recs, ra)
+	if len(n.recs) > smallRecordGroups {
+		n.recIndex = make(map[string]*recordAccum, 2*len(n.recs))
+		for _, g := range n.recs {
+			n.recIndex[g.labelKey()] = g
+		}
+	}
+	return ra
+}
+
+// sameAccumLabels compares two live groups' label sets.
+func (ra *recordAccum) sameAccumLabels(src *recordAccum) bool {
+	if len(ra.fields) != len(src.fields) {
+		return false
+	}
+	for i := range ra.fields {
+		if ra.fields[i].name != src.fields[i].name {
+			return false
+		}
+	}
+	return true
+}
+
+// absorbAccum merges one record group into another: the sorted-merge
+// walk of absorbStaged generalised to counted slots — counts, seen
+// totals and optionality flags add, exactly as absorbing the source's
+// sealed record would.
+func (ra *recordAccum) absorbAccum(src *recordAccum, e Equiv) {
+	fs := ra.fields
+	i := 0
+	for j := range src.fields {
+		sf := &src.fields[j]
+		if sf.seenIn == 0 {
+			continue // dead slot retained across a reset
+		}
+		for i < len(fs) && fs[i].name < sf.name {
+			i++
+		}
+		if i == len(fs) || fs[i].name != sf.name {
+			fs = slices.Insert(fs, i, fieldAccum{name: sf.name})
+			ra.keyValid = false
+		}
+		fa := &fs[i]
+		fa.count += sf.count
+		fa.optional = fa.optional || sf.optional
+		fa.seenIn += sf.seenIn
+		fa.node.absorbNode(&sf.node, e)
+		i++
+	}
+	ra.fields = fs
+}

@@ -49,6 +49,15 @@ type Accum struct {
 	sealed  *Type
 
 	node accumNode
+
+	// Direct-absorption staging (absorb.go): the root-array element
+	// staging node, the pools of staged field nodes and open records,
+	// and the scratch label-key buffer — all retained across documents
+	// and Resets so steady-state absorption allocates nothing.
+	stageArr *accumNode
+	nodePool []*accumNode
+	recPool  []*OpenRecord
+	keyBuf   []byte
 }
 
 // NewAccum returns an empty accumulator folding under equivalence e.
@@ -89,6 +98,12 @@ func (a *Accum) Seal() *Type {
 // types remain valid (they never alias accumulator state).
 func (a *Accum) Reset() {
 	a.node.reset()
+	if a.stageArr != nil {
+		// Defensive: direct absorption aborts its own staging, but a
+		// Reset must leave no residue regardless of how the previous
+		// round ended.
+		a.stageArr.reset()
+	}
 	a.gen++
 	a.sealed = nil
 }

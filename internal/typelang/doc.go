@@ -19,7 +19,14 @@
 // path folds through Accum (accum.go), the mutable accumulator that
 // absorbs types in place and seals to the canonical type on demand,
 // byte-identical to the Merge/MergeAll reference fold — which remains
-// the reference implementation and the A/B baseline.
+// the reference implementation and the A/B baseline. On top of the
+// accumulator sits the direct-absorption surface (absorb.go): Accum.Doc
+// hands out a Target through which a token walker lands one document's
+// atoms, arrays and records in the union buckets and field tables
+// directly — staged per document so a malformed document aborts without
+// a trace — eliminating the per-document canonical type entirely.
+// Sealing after N absorbed documents is pinned byte-identical to
+// merging N per-document types.
 //
 // Types are immutable once built; all operations on them return new
 // values. Accum is the one deliberately mutable value: it is owned by
