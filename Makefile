@@ -36,11 +36,13 @@ bench-stream:
 
 # Perf trajectory: the E3 streamed rows (ns/op, MB/s, allocs/op) as a
 # machine-readable JSON report — `go test -bench -json` post-processed
-# by cmd/jsbenchjson into BENCH_6.json, which CI uploads as an artifact
-# so every build leaves a comparable benchmark record.
+# by cmd/jsbenchjson into BENCH_7.json, which CI uploads as an artifact
+# so every build leaves a comparable benchmark record. The -idx rows
+# (MapIndexed next to the fused and refmap A/B rows, on the tweets and
+# colon-dense fields corpora) are the PR 7 additions.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkE3StreamingInference' -benchtime 200ms -benchmem -json . \
-		| $(GO) run repro/cmd/jsbenchjson -out BENCH_6.json
+		| $(GO) run repro/cmd/jsbenchjson -out BENCH_7.json
 
 # Documentation smoke: formatting is clean, vet is clean, and every
 # documented package still renders a doc page.

@@ -149,6 +149,18 @@ func BenchmarkE3StreamingInference(b *testing.B) {
 			}
 		}
 	})
+	b.Run("mison-sequential-idx", func(b *testing.B) {
+		// The index-driven map (MapIndexed): documents absorb straight
+		// off the structural index, separator tokens never materialise.
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := infer.InferStreamParallel(bytes.NewReader(raw),
+				infer.Options{Equiv: typelang.EquivLabel, Workers: 1, Tokenizer: infer.TokenizerMison, Map: infer.MapIndexed}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	for _, workers := range []int{2, 4, 8} {
 		workers := workers
 		b.Run(fmt.Sprintf("dom-parallel-%d", workers), func(b *testing.B) {
@@ -187,6 +199,18 @@ func BenchmarkE3StreamingInference(b *testing.B) {
 				}
 			}
 		})
+		// The index-driven map under parallelism: every worker absorbs
+		// straight off its own structural index (MapIndexed).
+		b.Run(fmt.Sprintf("mison-parallel-%d-idx", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(raw)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := infer.InferStreamParallel(bytes.NewReader(raw),
+					infer.Options{Equiv: typelang.EquivLabel, Workers: workers, Map: infer.MapIndexed}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 		// The old ordered in-line fold (ReduceShards: 1), the A/B
 		// baseline for the default sharded reduce above.
 		b.Run(fmt.Sprintf("mison-parallel-%d-single-collector", workers), func(b *testing.B) {
@@ -211,6 +235,30 @@ func BenchmarkE3StreamingInference(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := reg.Ingest("bench", bytes.NewReader(raw)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// The colon-dense corpus (jsgen -kind fields): hundreds of short
+	// fields per object, shallow atoms — the workload where skipping
+	// separator tokens matters most, so the fused-vs-indexed gap is
+	// widest here.
+	fieldsRaw := jsontext.MarshalLines(genjson.Collection(genjson.Fields{Seed: 13}, 400))
+	for _, row := range []struct {
+		name string
+		mm   infer.MapMode
+	}{
+		{"fields-mison-sequential", infer.MapFused},
+		{"fields-mison-sequential-idx", infer.MapIndexed},
+	} {
+		row := row
+		b.Run(row.name, func(b *testing.B) {
+			b.SetBytes(int64(len(fieldsRaw)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := infer.InferStreamParallel(bytes.NewReader(fieldsRaw),
+					infer.Options{Equiv: typelang.EquivLabel, Workers: 1, Tokenizer: infer.TokenizerMison, Map: row.mm}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -4,12 +4,21 @@
 //
 // Usage:
 //
-//	jsbench [-only E1,E6,E10]
+//	jsbench [-only E1,E6,E10] [-cpuprofile f] [-memprofile f]
+//
+// -cpuprofile and -memprofile write pprof profiles covering the
+// selected experiments (the heap profile is taken after they finish),
+// so hot paths — the absorption walkers in particular — are
+// profileable under realistic experiment workloads without editing
+// benchmark code: `go tool pprof jsbench cpu.out`.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -17,7 +26,37 @@ import (
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the runs) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jsbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "jsbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jsbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "jsbench:", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	want := map[string]bool{}
 	if *only != "" {

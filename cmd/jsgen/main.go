@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	jsgen -kind twitter|github|opendata|orders|typedrift|skewed|nested|nyt|wide|sparse|deep
+//	jsgen -kind twitter|github|opendata|orders|typedrift|skewed|nested|nyt|wide|sparse|deep|fields
 //	      [-n 1000] [-target 100MB] [-seed 1] [-indent]
 //
 // -target SIZE (accepting 64K, 100MB, 1G, or a bare byte count)
@@ -52,7 +52,7 @@ func parseSize(s string) (int64, error) {
 }
 
 func main() {
-	kind := flag.String("kind", "twitter", "generator: twitter, github, opendata, orders, typedrift, skewed, nested, nyt, wide, sparse, deep")
+	kind := flag.String("kind", "twitter", "generator: twitter, github, opendata, orders, typedrift, skewed, nested, nyt, wide, sparse, deep, fields")
 	n := flag.Int("n", 1000, "number of documents")
 	target := flag.String("target", "", "emit documents until at least this many bytes are written (e.g. 100MB, 1G); overrides -n")
 	seed := flag.Int64("seed", 1, "generator seed")
@@ -83,6 +83,8 @@ func main() {
 		g = genjson.Sparse{Seed: *seed}
 	case "deep":
 		g = genjson.Deep{Seed: *seed}
+	case "fields":
+		g = genjson.Fields{Seed: *seed}
 	default:
 		fmt.Fprintf(os.Stderr, "jsgen: unknown kind %q\n", *kind)
 		os.Exit(1)

@@ -8,7 +8,8 @@
 //	jsinfer [-engine parametric-L|parametric-K|spark|skinfer]
 //	        [-output type|jsonschema|typescript|swift|report]
 //	        [-workers N] [-stream] [-tokenizer scan|mison]
-//	        [-precision] [-counted] [file.ndjson ...]
+//	        [-map fused|refmap|indexed] [-precision] [-counted]
+//	        [-cpuprofile f] [-memprofile f] [file.ndjson ...]
 //
 // The parametric engines run their map/reduce over N workers
 // (-workers, default GOMAXPROCS). With -stream the input is never
@@ -18,12 +19,22 @@
 // multi-worker speed. -tokenizer picks the streamed lexing machinery:
 // "mison" (default) is the structural-index fast path (bitmap chunking
 // and lexing), "scan" the byte-at-a-time reference lexer kept as the
-// fallback and A/B baseline — both produce identical results.
-// Streaming is parametric-only. A streamed report has no precision
-// column in its single pass; -precision fills it by re-reading the
-// input in a bounded-memory second pass, which requires file arguments
-// (stdin cannot be re-read). Flag combinations that could only fail
-// after the (potentially huge) first pass are rejected up front.
+// fallback and A/B baseline — both produce identical results. -map
+// picks the streamed map phase: "fused" (default) absorbs documents
+// straight from tokens into the worker accumulators, "indexed" absorbs
+// straight off the structural index (separator tokens never
+// materialise), "refmap" materialises the canonical per-document type
+// first — identical results all three ways. Streaming is
+// parametric-only. A streamed report has no precision column in its
+// single pass; -precision fills it by re-reading the input in a
+// bounded-memory second pass, which requires file arguments (stdin
+// cannot be re-read). Flag combinations that could only fail after the
+// (potentially huge) first pass are rejected up front.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the
+// inference pass (the heap profile is taken after it completes), so
+// absorption-path work is profileable without editing benchmarks:
+// `go tool pprof jsinfer cpu.out`.
 //
 // -counted renders the selected parametric engine's own counting
 // annotations; for Spark/Skinfer (whose types carry no counts) it
@@ -34,6 +45,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/infer"
@@ -50,14 +63,44 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel inference workers (parametric engines; 0 = GOMAXPROCS)")
 	stream := flag.Bool("stream", false, "stream the input instead of materialising it (parametric engines only)")
 	tokenizer := flag.String("tokenizer", "mison", "with -stream: lexing machinery, mison (default) or scan")
+	mapMode := flag.String("map", "fused", "with -stream: map phase, fused (default), indexed or refmap")
 	precision := flag.Bool("precision", false, "with -stream: compute precision in a second pass over the input files")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the inference pass to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after inference) to this file")
 	flag.Parse()
-	tokenizerSet := false
+	tokenizerSet, mapSet := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "tokenizer" {
+		switch f.Name {
+		case "tokenizer":
 			tokenizerSet = true
+		case "map":
+			mapSet = true
 		}
 	})
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	var eng core.Engine
 	switch *engine {
@@ -87,15 +130,26 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown tokenizer %q", *tokenizer))
 	}
+	var mm core.MapMode
+	switch *mapMode {
+	case "fused":
+		mm = core.MapFused
+	case "indexed":
+		mm = core.MapIndexed
+	case "refmap":
+		mm = core.MapReference
+	default:
+		fatal(fmt.Errorf("unknown map mode %q", *mapMode))
+	}
 	// Flag-only validation happens before any input is read: a bad
 	// combination must exit non-zero immediately, not after a
 	// potentially huge inference pass (or, worse, be silently ignored).
-	if err := validateStreamFlags(*stream, *precision, tokenizerSet, *output, flag.NArg()); err != nil {
+	if err := validateStreamFlags(*stream, *precision, tokenizerSet, mapSet, *output, flag.NArg()); err != nil {
 		fatal(err)
 	}
 	if *stream {
 		var err error
-		result, ndocs, err = streamInput(flag.Args(), eng, core.StreamOptions{Workers: *workers, Tokenizer: tz})
+		result, ndocs, err = streamInput(flag.Args(), eng, core.StreamOptions{Workers: *workers, Tokenizer: tz, Map: mm})
 		if err != nil {
 			fatal(err)
 		}
@@ -172,16 +226,19 @@ func main() {
 // validateStreamFlags rejects stream-flag combinations up front, before
 // any input is read: -precision re-reads the input for the report's
 // precision column, so it needs -stream, the report output and
-// re-readable file arguments (stdin cannot be re-read); -tokenizer
-// configures the streamed lexer, so explicitly setting it without
-// -stream is a mistake rather than something to ignore.
-func validateStreamFlags(stream, precision, tokenizerSet bool, output string, nArgs int) error {
+// re-readable file arguments (stdin cannot be re-read); -tokenizer and
+// -map configure the streamed engines, so explicitly setting either
+// without -stream is a mistake rather than something to ignore.
+func validateStreamFlags(stream, precision, tokenizerSet, mapSet bool, output string, nArgs int) error {
 	if !stream {
 		if precision {
 			return fmt.Errorf("-precision requires -stream (a materialised report always includes precision)")
 		}
 		if tokenizerSet {
 			return fmt.Errorf("-tokenizer selects the streamed lexer; add -stream")
+		}
+		if mapSet {
+			return fmt.Errorf("-map selects the streamed map phase; add -stream")
 		}
 		return nil
 	}

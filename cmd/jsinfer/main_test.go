@@ -7,24 +7,26 @@ import "testing"
 // pass must be rejected before any input is read.
 func TestValidateStreamFlags(t *testing.T) {
 	cases := []struct {
-		name                            string
-		stream, precision, tokenizerSet bool
-		output                          string
-		nArgs                           int
-		wantErr                         bool
+		name                                    string
+		stream, precision, tokenizerSet, mapSet bool
+		output                                  string
+		nArgs                                   int
+		wantErr                                 bool
 	}{
-		{"plain materialised", false, false, false, "type", 1, false},
-		{"plain streamed stdin", true, false, false, "type", 0, false},
-		{"streamed report from files with precision", true, true, false, "report", 2, false},
-		{"explicit tokenizer with stream", true, false, true, "type", 0, false},
+		{"plain materialised", false, false, false, false, "type", 1, false},
+		{"plain streamed stdin", true, false, false, false, "type", 0, false},
+		{"streamed report from files with precision", true, true, false, false, "report", 2, false},
+		{"explicit tokenizer with stream", true, false, true, false, "type", 0, false},
+		{"explicit map with stream", true, false, false, true, "type", 0, false},
 
-		{"precision without stream", false, true, false, "report", 1, true},
-		{"tokenizer without stream", false, false, true, "type", 1, true},
-		{"precision on non-report output", true, true, false, "type", 1, true},
-		{"precision from stdin", true, true, false, "report", 0, true},
+		{"precision without stream", false, true, false, false, "report", 1, true},
+		{"tokenizer without stream", false, false, true, false, "type", 1, true},
+		{"map without stream", false, false, false, true, "type", 1, true},
+		{"precision on non-report output", true, true, false, false, "type", 1, true},
+		{"precision from stdin", true, true, false, false, "report", 0, true},
 	}
 	for _, c := range cases {
-		err := validateStreamFlags(c.stream, c.precision, c.tokenizerSet, c.output, c.nArgs)
+		err := validateStreamFlags(c.stream, c.precision, c.tokenizerSet, c.mapSet, c.output, c.nArgs)
 		if (err != nil) != c.wantErr {
 			t.Errorf("%s: err = %v, wantErr = %v", c.name, err, c.wantErr)
 		}

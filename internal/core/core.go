@@ -244,14 +244,16 @@ const (
 
 // MapMode selects the map phase of the streamed engines: MapFused (the
 // default) absorbs documents straight into the worker accumulators,
-// MapReference materialises the canonical per-document type first —
-// identical results either way.
+// MapReference materialises the canonical per-document type first, and
+// MapIndexed absorbs straight off mison's structural index, never
+// tokenising separators — identical results all three ways.
 type MapMode = infer.MapMode
 
 // The map modes of the streamed engines.
 const (
 	MapFused     = infer.MapFused
 	MapReference = infer.MapReference
+	MapIndexed   = infer.MapIndexed
 )
 
 // StreamOptions tune the streamed inference engines.
@@ -266,7 +268,8 @@ type StreamOptions struct {
 	// the single ordered in-line fold.
 	ReduceShards int
 	// Map picks the map phase; the zero value is MapFused
-	// (MapReference is the per-document-type A/B baseline).
+	// (MapReference is the per-document-type A/B baseline, MapIndexed
+	// the index-driven fast path).
 	Map MapMode
 }
 

@@ -674,6 +674,51 @@ func (g Wide) Generate(i int) *jsonvalue.Value {
 	return jsonvalue.NewObject(fields...)
 }
 
+// Fields generates colon-dense records: hundreds of short-named fields
+// per object, every value a shallow atom a handful of bytes long, so
+// structural characters — quotes, colons, commas — are a large fraction
+// of the byte stream. This is the workload where skipping separator
+// tokens matters most: an index-driven absorber touches each field once
+// positionally while a token walker materialises a token per separator,
+// so the gap between the two map phases is widest here.
+type Fields struct {
+	Seed int64
+	// PerDoc is the number of fields per document (default 300).
+	PerDoc int
+}
+
+// Name implements Generator.
+func (g Fields) Name() string { return "fields" }
+
+func (g Fields) perDoc() int {
+	if g.PerDoc == 0 {
+		return 300
+	}
+	return g.PerDoc
+}
+
+// Generate implements Generator.
+func (g Fields) Generate(i int) *jsonvalue.Value {
+	r := rng(g.Seed, i)
+	n := g.perDoc()
+	fields := make([]jsonvalue.Field, n)
+	for f := 0; f < n; f++ {
+		var v *jsonvalue.Value
+		switch f % 4 { // stable per-column types keep the merged schema flat
+		case 0:
+			v = jsonvalue.NewInt(int64(r.Intn(1000)))
+		case 1:
+			v = jsonvalue.NewString(words[f%len(words)])
+		case 2:
+			v = jsonvalue.NewBool(r.Intn(2) == 0)
+		default:
+			v = jsonvalue.NewInt(int64(f))
+		}
+		fields[f] = jsonvalue.Field{Name: fmt.Sprintf("f%d", f), Value: v}
+	}
+	return jsonvalue.NewObject(fields...)
+}
+
 // Sparse generates flat records drawing a few fields per document from
 // a large key universe, so label sets vary wildly from document to
 // document. Under L-equivalence the merged schema grows one record

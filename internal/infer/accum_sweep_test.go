@@ -55,7 +55,7 @@ func assertAccumMatchesMergeAll(t *testing.T, label string, data []byte) {
 					label, e, engine, want.StringCounted(), got.StringCounted())
 			}
 		}
-		for _, mm := range []MapMode{MapFused, MapReference} {
+		for _, mm := range []MapMode{MapFused, MapReference, MapIndexed} {
 			got, _, err := InferStream(bytes.NewReader(data), Options{Equiv: e, Map: mm})
 			check(fmt.Sprintf("sequential-%v", mm), got, err)
 			for _, tz := range []Tokenizer{TokenizerScan, TokenizerMison} {
@@ -115,7 +115,7 @@ func TestMapModeErrorEquivalence(t *testing.T) {
 	}
 	for _, in := range bad {
 		runs := map[string]outcome{}
-		for _, mm := range []MapMode{MapFused, MapReference} {
+		for _, mm := range []MapMode{MapFused, MapReference, MapIndexed} {
 			_, n, err := InferStream(strings.NewReader(in), Options{Map: mm})
 			if err == nil {
 				t.Fatalf("%q: sequential %v accepted malformed input", in, mm)

@@ -36,11 +36,18 @@
 //     byte chunks, so lexing itself scales with workers and
 //     collections larger than memory are inferred at multi-worker
 //     speed while only ever holding a bounded window of bytes.
-//     Options.Map selects the discipline: MapFused (the default) or
-//     MapReference, which revives the per-document type + fold.Absorb
-//     map phase as the A/B baseline; both are pinned byte-identical —
-//     schemas, counts, document totals, and error offsets — by the
-//     accum sweep tests.
+//     Options.Map selects the discipline: MapFused (the default)
+//     absorbs from the token stream; MapIndexed goes one layer lower
+//     and absorbs straight off mison's structural index
+//     (AbsorbFromIndex, index_absorb.go) — object fields walk
+//     span-at-a-time off the bitmap index via mison.FieldWalker, so
+//     separator tokens are never materialised at all, with per-record
+//     fallback to the token walker on anything the index cannot
+//     certify; MapReference revives the per-document type +
+//     fold.Absorb map phase as the A/B baseline. All three are pinned
+//     byte-identical — schemas, counts, document totals, and error
+//     offsets — by the accum sweep tests and the index-vs-tokens fuzz
+//     differential.
 //
 // This package is the middle of the streamed pipeline (reader → chunker
 // → tokenizer → TypeFromTokens → ordered commit → collector tree): the

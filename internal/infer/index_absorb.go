@@ -1,0 +1,371 @@
+package infer
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/jsontext"
+	"repro/internal/mison"
+	"repro/internal/typelang"
+)
+
+// This file is the index-driven map phase (Options.Map: MapIndexed):
+// documents absorb into the chunk accumulator straight off mison's
+// structural index instead of a token stream. The fused token walker
+// (AbsorbFromTokens) still materialises a jsontext.Token for every
+// colon, comma and brace only to throw it away; here the leveled index
+// already locates every structural character of every record, so
+// object absorption is driven field-span-at-a-time — BeginRecord,
+// field name, AbsorbKind, EndRecord — with separators checked
+// positionally and never tokenised. Atoms classify by first byte and
+// span: the quote bitmap gives string spans for free, plain integers
+// and literals resolve by direct comparison, and everything the
+// bitmaps cannot prove clean delegates to the reference scanner at the
+// same position.
+//
+// Identity with the token walker is absolute, not best-effort: the
+// walk verifies every structural assumption (event positions, clean
+// gaps between spans, depth bounds) and bails out per record to the
+// token walker on the first thing it cannot certify — so schemas, doc
+// counts, error messages and error offsets are byte-identical to
+// MapFused's on every input, pinned by the map-mode sweep and the
+// index-vs-tokens fuzz differential.
+
+// errIndexBail is the internal signal that the index walk cannot
+// certify the current record and the token walker must absorb it
+// instead. It never escapes AbsorbFromIndex.
+var errIndexBail = errors.New("infer: index walk bailed")
+
+// IndexAbsorber is the per-worker state of index-driven absorption:
+// one reusable mison.FieldWalker (structural index, bitmap storage,
+// delegated scanner) plus the token reader used for per-record
+// fallback. Reset rebinds it to a chunk; a warm absorber absorbs an
+// arbitrary number of chunks without per-chunk allocation. It is not
+// safe for concurrent use — one per worker, like the TokenSource.
+type IndexAbsorber struct {
+	w  *mison.FieldWalker
+	fb *jsontext.TokenReader
+
+	data []byte
+	base int
+	pos  int // byte cursor into data
+	// next is the position of the first unconsumed structural
+	// character, or -1 — the second cursor that makes separator checks
+	// O(1) and simultaneously proves no structural character was
+	// skipped over unexamined.
+	next int
+}
+
+// NewIndexAbsorber returns an empty absorber; bind it to a chunk with
+// Reset.
+func NewIndexAbsorber() *IndexAbsorber {
+	return &IndexAbsorber{w: mison.NewFieldWalker(), fb: jsontext.NewTokenReaderBytes(nil)}
+}
+
+// SetInternStrings toggles field-name interning on both the walker's
+// fast path and the fallback token reader.
+func (a *IndexAbsorber) SetInternStrings(on bool) {
+	a.w.SetInternStrings(on)
+	a.fb.SetInternStrings(on)
+}
+
+// SetSymbolTable attaches a shared field-name interner to both paths,
+// so names are canonical across workers whichever path decoded them.
+func (a *IndexAbsorber) SetSymbolTable(st *jsontext.SymbolTable) {
+	a.w.SetSymbolTable(st)
+	a.fb.SetSymbolTable(st)
+}
+
+// Reset rebinds the absorber to a chunk whose first byte sits at
+// absolute stream offset base. It returns the walker's *IndexError
+// when the structural index rejects the chunk (odd quote parity,
+// unbalanced nesting); the caller then lexes the whole chunk through
+// the token walker instead, which reports the authoritative error for
+// whatever is wrong — exactly the fallback discipline of
+// mison.TokenSource.Reset.
+func (a *IndexAbsorber) Reset(data []byte, base int) error {
+	if err := a.w.Reset(data, base); err != nil {
+		return err
+	}
+	a.data, a.base = data, base
+	a.pos, a.next = 0, a.w.NextStructural(0)
+	return nil
+}
+
+// AbsorbFromIndex absorbs exactly one document from the absorber's
+// chunk straight into acc — the index-driven twin of AbsorbFromTokens.
+// It returns io.EOF when the chunk holds no further document, and a
+// *jsontext.SyntaxError (with absolute offset) on malformed input; on
+// an error the accumulator is left exactly as it was. Records the
+// index walk cannot certify — escaped or suspect field names, odd
+// constructs, overflow depth, malformed anything — are absorbed by the
+// token walker from the record's first byte, so the outcome is
+// byte-identical to the token path on every input.
+func AbsorbFromIndex(a *IndexAbsorber, acc *typelang.Accum) error {
+	a.skipSpace()
+	if a.pos >= len(a.data) {
+		return io.EOF
+	}
+	start := a.pos
+	if err := a.absorbValue(acc.Doc(), 0); err != nil {
+		// The walk aborted its staged frames on the way out; the token
+		// walker re-absorbs the record from its first byte and is
+		// authoritative for both acceptance and errors.
+		a.pos = start
+		return a.fallbackRecord(acc)
+	}
+	return nil
+}
+
+// fallbackRecord absorbs one document starting at the current position
+// through the token walker, then re-syncs the index cursors past it.
+func (a *IndexAbsorber) fallbackRecord(acc *typelang.Accum) error {
+	a.fb.ResetBytes(a.data[a.pos:], a.base+a.pos)
+	if err := AbsorbFromTokens(a.fb, acc); err != nil {
+		return err
+	}
+	a.pos = a.fb.InputOffset() - a.base
+	a.next = a.w.NextStructural(a.pos)
+	return nil
+}
+
+// skipSpace advances over JSON whitespace, the lexer's exact set.
+func (a *IndexAbsorber) skipSpace() {
+	for a.pos < len(a.data) {
+		switch a.data[a.pos] {
+		case ' ', '\t', '\n', '\r':
+			a.pos++
+		default:
+			return
+		}
+	}
+}
+
+// consume checks that the next unconsumed structural character is ch
+// at exactly the current byte position — which simultaneously proves
+// the bytes before it were all consumed by certified spans and
+// whitespace — and advances past it. No side effects on failure.
+func (a *IndexAbsorber) consume(ch byte) bool {
+	if a.pos != a.next || !a.w.StructuralAt(a.pos, ch) {
+		return false
+	}
+	a.pos++
+	a.next = a.w.NextStructural(a.pos)
+	return true
+}
+
+// absorbValue absorbs the value beginning at the current position into
+// dst. The caller guarantees a.pos points at a non-space byte. Any
+// construct the index cannot certify returns errIndexBail, with every
+// staged frame already aborted on the way out.
+func (a *IndexAbsorber) absorbValue(dst typelang.Target, depth int) error {
+	if depth > jsontext.MaxDepth {
+		return errIndexBail
+	}
+	switch c := a.data[a.pos]; c {
+	case '{':
+		return a.absorbObject(dst, depth)
+	case '[':
+		return a.absorbArray(dst, depth)
+	case '"':
+		end := a.stringEnd(a.pos)
+		if end < 0 {
+			return errIndexBail
+		}
+		dst.AbsorbKind(typelang.KStr)
+		a.pos = end
+		return nil
+	case 't':
+		return a.literal("true", typelang.KBool, dst)
+	case 'f':
+		return a.literal("false", typelang.KBool, dst)
+	case 'n':
+		return a.literal("null", typelang.KNull, dst)
+	default:
+		if c == '-' || (c >= '0' && c <= '9') {
+			return a.number(dst)
+		}
+		return errIndexBail
+	}
+}
+
+// literal absorbs an exact true/false/null literal.
+func (a *IndexAbsorber) literal(lit string, k typelang.Kind, dst typelang.Target) error {
+	if a.pos+len(lit) > len(a.data) || string(a.data[a.pos:a.pos+len(lit)]) != lit {
+		return errIndexBail
+	}
+	dst.AbsorbKind(k)
+	a.pos += len(lit)
+	return nil
+}
+
+// number classifies a numeric value: plain integers by the walker's
+// direct scan, every other spelling by the delegated scanner — the
+// same split as the token path, so KInt/KNum classification (including
+// integral floats and the 2^53 exactness bound) is identical.
+func (a *IndexAbsorber) number(dst typelang.Target) error {
+	if end, f, ok := a.w.PlainInt(a.pos); ok {
+		if numIsInt(f) {
+			dst.AbsorbKind(typelang.KInt)
+		} else {
+			dst.AbsorbKind(typelang.KNum)
+		}
+		a.pos = end
+		return nil
+	}
+	tok, end, err := a.w.ScanValueAt(a.pos, true)
+	if err != nil || tok.Kind != jsontext.TokNumber {
+		return errIndexBail
+	}
+	if numIsInt(tok.Num) {
+		dst.AbsorbKind(typelang.KInt)
+	} else {
+		dst.AbsorbKind(typelang.KNum)
+	}
+	a.pos = end
+	return nil
+}
+
+// stringEnd resolves the end (one past the closing quote) of the
+// string value opening at open: positionally when the quote bitmap
+// certifies the span, through the skip-mode scanner when the payload
+// holds escapes, and -1 when the value is not a lexer-acceptable
+// string at all.
+func (a *IndexAbsorber) stringEnd(open int) int {
+	w := a.w
+	if !w.StructuralQuote(open) {
+		return -1
+	}
+	close := w.CloseQuote(open + 1)
+	if close < 0 {
+		return -1
+	}
+	if w.SkippableSpan(open+1, close) {
+		return close + 1
+	}
+	tok, end, err := w.ScanValueAt(open, true)
+	if err != nil || tok.Kind != jsontext.TokString {
+		return -1
+	}
+	return end
+}
+
+// fieldName decodes the field name opening at open: interned verbatim
+// when the span certifies as pure clean ASCII (the overwhelmingly
+// common case), through the decoding scanner otherwise.
+func (a *IndexAbsorber) fieldName(open int) (string, int, bool) {
+	w := a.w
+	if !w.StructuralQuote(open) {
+		return "", 0, false
+	}
+	close := w.CloseQuote(open + 1)
+	if close < 0 {
+		return "", 0, false
+	}
+	if w.VerbatimSpan(open+1, close) {
+		return w.InternSpan(open+1, close), close + 1, true
+	}
+	tok, end, err := w.ScanValueAt(open, false)
+	if err != nil || tok.Kind != jsontext.TokString {
+		return "", 0, false
+	}
+	return tok.Str, end, true
+}
+
+// absorbObject absorbs an object field-span-at-a-time: names from the
+// quote bitmap, colons and separators consumed positionally off the
+// leveled event list, values recursively. The record stages in an
+// OpenRecord and commits at '}' exactly as the token walker's does.
+func (a *IndexAbsorber) absorbObject(dst typelang.Target, depth int) error {
+	if !a.consume('{') {
+		return errIndexBail
+	}
+	rec := dst.BeginRecord()
+	a.skipSpace()
+	if a.pos < len(a.data) && a.data[a.pos] == '}' {
+		if !a.consume('}') {
+			rec.Abort()
+			return errIndexBail
+		}
+		dst.EndRecord(rec)
+		return nil
+	}
+	for {
+		if a.pos >= len(a.data) || a.data[a.pos] != '"' {
+			rec.Abort()
+			return errIndexBail
+		}
+		name, end, ok := a.fieldName(a.pos)
+		if !ok {
+			rec.Abort()
+			return errIndexBail
+		}
+		a.pos = end
+		a.skipSpace()
+		if !a.consume(':') {
+			rec.Abort()
+			return errIndexBail
+		}
+		a.skipSpace()
+		if a.pos >= len(a.data) {
+			rec.Abort()
+			return errIndexBail
+		}
+		if err := a.absorbValue(rec.Field(name), depth+1); err != nil {
+			rec.Abort()
+			return err
+		}
+		a.skipSpace()
+		switch {
+		case a.consume(','):
+			a.skipSpace()
+		case a.consume('}'):
+			dst.EndRecord(rec)
+			return nil
+		default:
+			rec.Abort()
+			return errIndexBail
+		}
+	}
+}
+
+// absorbArray absorbs array elements into the array bucket's staged
+// element collection, committing the observed length at ']'.
+func (a *IndexAbsorber) absorbArray(dst typelang.Target, depth int) error {
+	if !a.consume('[') {
+		return errIndexBail
+	}
+	elem := dst.BeginArray()
+	a.skipSpace()
+	if a.pos < len(a.data) && a.data[a.pos] == ']' {
+		if !a.consume(']') {
+			dst.AbortArray()
+			return errIndexBail
+		}
+		dst.EndArray(0)
+		return nil
+	}
+	n := 0
+	for {
+		if a.pos >= len(a.data) {
+			dst.AbortArray()
+			return errIndexBail
+		}
+		if err := a.absorbValue(elem, depth+1); err != nil {
+			dst.AbortArray()
+			return err
+		}
+		n++
+		a.skipSpace()
+		switch {
+		case a.consume(','):
+			a.skipSpace()
+		case a.consume(']'):
+			dst.EndArray(n)
+			return nil
+		default:
+			dst.AbortArray()
+			return errIndexBail
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package infer
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/genjson"
+	"repro/internal/jsontext"
+	"repro/internal/typelang"
+)
+
+// absorbAllTokens is the reference side of the index-vs-tokens
+// differential: the fused token walker absorbing every document of data
+// into a fresh accumulator, returning the sealed type, the document
+// count, and the first error.
+func absorbAllTokens(data []byte) (*typelang.Type, int, error) {
+	tr := jsontext.NewTokenReaderBytes(data)
+	tr.SetInternStrings(true)
+	acc := typelang.NewAccum(typelang.EquivKind)
+	n := 0
+	for {
+		if err := AbsorbFromTokens(tr, acc); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = nil
+			}
+			return acc.Seal(), n, err
+		}
+		n++
+	}
+}
+
+// absorbAllIndexed is the index-driven side: one warm IndexAbsorber
+// absorbing every document of data. ok is false when the index rejects
+// the chunk outright (the caller checks the reference rejects too).
+func absorbAllIndexed(data []byte) (t *typelang.Type, n int, err error, ok bool) {
+	ia := NewIndexAbsorber()
+	ia.SetInternStrings(true)
+	if err := ia.Reset(data, 0); err != nil {
+		return nil, 0, nil, false
+	}
+	acc := typelang.NewAccum(typelang.EquivKind)
+	for {
+		if err := AbsorbFromIndex(ia, acc); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = nil
+			}
+			return acc.Seal(), n, err, true
+		}
+		n++
+	}
+}
+
+// FuzzIndexAbsorb pins the tentpole identity of index-driven
+// absorption: on every input the index walker must produce exactly the
+// fused token walker's outcome — the same sealed schema (counts
+// included), the same document count, and on malformed input the same
+// error message and offset. When the walker's Reset rejects a chunk,
+// the fallback contract requires the token walker to reject the input
+// too: rejection may never hide an accepting absorption.
+func FuzzIndexAbsorb(f *testing.F) {
+	seeds := []string{
+		`{"a": [1, {"b": "x"}, null], "c": 1e-3}`,
+		"{\"a\": 1}\n{\"b\": [true, false]}\n",
+		`[true, false, "é😀", {}]`,
+		`  42  `, `-0.5e+10`, `9007199254740993`, `1234567890123456789`,
+		`""`, `"A😀\n"`, `"a\"b"`, `{"kA": 1}`, `{"kA": "\\"}`,
+		`{"a": {"b": {"c": [[1], [2.5], ["x"]]}}}`,
+		"{\"n\": 1.0}\n{\"n\": 2}\n{\"n\": 3e2}\n",
+		`{"dup": 1, "dup": "two"}`,
+		`{}`, `[]`, `[{}]`, `{"a": []}`,
+		// Malformed UTF-8, control bytes, stray backslashes.
+		"\"\xff\xfe\"", "\xff{", "\"a\xc3\x28b\"", "{\"s\": \"ctrl\x01\"}",
+		`\`, `{"a": 1}\`, "\\\n{\"a\": 1}",
+		// Truncations and structural errors.
+		`"\u12`, `"unterminated`, `{]`, `[1,]`, `{"a":1 "b":2}`,
+		`1 2`, `{"a"}`, ``, `   `, `tru`, `12..5`, `01`, `1e`,
+		`{"a": 1 x}`, `[1 2]`, `truex`, `{"a": 1,}`, `{, "a": 1}`,
+		`{"a": 1} {"b": 2`, "{\"a\": 1}\n{\"b\": tru}\n{\"c\": 3}\n",
+		strings.Repeat("[", 300) + strings.Repeat("]", 300),
+		strings.Repeat(`{"a":`, 120) + "1" + strings.Repeat("}", 120),
+		strings.Repeat("\\", 67) + `"x"`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want, wantN, wantErr := absorbAllTokens(data)
+		got, gotN, gotErr, ok := absorbAllIndexed(data)
+		if !ok {
+			if wantErr == nil {
+				t.Fatalf("index rejected chunk but the token walker accepts %q", data)
+			}
+			return
+		}
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error = %v, token walker error = %v on %q", gotErr, wantErr, data)
+		}
+		if wantErr != nil && gotErr.Error() != wantErr.Error() {
+			t.Fatalf("error %q, token walker error %q on %q", gotErr, wantErr, data)
+		}
+		if gotN != wantN {
+			t.Fatalf("%d documents, token walker absorbed %d on %q", gotN, wantN, data)
+		}
+		if !typelang.Equal(want, got) || want.StringCounted() != got.StringCounted() {
+			t.Fatalf("schema diverges on %q\n tokens:  %s\n indexed: %s",
+				data, want.StringCounted(), got.StringCounted())
+		}
+	})
+}
+
+// TestIndexAbsorbGeneratedCorpora runs the same differential over every
+// generator's collection — bulk confirmation on realistic shapes, with
+// the fallback path exercised by the Deep generator when it exceeds
+// nothing (all clean) and by mixed-escape payloads in Twitter text.
+func TestIndexAbsorbGeneratedCorpora(t *testing.T) {
+	gens := []genjson.Generator{
+		genjson.Twitter{Seed: 71},
+		genjson.GitHub{Seed: 72},
+		genjson.SkewedOptional{Seed: 73},
+		genjson.NestedArrays{Seed: 74},
+		genjson.Sparse{Seed: 75},
+		genjson.Deep{Seed: 76, Depth: 12},
+		genjson.Fields{Seed: 77},
+	}
+	for _, g := range gens {
+		data := jsontext.MarshalLines(genjson.Collection(g, 150))
+		want, wantN, wantErr := absorbAllTokens(data)
+		if wantErr != nil {
+			t.Fatalf("%s: reference rejects generated corpus: %v", g.Name(), wantErr)
+		}
+		got, gotN, gotErr, ok := absorbAllIndexed(data)
+		if !ok || gotErr != nil {
+			t.Fatalf("%s: indexed absorption failed (ok=%v err=%v)", g.Name(), ok, gotErr)
+		}
+		if gotN != wantN || want.StringCounted() != got.StringCounted() {
+			t.Errorf("%s: indexed (%d docs) diverges from tokens (%d docs)\n tokens:  %s\n indexed: %s",
+				g.Name(), gotN, wantN, want.StringCounted(), got.StringCounted())
+		}
+	}
+}
+
+// TestIndexAbsorberZeroSteadyStateAllocs pins the reuse satellite: a
+// warm IndexAbsorber re-absorbing a clean chunk — structural index,
+// bitmap storage, leveled event lists, accumulator nodes — allocates
+// nothing in steady state. The fixture sticks to plain integers,
+// strings, bools and nulls; every shape the absorber resolves without
+// delegation.
+func TestIndexAbsorberZeroSteadyStateAllocs(t *testing.T) {
+	data := bytes.Repeat([]byte(`{"id": 12345, "name": "alpha", "tags": ["a", "b"], "on": true, "ref": null}`+"\n"), 16)
+	ia := NewIndexAbsorber()
+	ia.SetInternStrings(true)
+	acc := typelang.NewAccum(typelang.EquivKind)
+	drain := func() {
+		if err := ia.Reset(data, 0); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if err := AbsorbFromIndex(ia, acc); err != nil {
+				if !errors.Is(err, io.EOF) {
+					t.Fatal(err)
+				}
+				return
+			}
+		}
+	}
+	drain() // warm the index, bitmaps, intern cache and accumulator pools
+	if n := testing.AllocsPerRun(50, drain); n > 0 {
+		t.Errorf("warm index absorption allocates %.1f times per chunk; want 0", n)
+	}
+}

@@ -69,6 +69,16 @@ const (
 	// the old map discipline, kept selectable as the A/B equivalence
 	// baseline (the same pattern as TokenizerScan and ReduceShards: 1).
 	MapReference
+	// MapIndexed absorbs each document straight off mison's structural
+	// index (AbsorbFromIndex): object fields are walked
+	// span-at-a-time from the leveled colon lists, so separator tokens
+	// are never materialised at all. Records the index cannot certify
+	// fall back to the token walker per record, and chunks the index
+	// rejects outright fall back whole, so schemas, counts and errors
+	// are byte-identical to MapFused's. Streamed-parallel engines only;
+	// the sequential InferStream (no chunk boundaries to index) treats
+	// it as MapFused.
+	MapIndexed
 )
 
 // String names the map mode.
@@ -78,6 +88,8 @@ func (m MapMode) String() string {
 		return "fused"
 	case MapReference:
 		return "refmap"
+	case MapIndexed:
+		return "indexed"
 	default:
 		return "unknown"
 	}

@@ -260,11 +260,33 @@ func (sf *streamFold) run(tr jsontext.TokenSource) (*typelang.Type, int, error) 
 	}
 }
 
+// runIndexed is run driving the index-driven walker instead of a token
+// source: every document of the absorber's chunk absorbs straight off
+// the structural index into the chunk accumulator (MapIndexed is
+// always fused — the per-document reference mode has no index
+// variant). Error and partial-type semantics are identical to run's.
+func (sf *streamFold) runIndexed(a *IndexAbsorber) (*typelang.Type, int, error) {
+	sf.fold.Reset()
+	n := 0
+	for {
+		if err := AbsorbFromIndex(a, sf.fold); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = nil
+			}
+			return sf.fold.Seal(), n, err
+		}
+		n++
+	}
+}
+
 // InferStream types every document on r straight from tokens, without
 // materialising values or the collection — the sequential token engine.
 // It returns the inferred type and the number of documents typed; on a
 // syntax or I/O error the returned type covers every document typed
 // before it, and syntax errors carry absolute stream offsets.
+// MapIndexed needs chunked byte slices to index and so degrades to
+// MapFused here; use InferStreamParallel (any worker count) for the
+// index-driven map.
 func InferStream(r io.Reader, opts Options) (*typelang.Type, int, error) {
 	tr := jsontext.NewTokenReader(r)
 	tr.SetInternStrings(true)
@@ -323,7 +345,7 @@ type chunkResult struct {
 // single ordered fold's (ReduceShards: 1).
 func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error) {
 	workers := opts.workers()
-	if workers <= 1 && opts.Tokenizer == TokenizerScan {
+	if workers <= 1 && opts.Tokenizer == TokenizerScan && opts.Map != MapIndexed {
 		return InferStream(r, opts)
 	}
 	if shards := opts.reduceShards(); shards > 1 {
@@ -432,8 +454,26 @@ func inferStreamChunks(r io.Reader, opts Options, commit func([]*typelang.Type, 
 					ms.SetSymbolTable(opts.Symbols)
 				}
 			}
+			var ia *IndexAbsorber
+			if opts.Map == MapIndexed {
+				ia = NewIndexAbsorber()
+				ia.SetInternStrings(true)
+				if opts.Symbols != nil {
+					ia.SetSymbolTable(opts.Symbols)
+				}
+			}
 			fold := newStreamFold(opts)
 			for ch := range work {
+				if ia != nil {
+					if err := ia.Reset(ch.data, ch.base); err == nil {
+						t, n, err := fold.runIndexed(ia)
+						results <- chunkResult{index: ch.index, t: t, n: n, err: err}
+						continue
+					}
+					// Index rejected the chunk outright (odd quote
+					// parity, unbalanced nesting): the token path below
+					// reports the authoritative error.
+				}
 				var src jsontext.TokenSource
 				if ms != nil {
 					if err := ms.Reset(ch.data, ch.base); err == nil {

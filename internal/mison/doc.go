@@ -26,6 +26,19 @@
 // lexer; all rejection and defect errors are *IndexError values with
 // absolute byte offsets.
 //
+// FieldWalker goes one layer below TokenSource for the index-driven
+// map phase (infer.AbsorbFromIndex, Options.Map: MapIndexed): instead
+// of lexing a token per structural character it answers positional
+// questions off the bitmaps directly — NextStructural/StructuralAt
+// make separator checks O(1) against a merged structural-class bitmap,
+// CloseQuote/SkippableSpan/VerbatimSpan certify string spans from the
+// quote/backslash/control/non-ASCII classes, PlainInt resolves plain
+// integers — so object absorption walks field-span-at-a-time and
+// separator tokens are never materialised at all. Anything unprovable
+// delegates to the same jsontext.Scanner (ScanValueAt), and the
+// absorber falls back per record to the token walker, keeping
+// absorption byte-identical to the token path on every input.
+//
 // Substitution note (recorded in DESIGN.md): the original uses AVX2
 // SIMD to build per-character bitmaps. Go with stdlib only has no
 // vector intrinsics, so the bitmap pipeline here is word-at-a-time over

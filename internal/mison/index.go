@@ -51,12 +51,24 @@ func BuildIndex(data []byte) (*Index, error) { return BuildIndexAt(data, 0) }
 // absolute stream offset base: any *IndexError carries absolute
 // offsets, so callers splitting a larger input keep exact attribution.
 func BuildIndexAt(data []byte, base int) (*Index, error) {
-	ix := &Index{Bitmap: &Bitmaps{}}
+	ix := NewIndex()
 	if err := ix.rebuild(data, base); err != nil {
 		return nil, err
 	}
 	return ix, nil
 }
+
+// NewIndex returns an empty reusable Index; bind it to a record with
+// Reset. One warm index per worker amortises the event, colon-list and
+// bitmap storage across an arbitrary number of records, the same
+// amortisation the projecting Parser has always had.
+func NewIndex() *Index { return &Index{Bitmap: &Bitmaps{}} }
+
+// Reset rebinds the index to a record whose first byte sits at absolute
+// stream offset base, reusing all storage. It fails with an *IndexError
+// (absolute offsets) on unbalanced nesting, exactly as BuildIndexAt
+// does.
+func (ix *Index) Reset(data []byte, base int) error { return ix.rebuild(data, base) }
 
 // rebuild reinitialises the index for a new record, reusing the event
 // and bitmap storage of previous records.
