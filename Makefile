@@ -4,7 +4,8 @@ GO ?= go
 # smoke-tests that each still renders.
 DOC_PKGS = repro/internal/jsontext repro/internal/infer \
            repro/internal/typelang repro/internal/mison repro/internal/core \
-           repro/internal/registry
+           repro/internal/registry repro/internal/daemon/intake \
+           repro/internal/daemon/metrics
 
 .PHONY: all build vet test race bench bench-stream bench-json docs fixtures serve smoke-daemon ci
 
@@ -21,7 +22,7 @@ test:
 
 # Concurrency-sensitive packages under the race detector.
 race:
-	$(GO) test -race ./internal/infer/ ./internal/typelang/ ./internal/jsontext/ ./internal/mison/ ./internal/registry/ ./cmd/jsinferd/
+	$(GO) test -race ./internal/infer/ ./internal/typelang/ ./internal/jsontext/ ./internal/mison/ ./internal/registry/ ./internal/daemon/... ./cmd/jsinferd/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
@@ -36,13 +37,13 @@ bench-stream:
 
 # Perf trajectory: the E3 streamed rows (ns/op, MB/s, allocs/op) as a
 # machine-readable JSON report — `go test -bench -json` post-processed
-# by cmd/jsbenchjson into BENCH_7.json, which CI uploads as an artifact
-# so every build leaves a comparable benchmark record. The -idx rows
-# (MapIndexed next to the fused and refmap A/B rows, on the tweets and
-# colon-dense fields corpora) are the PR 7 additions.
+# by cmd/jsbenchjson into BENCH_8.json, which CI uploads as an artifact
+# so every build leaves a comparable benchmark record. The fixture set
+# now includes the sparse/deep adversarial corpora, so the rows cover
+# record-group churn and deep-nesting costs too.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkE3StreamingInference' -benchtime 200ms -benchmem -json . \
-		| $(GO) run repro/cmd/jsbenchjson -out BENCH_7.json
+		| $(GO) run repro/cmd/jsbenchjson -out BENCH_8.json
 
 # Documentation smoke: formatting is clean, vet is clean, and every
 # documented package still renders a doc page.

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/jsontext"
+	"repro/internal/jsonvalue"
+)
+
+// TestCheckedInFixturesMatchGenerators regenerates every fixture from
+// its pinned (generator, seed, count) entry and compares byte-for-byte
+// with the checked-in file: the corpus cannot drift from the table.
+func TestCheckedInFixturesMatchGenerators(t *testing.T) {
+	for _, fx := range fixtures {
+		path := filepath.Join("..", "..", "testdata", fx.name)
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run `go run repro/cmd/jsfixtures -dir testdata`)", fx.name, err)
+		}
+		var buf bytes.Buffer
+		for i := 0; i < fx.n; i++ {
+			buf.Write(jsontext.Marshal(fx.gen.Generate(i)))
+			buf.WriteByte('\n')
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s: checked-in fixture differs from its generator — regenerate with `go run repro/cmd/jsfixtures -dir testdata`", fx.name)
+		}
+	}
+}
+
+// depthOf is the container nesting depth of v.
+func depthOf(v *jsonvalue.Value) int {
+	max := 0
+	switch v.Kind() {
+	case jsonvalue.Object:
+		for _, f := range v.Fields() {
+			if d := depthOf(f.Value); d > max {
+				max = d
+			}
+		}
+		return max + 1
+	case jsonvalue.Array:
+		for i := 0; i < v.Len(); i++ {
+			if d := depthOf(v.Elem(i)); d > max {
+				max = d
+			}
+		}
+		return max + 1
+	default:
+		return 0
+	}
+}
+
+// TestAdversarialFixtureShapes pins what makes the stress fixtures
+// stressful: sparse spreads thousands of distinct top-level keys across
+// near-unique label sets, deep nests every document ~50 levels.
+func TestAdversarialFixtureShapes(t *testing.T) {
+	parse := func(name string) []*jsonvalue.Value {
+		t.Helper()
+		data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var docs []*jsonvalue.Value
+		for _, line := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+			v, err := jsontext.Parse(line)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			docs = append(docs, v)
+		}
+		return docs
+	}
+
+	sparse := parse("sparse.ndjson")
+	keys := map[string]bool{}
+	labelSets := map[string]bool{}
+	for _, d := range sparse {
+		var set []byte
+		for _, f := range d.Fields() {
+			keys[f.Name] = true
+			set = append(set, f.Name...)
+			set = append(set, ',')
+		}
+		labelSets[string(set)] = true
+	}
+	if len(keys) < 2000 {
+		t.Errorf("sparse fixture spans %d distinct keys, want thousands (>= 2000)", len(keys))
+	}
+	if len(labelSets) < len(sparse)*9/10 {
+		t.Errorf("sparse fixture has %d distinct label sets over %d docs — the record-group churn is gone", len(labelSets), len(sparse))
+	}
+
+	deep := parse("deep.ndjson")
+	for i, d := range deep {
+		if got := depthOf(d); got < 48 {
+			t.Errorf("deep fixture doc %d nests %d levels, want >= 48", i, got)
+		}
+	}
+}

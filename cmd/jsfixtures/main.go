@@ -31,6 +31,13 @@ var fixtures = []struct {
 	{"tweets.ndjson", genjson.Twitter{Seed: 7}, 25},
 	{"events.ndjson", genjson.GitHub{Seed: 1}, 25},
 	{"orders.ndjson", genjson.Orders{Seed: 1}, 25},
+	// Adversarial stress fixtures: sparse draws a dozen-odd fields per
+	// document from a 4000-key universe (thousands of distinct keys,
+	// near-unique label sets — record-group churn under L); deep nests
+	// every document ~50 container levels (staging-frame churn). They
+	// ride every testdata/*.ndjson sweep, so they stay modest in bytes.
+	{"sparse.ndjson", genjson.Sparse{Seed: 11, Universe: 4000, PerDoc: 16}, 250},
+	{"deep.ndjson", genjson.Deep{Seed: 3, Depth: 48}, 40},
 }
 
 func main() {

@@ -8,29 +8,42 @@
 //
 //	jsinferd [-addr :8787] [-engine parametric-L|parametric-K]
 //	         [-workers N] [-shards N] [-tokenizer mison|scan]
-//	         [-max-body N]
+//	         [-max-body N] [-rate-docs N] [-rate-bytes N]
 //
 // API:
 //
-//	PUT /v1/collections/{name}[?equiv=K|L]
+//	PUT /v1/collections/{name}[?equiv=K|L][&quota=docs=N,bytes=N]
 //	    Creates the collection without ingesting — under the given
 //	    merge equivalence when ?equiv= is set, the daemon default
 //	    otherwise. 201 on creation, 200 when it already exists with a
 //	    compatible equivalence, 409 when ?equiv= disagrees with the
-//	    equivalence the collection was created under.
-//	POST /v1/collections/{name}/ingest[?equiv=K|L]
+//	    equivalence the collection was created under. ?quota= pins a
+//	    per-collection ingest rate limit overriding the daemon's
+//	    -rate-docs/-rate-bytes defaults (0 or an empty value lifts the
+//	    limit); on an existing collection it re-targets the live quota
+//	    in place.
+//	POST /v1/collections/{name}/ingest[?equiv=K|L][&quota=...]
 //	    Body: NDJSON or concatenated JSON, streamed straight into the
 //	    chunked token pipeline (bounded memory; the body is never
-//	    materialised). With ?equiv=, a collection created by this call
-//	    folds under that equivalence instead of the daemon default; on
-//	    an existing collection a disagreeing ?equiv= yields 409 before
-//	    any byte is read. Returns a JSON summary {collection, docs,
-//	    total_docs, version}. A malformed document merges exactly the
-//	    documents before it and yields 400 with the absolute body
-//	    offset; the collection keeps the prefix. With -max-body N, a
-//	    body exceeding N bytes yields 413 with the same bytes-kept
-//	    semantics: the documents that fit under the limit are merged
-//	    and reported.
+//	    materialised). Content-Encoding: gzip and zstd bodies decode
+//	    transparently — schemas and doc counts are byte-identical to
+//	    the identity encoding, and -max-body applies to *decompressed*
+//	    bytes, so a compressed body cannot smuggle past the limit. An
+//	    unsupported encoding yields 415 before any byte is read; so
+//	    does an entropy-coded zstd frame mid-stream (the built-in
+//	    decoder handles store-mode frames; see internal/daemon/intake).
+//	    With ?equiv=, a collection created by this call folds under
+//	    that equivalence instead of the daemon default; on an existing
+//	    collection a disagreeing ?equiv= yields 409 before any byte is
+//	    read. A collection over its ingest quota yields 429 with a
+//	    Retry-After header, likewise before any body byte is read.
+//	    Returns a JSON summary {collection, docs, total_docs,
+//	    version}. A malformed document merges exactly the documents
+//	    before it and yields 400 with the absolute body offset; the
+//	    collection keeps the prefix. With -max-body N, a body
+//	    exceeding N (decoded) bytes yields 413 with the same
+//	    bytes-kept semantics: the documents that fit under the limit
+//	    are merged and reported.
 //	DELETE /v1/collections/{name}
 //	    Removes the collection and its accumulator (404 when the name
 //	    is unknown). The name is immediately reusable; a later ingest
@@ -42,8 +55,15 @@
 //	GET /v1/collections
 //	    JSON list of collections with docs/version/error counters.
 //	GET /v1/stats
-//	    Registry-wide aggregates (collections, docs, ingests, errors,
-//	    interned symbols, sealed schema nodes).
+//	    Registry-wide aggregates (collections, docs, bytes, ingests,
+//	    errors, rate-limited rejections, interned symbols, sealed
+//	    schema nodes).
+//	GET /metrics
+//	    Prometheus text exposition (format 0.0.4): ingest volume and
+//	    error counters, per-route request totals and latency
+//	    histograms, and live registry gauges. The ingest counters
+//	    reconcile exactly with /v1/stats once in-flight requests
+//	    quiesce.
 //	GET /healthz
 //	    Liveness.
 //
@@ -59,13 +79,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/daemon/intake"
+	"repro/internal/daemon/metrics"
 	"repro/internal/jsontext"
 	"repro/internal/jsonvalue"
 	"repro/internal/registry"
@@ -78,10 +103,16 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel chunk workers per ingest request (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "leaf collectors per collection (0 = auto)")
 	tokenizer := flag.String("tokenizer", "mison", "streamed lexing machinery: mison or scan")
-	maxBody := flag.Int64("max-body", 0, "max ingest request body in bytes; 0 disables the limit")
+	maxBody := flag.Int64("max-body", 0, "max ingest request body in bytes (decoded, for compressed bodies); 0 disables the limit")
+	rateDocs := flag.Float64("rate-docs", 0, "default per-collection ingest quota in documents/sec; 0 disables the limit")
+	rateBytes := flag.Float64("rate-bytes", 0, "default per-collection ingest quota in decoded bytes/sec; 0 disables the limit")
 	flag.Parse()
 
-	opts := registry.Options{Workers: *workers, Shards: *shards}
+	opts := registry.Options{
+		Workers: *workers,
+		Shards:  *shards,
+		Quota:   registry.Quota{DocsPerSec: *rateDocs, BytesPerSec: *rateBytes},
+	}
 	switch *engine {
 	case "parametric-L":
 		opts.Equiv = typelang.EquivLabel
@@ -123,11 +154,39 @@ func main() {
 	<-done
 }
 
-// newHandler builds the daemon's routing table over reg. It is the seam
+// newHandler builds the daemon's routing table over reg, instrumented
+// end to end: every route is metered by the metrics middleware, and the
+// ingest path feeds the volume counters /metrics serves. It is the seam
 // the tests drive through httptest. maxBody > 0 caps the ingest request
-// body (the -max-body backpressure flag); 0 means unlimited.
+// body in *decoded* bytes (the -max-body backpressure flag); 0 means
+// unlimited.
 func newHandler(reg *registry.Registry, maxBody int64) http.Handler {
+	prom := metrics.NewRegistry()
+	// The ingest counters mirror the registry's own accounting, fed from
+	// the same IngestResult, so after in-flight requests quiesce they
+	// reconcile exactly with /v1/stats: docs/bytes include kept prefixes
+	// of failed ingests, errors counts only failures that reached the
+	// pipeline (not 409/429 admission rejections, which never read a
+	// byte).
+	ingestDocs := prom.Counter("jsinferd_ingest_docs_total",
+		"Documents merged by ingest calls, kept prefixes of failed ingests included.")
+	ingestBytes := prom.Counter("jsinferd_ingest_bytes_total",
+		"Decoded payload bytes read by ingest calls.")
+	ingestErrors := prom.Counter("jsinferd_ingest_errors_total",
+		"Ingest calls that ended in a pipeline error (malformed document, over-limit or corrupt body).")
+	rateLimited := prom.Counter("jsinferd_rate_limited_total",
+		"Ingest requests rejected by a collection quota (429s).")
+	prom.Gauge("jsinferd_registry_collections", "Live collections.",
+		func() float64 { return float64(reg.Stats().Collections) })
+	prom.Gauge("jsinferd_registry_docs", "Documents summarised across all collections.",
+		func() float64 { return float64(reg.Stats().Docs) })
+	prom.Gauge("jsinferd_registry_schema_nodes", "Sealed schema nodes across all collection schemas.",
+		func() float64 { return float64(reg.Stats().SchemaNodes) })
+	prom.Gauge("jsinferd_registry_symbols", "Interned key symbols in the shared symbol table.",
+		func() float64 { return float64(reg.Stats().Symbols) })
+
 	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", prom.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, jsonvalue.ObjectFromPairs("status", "ok"))
 	})
@@ -136,8 +195,10 @@ func newHandler(reg *registry.Registry, maxBody int64) http.Handler {
 		writeJSON(w, http.StatusOK, jsonvalue.ObjectFromPairs(
 			"collections", st.Collections,
 			"docs", st.Docs,
+			"bytes", st.Bytes,
 			"ingests", st.Ingests,
 			"errors", st.Errors,
+			"rate_limited", st.RateLimited,
 			"symbols", st.Symbols,
 			"schema_nodes", st.SchemaNodes,
 		))
@@ -184,24 +245,47 @@ func newHandler(reg *registry.Registry, maxBody int64) http.Handler {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		body := r.Body
-		if maxBody > 0 {
-			body = http.MaxBytesReader(w, r.Body, maxBody)
+		// intake.Body is lazy — headers only — so quota and equivalence
+		// admission below still happen before any body byte is read.
+		body, err := intake.Body(w, r, maxBody)
+		if err != nil {
+			writeError(w, http.StatusUnsupportedMediaType, err.Error())
+			return
 		}
 		res, err := reg.IngestWith(name, body, co)
+		// Kept prefixes of failed ingests count too: the documents are
+		// merged, so the counters reflect them (and reconcile with
+		// /v1/stats, which sees the same IngestResult accounting).
+		ingestDocs.Add(uint64(res.Docs))
+		ingestBytes.Add(uint64(res.Bytes))
 		if err != nil {
+			var rl *registry.RateLimitError
+			if errors.As(err, &rl) {
+				rateLimited.Inc()
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(rl.RetryAfter)))
+				writeError(w, http.StatusTooManyRequests, err.Error())
+				return
+			}
 			if errors.Is(err, registry.ErrEquivMismatch) {
 				writeError(w, http.StatusConflict, err.Error())
 				return
 			}
+			ingestErrors.Inc()
 			// The prefix before the error is merged and kept; report
 			// both the failure and how far ingest got. An over-limit
 			// body surfaces as 413 with exactly the malformed-doc
-			// bytes-kept semantics: the documents that fit are merged.
+			// bytes-kept semantics: the documents that fit are merged —
+			// the limit counts decoded bytes, so compressed bodies get
+			// identical treatment. An entropy-coded zstd frame the
+			// built-in decoder gates maps to 415: re-send store-mode
+			// zstd, gzip or identity.
 			status := http.StatusBadRequest
 			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
+			switch {
+			case errors.As(err, &tooBig):
 				status = http.StatusRequestEntityTooLarge
+			case errors.Is(err, intake.ErrZstdCompressedBlock):
+				status = http.StatusUnsupportedMediaType
 			}
 			writeJSON(w, status, jsonvalue.ObjectFromPairs(
 				"error", err.Error(),
@@ -264,13 +348,14 @@ func newHandler(reg *registry.Registry, maxBody int64) http.Handler {
 			fmt.Fprintln(w, s)
 		}
 	})
-	return mux
+	return metrics.NewHTTP(prom, "jsinferd").Wrap(mux)
 }
 
 // collectionOpts parses the per-collection override parameters of a
 // create or ingest request: ?equiv=K|L (the jsinfer engine names
 // parametric-K/parametric-L are accepted too) pins the collection's
-// merge equivalence.
+// merge equivalence, ?quota=docs=N,bytes=N its ingest rate limit (a
+// bare ?quota= or all-zero terms lift the limit).
 func collectionOpts(r *http.Request) (registry.CollectionOptions, error) {
 	var co registry.CollectionOptions
 	switch q := r.URL.Query().Get("equiv"); q {
@@ -284,7 +369,54 @@ func collectionOpts(r *http.Request) (registry.CollectionOptions, error) {
 	default:
 		return co, fmt.Errorf("unknown equiv %q (want K or L)", q)
 	}
+	if r.URL.Query().Has("quota") {
+		q, err := parseQuota(r.URL.Query().Get("quota"))
+		if err != nil {
+			return co, err
+		}
+		co.Quota = &q
+	}
 	return co, nil
+}
+
+// parseQuota parses the ?quota= override: comma-separated docs=N and
+// bytes=N terms, each a non-negative per-second rate (0 = unlimited).
+// The empty string is the all-zero quota — ?quota= lifts the limit.
+func parseQuota(s string) (registry.Quota, error) {
+	var q registry.Quota
+	if s == "" {
+		return q, nil
+	}
+	for _, term := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(term, "=")
+		if !ok {
+			return q, fmt.Errorf("bad quota term %q (want docs=N or bytes=N)", term)
+		}
+		rate, err := strconv.ParseFloat(v, 64)
+		if err != nil || rate < 0 || math.IsInf(rate, 0) || math.IsNaN(rate) {
+			return q, fmt.Errorf("bad quota rate %q (want a non-negative number)", term)
+		}
+		switch k {
+		case "docs":
+			q.DocsPerSec = rate
+		case "bytes":
+			q.BytesPerSec = rate
+		default:
+			return q, fmt.Errorf("unknown quota key %q (want docs or bytes)", k)
+		}
+	}
+	return q, nil
+}
+
+// retryAfterSeconds renders a recovery delay as a Retry-After value:
+// whole seconds, rounded up so the advertised wait is never too short,
+// and at least 1 (Retry-After: 0 invites an immediate, doomed retry).
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // renderSchema renders t in one of jsinfer's output formats: a string
@@ -313,9 +445,12 @@ func snapshotMeta(s registry.Snapshot) *jsonvalue.Value {
 		"name", s.Name,
 		"equiv", s.Equiv.String(),
 		"docs", s.Docs,
+		"bytes", s.Bytes,
 		"version", int64(s.Version),
 		"ingests", s.Ingests,
 		"errors", s.Errors,
+		"rate_limited", s.RateLimited,
+		"quota", s.Quota.String(),
 		"schema_nodes", s.Type.Size(),
 	)
 }

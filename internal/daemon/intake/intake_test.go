@@ -1,0 +1,366 @@
+package intake
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestXXH64Vectors(t *testing.T) {
+	// Reference vectors for XXH64 with seed 0.
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xEF46DB3751D8E999},
+		{"a", 0xD24EC4F1A98C6E5B},
+		{"abc", 0x44BC2CF5AD770999},
+		{"The quick brown fox jumps over the lazy dog", 0x0B242D361FDA71BC},
+	}
+	for _, c := range cases {
+		var h xxh64
+		h.write([]byte(c.in))
+		if got := h.sum64(); got != c.want {
+			t.Errorf("xxh64(%q) = %016X, want %016X", c.in, got, c.want)
+		}
+		// Split writes must agree with the one-shot digest.
+		for split := 1; split < len(c.in); split++ {
+			var h2 xxh64
+			h2.write([]byte(c.in[:split]))
+			h2.write([]byte(c.in[split:]))
+			if got := h2.sum64(); got != c.want {
+				t.Errorf("xxh64(%q) split at %d = %016X, want %016X", c.in, split, got, c.want)
+			}
+		}
+	}
+	// A long input exercises the 32-byte stripe path across many splits.
+	long := bytes.Repeat([]byte("0123456789abcdef"), 100)
+	var ref xxh64
+	ref.write(long)
+	want := ref.sum64()
+	for _, chunk := range []int{1, 7, 31, 32, 33, 64, 1000} {
+		var h xxh64
+		for i := 0; i < len(long); i += chunk {
+			end := min(i+chunk, len(long))
+			h.write(long[i:end])
+		}
+		if got := h.sum64(); got != want {
+			t.Errorf("chunked(%d) = %016X, want %016X", chunk, got, want)
+		}
+	}
+}
+
+// zstdRoundTrip compresses data with ZstdWriter and decodes it back
+// with NewZstdReader.
+func zstdRoundTrip(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := NewZstdWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(NewZstdReader(&buf))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+func TestZstdRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 100, zstdStoreBlockSize - 1, zstdStoreBlockSize, zstdStoreBlockSize + 1, 3*zstdStoreBlockSize + 17} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i * 7)
+		}
+		if got := zstdRoundTrip(t, data); !bytes.Equal(got, data) {
+			t.Errorf("n=%d: round trip diverged (%d bytes out)", n, len(got))
+		}
+	}
+}
+
+func TestZstdMultiWriteAndConcatenatedFrames(t *testing.T) {
+	var buf bytes.Buffer
+	zw := NewZstdWriter(&buf)
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(zw, "{\"doc\": %d}\n", i)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A second, independent frame follows the first.
+	zw2 := NewZstdWriter(&buf)
+	io.WriteString(zw2, "tail")
+	zw2.Close()
+
+	out, err := io.ReadAll(NewZstdReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(out), "{\"doc\": 49}\ntail") {
+		t.Errorf("concatenated decode = ...%q", string(out[max(0, len(out)-30):]))
+	}
+}
+
+func TestZstdRLEAndSkippableFrames(t *testing.T) {
+	// Hand-built frame: skippable frame, then magic + header with an
+	// RLE block (97 × 'a') and a final empty raw block, no checksum.
+	frame := []byte{
+		0x50, 0x2A, 0x4D, 0x18, 3, 0, 0, 0, 9, 9, 9, // skippable, 3 bytes
+		0x28, 0xB5, 0x2F, 0xFD, // magic
+		0x00, 0x38, // descriptor (no checksum), window
+		0, 0, 0, 'a', // RLE block header (patched below), not last
+		0x01, 0x00, 0x00, // empty raw last block
+	}
+	// Fix the RLE header bytes: hdr = 97<<3 | RLE<<1 = 778.
+	hdr := uint32(97<<3 | blockRLE<<1)
+	frame[17], frame[18], frame[19] = byte(hdr), byte(hdr>>8), byte(hdr>>16)
+	out, err := io.ReadAll(NewZstdReader(bytes.NewReader(frame)))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if string(out) != strings.Repeat("a", 97) {
+		t.Errorf("RLE decode = %q (%d bytes)", out, len(out))
+	}
+}
+
+func TestZstdFaults(t *testing.T) {
+	var good bytes.Buffer
+	zw := NewZstdWriter(&good)
+	io.WriteString(zw, strings.Repeat("x", 500))
+	zw.Close()
+	g := good.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{3, 5, 8, len(g) / 2, len(g) - 1} {
+			_, err := io.ReadAll(NewZstdReader(bytes.NewReader(g[:cut])))
+			if err == nil || !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Errorf("cut at %d: err = %v, want unexpected EOF", cut, err)
+			}
+		}
+	})
+	t.Run("checksum mismatch", func(t *testing.T) {
+		bad := bytes.Clone(g)
+		bad[20] ^= 0xFF // flip a content byte
+		_, err := io.ReadAll(NewZstdReader(bytes.NewReader(bad)))
+		if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+			t.Errorf("err = %v, want checksum mismatch", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		_, err := io.ReadAll(NewZstdReader(strings.NewReader("{\"not\": \"zstd\"}\n")))
+		if err == nil || !strings.Contains(err.Error(), "bad frame magic") {
+			t.Errorf("err = %v, want bad magic", err)
+		}
+	})
+	t.Run("compressed block gated", func(t *testing.T) {
+		frame := []byte{
+			0x28, 0xB5, 0x2F, 0xFD, 0x00, 0x38,
+			byte(10<<3|blockCompressed<<1) | 1, 0, 0,
+		}
+		_, err := io.ReadAll(NewZstdReader(bytes.NewReader(frame)))
+		if !errors.Is(err, ErrZstdCompressedBlock) {
+			t.Errorf("err = %v, want ErrZstdCompressedBlock", err)
+		}
+	})
+	t.Run("reserved block type", func(t *testing.T) {
+		frame := []byte{0x28, 0xB5, 0x2F, 0xFD, 0x00, 0x38, byte(3<<1) | 1, 0, 0}
+		_, err := io.ReadAll(NewZstdReader(bytes.NewReader(frame)))
+		if err == nil || !strings.Contains(err.Error(), "reserved block type") {
+			t.Errorf("err = %v, want reserved block type", err)
+		}
+	})
+	t.Run("dictionary rejected", func(t *testing.T) {
+		frame := []byte{0x28, 0xB5, 0x2F, 0xFD, 0x01, 0x38, 0x09, 0x01, 0x00, 0x00}
+		_, err := io.ReadAll(NewZstdReader(bytes.NewReader(frame)))
+		if err == nil || !strings.Contains(err.Error(), "dictionary") {
+			t.Errorf("err = %v, want dictionary rejection", err)
+		}
+	})
+	t.Run("content size mismatch", func(t *testing.T) {
+		// Single-segment descriptor (0x20) declares FCS=5 but the one
+		// raw block carries 3 bytes.
+		frame := []byte{0x28, 0xB5, 0x2F, 0xFD, 0x20, 5, byte(3<<3) | 1, 0, 0, 'x', 'y', 'z'}
+		_, err := io.ReadAll(NewZstdReader(bytes.NewReader(frame)))
+		if err == nil || !strings.Contains(err.Error(), "header declared") {
+			t.Errorf("err = %v, want content size mismatch", err)
+		}
+	})
+}
+
+// TestZstdAgainstReferenceBinary cross-checks the codec against the
+// real zstd tool when one is on PATH: our store-mode frames must
+// decode with `zstd -d`, and reference-compressed JSON (entropy-coded
+// blocks) must hit the gate error, never misdecode.
+func TestZstdAgainstReferenceBinary(t *testing.T) {
+	zstdBin, err := exec.LookPath("zstd")
+	if err != nil {
+		t.Skip("no zstd binary on PATH")
+	}
+	payload := []byte(strings.Repeat(`{"k": "vvvvvvvv", "n": 12345}`+"\n", 3000))
+
+	t.Run("our frames decode with zstd -d", func(t *testing.T) {
+		var frame bytes.Buffer
+		zw := NewZstdWriter(&frame)
+		zw.Write(payload)
+		zw.Close()
+		cmd := exec.Command(zstdBin, "-d", "-c")
+		cmd.Stdin = &frame
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("zstd -d rejected our frame: %v", err)
+		}
+		if !bytes.Equal(out, payload) {
+			t.Errorf("zstd -d decoded %d bytes, want %d identical", len(out), len(payload))
+		}
+	})
+	t.Run("reference-compressed JSON hits the gate", func(t *testing.T) {
+		cmd := exec.Command(zstdBin, "-c")
+		cmd.Stdin = bytes.NewReader(payload)
+		frame, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("zstd -c: %v", err)
+		}
+		_, err = io.ReadAll(NewZstdReader(bytes.NewReader(frame)))
+		if !errors.Is(err, ErrZstdCompressedBlock) {
+			t.Errorf("err = %v, want ErrZstdCompressedBlock", err)
+		}
+	})
+}
+
+// req builds a request with the given body and Content-Encoding.
+func req(encoding string, body []byte) *http.Request {
+	r := httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(body))
+	if encoding != "" {
+		r.Header.Set("Content-Encoding", encoding)
+	}
+	return r
+}
+
+func gzipped(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	gw := gzip.NewWriter(&buf)
+	gw.Write(data)
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func zstded(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := NewZstdWriter(&buf)
+	zw.Write(data)
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestBodyDecodesEncodings(t *testing.T) {
+	payload := []byte(`{"a": 1}` + "\n" + `{"b": 2}` + "\n")
+	cases := []struct {
+		enc  string
+		body []byte
+	}{
+		{"", payload},
+		{"identity", payload},
+		{"gzip", gzipped(t, payload)},
+		{"x-gzip", gzipped(t, payload)},
+		{"GZIP", gzipped(t, payload)}, // header values are case-insensitive
+		{"zstd", zstded(t, payload)},
+	}
+	for _, c := range cases {
+		rc, err := Body(nil, req(c.enc, c.body), 0)
+		if err != nil {
+			t.Errorf("%q: %v", c.enc, err)
+			continue
+		}
+		got, err := io.ReadAll(rc)
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Errorf("%q: decoded %q err %v", c.enc, got, err)
+		}
+		rc.Close()
+	}
+}
+
+func TestBodyUnsupportedEncoding(t *testing.T) {
+	for _, enc := range []string{"br", "deflate", "gzip, zstd", "snappy"} {
+		_, err := Body(nil, req(enc, []byte("x")), 0)
+		if !errors.Is(err, ErrUnsupportedEncoding) {
+			t.Errorf("%q: err = %v, want ErrUnsupportedEncoding", enc, err)
+		}
+	}
+}
+
+// TestDecompressedLimit pins the tentpole semantics: -max-body applies
+// to decompressed bytes, surfacing as *http.MaxBytesError exactly like
+// the identity path, even when the wire body is tiny (a bomb).
+func TestDecompressedLimit(t *testing.T) {
+	doc := []byte(`{"a": 1}` + "\n")
+	big := bytes.Repeat(doc, 100_000) // ~900 KB decompressed
+	for _, c := range []struct {
+		enc  string
+		body []byte
+	}{
+		{"gzip", gzipped(t, big)}, // a few KB on the wire
+		{"zstd", zstded(t, big)},
+	} {
+		rc, err := Body(nil, req(c.enc, c.body), 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(rc)
+		var mbe *http.MaxBytesError
+		if !errors.As(err, &mbe) || mbe.Limit != 50 {
+			t.Errorf("%s bomb: err = %v, want MaxBytesError{50}", c.enc, err)
+		}
+		if len(got) > 50 {
+			t.Errorf("%s bomb: delivered %d decompressed bytes past the limit", c.enc, len(got))
+		}
+		// The delivered prefix is intact document bytes.
+		if !bytes.HasPrefix(big, got) {
+			t.Errorf("%s bomb: delivered bytes are not a prefix", c.enc)
+		}
+	}
+	// A body exactly at the limit passes.
+	rc, _ := Body(nil, req("gzip", gzipped(t, doc)), int64(len(doc)))
+	if got, err := io.ReadAll(rc); err != nil || len(got) != len(doc) {
+		t.Errorf("exact-limit body: %d bytes, err %v", len(got), err)
+	}
+}
+
+func TestBodyLazyDecodeErrors(t *testing.T) {
+	// A corrupt gzip body must not fail Body (headers only); the error
+	// surfaces on Read, inside the pipeline.
+	rc, err := Body(nil, req("gzip", []byte("not gzip at all")), 0)
+	if err != nil {
+		t.Fatalf("Body must be lazy, got %v", err)
+	}
+	if _, err := io.ReadAll(rc); err == nil || !strings.Contains(err.Error(), "gzip") {
+		t.Errorf("read err = %v, want gzip header error", err)
+	}
+	// Truncated gzip: valid header, cut deflate stream.
+	full := gzipped(t, bytes.Repeat([]byte(`{"a": 1}`+"\n"), 1000))
+	rc, _ = Body(nil, req("gzip", full[:len(full)/2]), 0)
+	got, err := io.ReadAll(rc)
+	if err == nil {
+		t.Errorf("truncated gzip read %d bytes with no error", len(got))
+	}
+	// An empty gzip body is an empty stream, not an error.
+	rc, _ = Body(nil, req("gzip", nil), 0)
+	if got, err := io.ReadAll(rc); err != nil || len(got) != 0 {
+		t.Errorf("empty gzip body: %d bytes, err %v", len(got), err)
+	}
+}

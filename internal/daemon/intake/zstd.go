@@ -1,0 +1,354 @@
+// zstd.go is the intake's built-in zstd frame codec (RFC 8878): the
+// complete frame layer — magic numbers, frame headers, window/dictionary
+// descriptors, skippable frames, raw and RLE blocks, frame content size
+// verification, xxhash64 content checksums, and frame concatenation —
+// with the one deliberate gate that entropy-coded (FSE/Huffman) blocks
+// return ErrZstdCompressedBlock instead of decoding: a conforming
+// entropy decoder is a dependency-sized project (see the package doc).
+// Everything the codec does decode, it decodes bit-exactly and verifies.
+
+package intake
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrZstdCompressedBlock reports a zstd frame using entropy-coded
+// blocks, which the built-in decoder gates out; the daemon maps it to
+// 415 with a hint to use gzip or store-mode zstd.
+var ErrZstdCompressedBlock = errors.New(
+	"zstd: frame uses entropy-coded blocks, which this build does not decode (use gzip, or store-mode zstd frames)")
+
+const (
+	zstdMagic          = 0xFD2FB528
+	zstdSkippableMagic = 0x184D2A50 // low 4 bits wild
+	zstdSkippableMask  = 0xFFFFFFF0
+
+	blockRaw        = 0
+	blockRLE        = 1
+	blockCompressed = 2
+)
+
+// zstdReader decodes a stream of zstd frames. It is created by
+// NewZstdReader and never reads past the frames it decodes.
+type zstdReader struct {
+	src io.Reader
+	tmp [8]byte
+
+	inFrame   bool
+	inBlock   bool
+	lastBlock bool
+	rle       bool
+	rleByte   byte
+	blockLeft int // decoded bytes left in the current block
+
+	checksum   bool
+	hash       xxh64
+	haveFCS    bool
+	wantSize   uint64 // frame content size, when the header declares it
+	frameBytes uint64 // decoded so far in this frame
+
+	err error
+}
+
+// NewZstdReader returns a reader decoding one or more concatenated zstd
+// frames from r. Decode errors (truncation, checksum mismatch,
+// entropy-coded blocks) surface from Read.
+func NewZstdReader(r io.Reader) io.Reader {
+	return &zstdReader{src: r}
+}
+
+func (z *zstdReader) Read(p []byte) (int, error) {
+	if z.err != nil {
+		return 0, z.err
+	}
+	for {
+		if z.inBlock && z.blockLeft > 0 {
+			n := len(p)
+			if n > z.blockLeft {
+				n = z.blockLeft
+			}
+			if z.rle {
+				for i := 0; i < n; i++ {
+					p[i] = z.rleByte
+				}
+			} else {
+				var err error
+				if n, err = z.src.Read(p[:n]); err != nil {
+					if n == 0 {
+						z.err = z.fail("block body", err)
+						return 0, z.err
+					}
+					// Deliver what arrived; the error resurfaces on the
+					// next call.
+				}
+			}
+			z.blockLeft -= n
+			z.frameBytes += uint64(n)
+			if z.checksum {
+				z.hash.write(p[:n])
+			}
+			if z.blockLeft == 0 {
+				z.inBlock = false
+				if z.lastBlock {
+					if err := z.finishFrame(); err != nil {
+						z.err = err
+						return n, nil // error resurfaces next call
+					}
+				}
+			}
+			if n > 0 {
+				return n, nil
+			}
+			continue
+		}
+		if z.inBlock { // zero-length block
+			z.inBlock = false
+			if z.lastBlock {
+				if z.err = z.finishFrame(); z.err != nil {
+					return 0, z.err
+				}
+			}
+			continue
+		}
+		if !z.inFrame {
+			if err := z.startFrame(); err != nil {
+				z.err = err
+				return 0, err
+			}
+			continue
+		}
+		if err := z.startBlock(); err != nil {
+			z.err = err
+			return 0, err
+		}
+	}
+}
+
+// startFrame reads magic + frame header (skipping skippable frames), or
+// returns io.EOF at a clean frame boundary.
+func (z *zstdReader) startFrame() error {
+	for {
+		if _, err := io.ReadFull(z.src, z.tmp[:4]); err != nil {
+			if err == io.EOF {
+				return io.EOF // clean end of stream
+			}
+			return z.fail("frame magic", err)
+		}
+		magic := le32(z.tmp[:4])
+		if magic&zstdSkippableMask == zstdSkippableMagic {
+			if _, err := io.ReadFull(z.src, z.tmp[:4]); err != nil {
+				return z.fail("skippable frame size", err)
+			}
+			if _, err := io.CopyN(io.Discard, z.src, int64(le32(z.tmp[:4]))); err != nil {
+				return z.fail("skippable frame body", err)
+			}
+			continue
+		}
+		if magic != zstdMagic {
+			return fmt.Errorf("zstd: bad frame magic 0x%08X", magic)
+		}
+		break
+	}
+	if _, err := io.ReadFull(z.src, z.tmp[:1]); err != nil {
+		return z.fail("frame header descriptor", err)
+	}
+	desc := z.tmp[0]
+	if desc&0x08 != 0 {
+		return errors.New("zstd: reserved frame header bit set")
+	}
+	singleSegment := desc&0x20 != 0
+	z.checksum = desc&0x04 != 0
+	if !singleSegment {
+		if _, err := io.ReadFull(z.src, z.tmp[:1]); err != nil {
+			return z.fail("window descriptor", err)
+		}
+		// Window size is irrelevant here: raw/RLE blocks never
+		// reference prior output.
+	}
+	if dictSize := [4]int{0, 1, 2, 4}[desc&0x03]; dictSize > 0 {
+		if _, err := io.ReadFull(z.src, z.tmp[:dictSize]); err != nil {
+			return z.fail("dictionary ID", err)
+		}
+		if leN(z.tmp[:dictSize]) != 0 {
+			return errors.New("zstd: dictionary-compressed frames are not supported")
+		}
+	}
+	fcsSize := 0
+	switch desc >> 6 {
+	case 0:
+		if singleSegment {
+			fcsSize = 1
+		}
+	case 1:
+		fcsSize = 2
+	case 2:
+		fcsSize = 4
+	case 3:
+		fcsSize = 8
+	}
+	z.haveFCS = fcsSize > 0
+	z.wantSize = 0
+	if fcsSize > 0 {
+		if _, err := io.ReadFull(z.src, z.tmp[:fcsSize]); err != nil {
+			return z.fail("frame content size", err)
+		}
+		z.wantSize = leN(z.tmp[:fcsSize])
+		if fcsSize == 2 {
+			z.wantSize += 256
+		}
+	}
+	z.inFrame = true
+	z.frameBytes = 0
+	z.hash.reset()
+	return nil
+}
+
+// startBlock reads one 3-byte block header and primes block delivery.
+func (z *zstdReader) startBlock() error {
+	if _, err := io.ReadFull(z.src, z.tmp[:3]); err != nil {
+		return z.fail("block header", err)
+	}
+	hdr := uint32(z.tmp[0]) | uint32(z.tmp[1])<<8 | uint32(z.tmp[2])<<16
+	z.lastBlock = hdr&1 != 0
+	size := int(hdr >> 3)
+	switch (hdr >> 1) & 3 {
+	case blockRaw:
+		z.rle = false
+	case blockRLE:
+		if _, err := io.ReadFull(z.src, z.tmp[:1]); err != nil {
+			return z.fail("RLE byte", err)
+		}
+		z.rle, z.rleByte = true, z.tmp[0]
+	case blockCompressed:
+		return ErrZstdCompressedBlock
+	default:
+		return errors.New("zstd: reserved block type")
+	}
+	z.blockLeft = size
+	z.inBlock = true
+	return nil
+}
+
+// finishFrame verifies the declared content size and the xxhash64
+// checksum (when present) and re-arms for the next frame.
+func (z *zstdReader) finishFrame() error {
+	if z.haveFCS && z.frameBytes != z.wantSize {
+		return fmt.Errorf("zstd: frame decoded to %d bytes, header declared %d", z.frameBytes, z.wantSize)
+	}
+	if z.checksum {
+		if _, err := io.ReadFull(z.src, z.tmp[:4]); err != nil {
+			return z.fail("content checksum", err)
+		}
+		if want, got := le32(z.tmp[:4]), uint32(z.hash.sum64()); want != got {
+			return fmt.Errorf("zstd: content checksum mismatch (frame says %08x, decoded %08x)", want, got)
+		}
+	}
+	z.inFrame = false
+	return nil
+}
+
+// fail wraps a truncation (or transport) error with where in the frame
+// grammar it happened; EOF inside a structure is always unexpected.
+func (z *zstdReader) fail(what string, err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("zstd: truncated frame (%s): %w", what, err)
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func leN(b []byte) uint64 {
+	var v uint64
+	for i, x := range b {
+		v |= uint64(x) << (8 * i)
+	}
+	return v
+}
+
+// zstdStoreBlockSize is the writer's raw-block payload size: 64 KiB,
+// comfortably under the format's min(window, 128 KiB) block bound.
+const zstdStoreBlockSize = 1 << 16
+
+// ZstdWriter emits store-mode zstd frames: raw blocks only, window
+// descriptor 128 KiB, frame content checksum appended on Close. Output
+// is a fully conforming zstd frame (the reference `zstd -d` decodes
+// it) that any client can produce cheaply — and the only zstd flavour
+// the built-in decoder accepts, keeping encode/decode symmetric.
+type ZstdWriter struct {
+	w      io.Writer
+	buf    []byte
+	hash   xxh64
+	opened bool
+	closed bool
+	err    error
+}
+
+// NewZstdWriter returns a store-mode zstd encoder writing frames to w.
+// Close flushes the final block and the checksum.
+func NewZstdWriter(w io.Writer) *ZstdWriter {
+	return &ZstdWriter{w: w}
+}
+
+func (zw *ZstdWriter) Write(p []byte) (int, error) {
+	if zw.err != nil {
+		return 0, zw.err
+	}
+	if zw.closed {
+		return 0, errors.New("zstd: write after Close")
+	}
+	zw.hash.write(p)
+	zw.buf = append(zw.buf, p...)
+	// Keep at least one byte buffered: the final block must carry the
+	// last-block flag, and only Close knows which block is final.
+	for len(zw.buf) > zstdStoreBlockSize {
+		if zw.err = zw.flushBlock(zw.buf[:zstdStoreBlockSize], false); zw.err != nil {
+			return 0, zw.err
+		}
+		zw.buf = zw.buf[zstdStoreBlockSize:]
+	}
+	return len(p), nil
+}
+
+// Close flushes the last block (an empty one for an empty stream) and
+// the content checksum. It does not close the underlying writer.
+func (zw *ZstdWriter) Close() error {
+	if zw.err != nil {
+		return zw.err
+	}
+	if zw.closed {
+		return nil
+	}
+	zw.closed = true
+	if zw.err = zw.flushBlock(zw.buf, true); zw.err != nil {
+		return zw.err
+	}
+	sum := uint32(zw.hash.sum64())
+	_, zw.err = zw.w.Write([]byte{byte(sum), byte(sum >> 8), byte(sum >> 16), byte(sum >> 24)})
+	return zw.err
+}
+
+func (zw *ZstdWriter) flushBlock(data []byte, last bool) error {
+	if !zw.opened {
+		zw.opened = true
+		// Magic, descriptor (content checksum, no single-segment, no
+		// dict, no FCS), window descriptor exponent 7 → 1<<17 bytes.
+		if _, err := zw.w.Write([]byte{0x28, 0xB5, 0x2F, 0xFD, 0x04, 0x38}); err != nil {
+			return err
+		}
+	}
+	hdr := uint32(len(data))<<3 | blockRaw<<1
+	if last {
+		hdr |= 1
+	}
+	if _, err := zw.w.Write([]byte{byte(hdr), byte(hdr >> 8), byte(hdr >> 16)}); err != nil {
+		return err
+	}
+	_, err := zw.w.Write(data)
+	return err
+}

@@ -1,0 +1,79 @@
+// http.go is the daemon's HTTP instrumentation: middleware that meters
+// every request by route pattern and status code, feeding the
+// per-endpoint counters and latency histograms /metrics serves.
+
+package metrics
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DefBuckets are the default latency buckets (seconds) — the spread
+// Prometheus client libraries ship, wide enough for both in-memory
+// snapshot reads and GB-scale ingest requests.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// HTTP meters an http.Handler: request totals by (route, code) and a
+// latency histogram by route. Route is the mux pattern that matched
+// (e.g. "POST /v1/collections/{name}/ingest"), so path parameters don't
+// explode the label cardinality; unrouted requests meter as "unmatched".
+type HTTP struct {
+	requests *CounterVec
+	latency  *HistogramVec
+}
+
+// NewHTTP registers the middleware's families on reg under the given
+// namespace prefix (e.g. "jsinferd").
+func NewHTTP(reg *Registry, namespace string) *HTTP {
+	return &HTTP{
+		requests: reg.CounterVec(namespace+"_http_requests_total",
+			"HTTP requests served, by route pattern and status code.", "route", "code"),
+		latency: reg.HistogramVec(namespace+"_http_request_seconds",
+			"HTTP request latency in seconds, by route pattern.", DefBuckets, "route"),
+	}
+}
+
+// Wrap returns next instrumented: every request is timed and counted
+// after next finishes, under the route pattern the mux matched.
+func (h *HTTP) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		h.requests.With(route, strconv.Itoa(code)).Inc()
+		h.latency.With(route).Observe(time.Since(start).Seconds())
+	})
+}
+
+// statusWriter records the status code a handler wrote. Unwrap keeps
+// http.ResponseController features (flush, deadlines) reachable.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

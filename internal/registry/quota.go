@@ -1,0 +1,147 @@
+// quota.go is the registry's ingest admission control: per-collection
+// token buckets over documents and bytes per second. Admission is
+// checked before a single body byte is read — the caller learns
+// "rejected, retry in N seconds" without paying for decode — and the
+// buckets are charged with the *actual* docs/bytes a finished ingest
+// consumed (a debt model: a request admitted on a nearly-empty bucket
+// may drive the balance negative, and the debt delays the next
+// admission). That keeps admission O(1) and byte-exact without needing
+// to predict a request's cost up front.
+
+package registry
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Quota is a per-collection ingest rate limit: sustained documents per
+// second and (decoded) bytes per second, each with one second of burst
+// capacity. A zero field is unlimited; the zero Quota admits
+// everything.
+type Quota struct {
+	DocsPerSec  float64
+	BytesPerSec float64
+}
+
+// Limited reports whether q constrains anything.
+func (q Quota) Limited() bool { return q.DocsPerSec > 0 || q.BytesPerSec > 0 }
+
+func (q Quota) String() string {
+	if !q.Limited() {
+		return "unlimited"
+	}
+	return fmt.Sprintf("docs=%g/s bytes=%g/s", q.DocsPerSec, q.BytesPerSec)
+}
+
+// RateLimitError reports an ingest rejected by the collection's quota.
+// RetryAfter is how long until the exhausted bucket readmits; the
+// daemon surfaces it as a Retry-After header on a 429.
+type RateLimitError struct {
+	Collection string
+	Exceeded   string // "docs" or "bytes"
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("registry: collection %q over its %s quota, retry in %s",
+		e.Collection, e.Exceeded, e.RetryAfter.Round(time.Millisecond))
+}
+
+// limiter holds a collection's two token buckets. Balances refill
+// continuously at the quota rate, cap at one second of traffic, and go
+// negative when an admitted ingest outweighs the remaining balance.
+type limiter struct {
+	mu    sync.Mutex
+	q     Quota
+	docs  float64 // current balances; negative = debt
+	bytes float64
+	last  time.Time
+}
+
+func newLimiter(q Quota, now time.Time) *limiter {
+	l := &limiter{q: q, last: now}
+	l.docs = q.DocsPerSec
+	l.bytes = q.BytesPerSec
+	return l
+}
+
+// refill advances the buckets to now. Callers hold l.mu.
+func (l *limiter) refill(now time.Time) {
+	dt := now.Sub(l.last).Seconds()
+	if dt < 0 {
+		dt = 0
+	}
+	l.last = now
+	l.docs = math.Min(l.docs+dt*l.q.DocsPerSec, l.q.DocsPerSec)
+	l.bytes = math.Min(l.bytes+dt*l.q.BytesPerSec, l.q.BytesPerSec)
+}
+
+// admit refills and decides: a request is admitted while every limited
+// bucket holds a positive balance. On rejection it returns the
+// RateLimitError naming the bucket that will take longest to recover.
+func (l *limiter) admit(collection string, now time.Time) *RateLimitError {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.q.Limited() {
+		return nil
+	}
+	l.refill(now)
+	var worst *RateLimitError
+	if l.q.DocsPerSec > 0 && l.docs <= 0 {
+		worst = &RateLimitError{Collection: collection, Exceeded: "docs",
+			RetryAfter: recovery(l.docs, 1, l.q.DocsPerSec)}
+	}
+	if l.q.BytesPerSec > 0 && l.bytes <= 0 {
+		if e := (&RateLimitError{Collection: collection, Exceeded: "bytes",
+			RetryAfter: recovery(l.bytes, 1, l.q.BytesPerSec)}); worst == nil || e.RetryAfter > worst.RetryAfter {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// recovery is the time for a bucket at balance to refill past want.
+func recovery(balance, want, rate float64) time.Duration {
+	secs := (want - balance) / rate
+	return time.Duration(secs * float64(time.Second))
+}
+
+// charge debits what a finished ingest actually consumed. Balances may
+// go negative; the debt delays later admissions.
+func (l *limiter) charge(docs, bytes int64, now time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.q.Limited() {
+		return
+	}
+	l.refill(now)
+	if l.q.DocsPerSec > 0 {
+		l.docs -= float64(docs)
+	}
+	if l.q.BytesPerSec > 0 {
+		l.bytes -= float64(bytes)
+	}
+}
+
+// setQuota swaps the quota in place (the PUT ?quota= override on a
+// live collection). Balances reset to a full burst under the new rates:
+// quota changes are an operator action, not a loophole-closing one, so
+// the simple semantics win.
+func (l *limiter) setQuota(q Quota, now time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.q = q
+	l.docs = q.DocsPerSec
+	l.bytes = q.BytesPerSec
+	l.last = now
+}
+
+// quota reads the current quota.
+func (l *limiter) quota() Quota {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.q
+}

@@ -1,0 +1,222 @@
+package registry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock pins the registry's quota clock to a settable instant.
+func fakeClock(reg *Registry) func(d time.Duration) {
+	cur := time.Unix(1000, 0)
+	reg.now = func() time.Time { return cur }
+	return func(d time.Duration) { cur = cur.Add(d) }
+}
+
+// readRecorder fails the test if anything reads it — the "429 before
+// any body byte is read" pin.
+type readRecorder struct {
+	t    *testing.T
+	what string
+	read bool
+}
+
+func (r *readRecorder) Read(p []byte) (int, error) {
+	r.read = true
+	r.t.Errorf("%s: body was read", r.what)
+	return 0, errors.New("must not be read")
+}
+
+func ndocs(n int) string {
+	return strings.Repeat(`{"a": 1}`+"\n", n)
+}
+
+func TestQuotaDocsAdmissionAndRecovery(t *testing.T) {
+	reg := New(Options{Quota: Quota{DocsPerSec: 10}})
+	defer reg.Close()
+	advance := fakeClock(reg)
+
+	// The first ingest is admitted on the full burst (10 docs) and may
+	// overdraw: 30 docs leave the bucket 20 in debt.
+	res, err := reg.Ingest("c", strings.NewReader(ndocs(30)))
+	if err != nil || res.Docs != 30 {
+		t.Fatalf("first ingest: docs=%d err=%v", res.Docs, err)
+	}
+
+	// The next request is rejected before any body byte is read.
+	rr := &readRecorder{t: t, what: "rate-limited ingest"}
+	res, err = reg.Ingest("c", rr)
+	var rl *RateLimitError
+	if !errors.As(err, &rl) {
+		t.Fatalf("err = %v, want *RateLimitError", err)
+	}
+	if rl.Exceeded != "docs" || rl.Collection != "c" {
+		t.Errorf("rl = %+v", rl)
+	}
+	// Debt of 20 at 10 docs/s: ~2.1s to readmit one doc.
+	if rl.RetryAfter < 2*time.Second || rl.RetryAfter > 3*time.Second {
+		t.Errorf("RetryAfter = %s, want ~2.1s", rl.RetryAfter)
+	}
+	if res.Docs != 0 || res.TotalDocs != 30 {
+		t.Errorf("rejected result = %+v, want docs=0 total=30", res)
+	}
+
+	// Rejections are counted but are not ingests, errors or versions.
+	snap, _ := reg.Get("c")
+	if snap.RateLimited != 1 || snap.Errors != 0 || snap.Ingests != 1 || snap.Version != 1 {
+		t.Errorf("counters after rejection: %+v", snap)
+	}
+
+	// The bucket refills with time; after the debt clears, ingest runs.
+	advance(rl.RetryAfter + 100*time.Millisecond)
+	if res, err = reg.Ingest("c", strings.NewReader(ndocs(1))); err != nil || res.Docs != 1 {
+		t.Fatalf("ingest after recovery: docs=%d err=%v", res.Docs, err)
+	}
+}
+
+func TestQuotaBytes(t *testing.T) {
+	reg := New(Options{Quota: Quota{BytesPerSec: 100}})
+	defer reg.Close()
+	advance := fakeClock(reg)
+
+	body := ndocs(60) // 540 bytes ≫ the 100-byte burst
+	res, err := reg.Ingest("c", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != int64(len(body)) {
+		t.Errorf("result bytes = %d, want %d", res.Bytes, len(body))
+	}
+	_, err = reg.Ingest("c", &readRecorder{t: t, what: "bytes-limited ingest"})
+	var rl *RateLimitError
+	if !errors.As(err, &rl) || rl.Exceeded != "bytes" {
+		t.Fatalf("err = %v, want bytes RateLimitError", err)
+	}
+	// 440 bytes of debt at 100 B/s.
+	if rl.RetryAfter < 4*time.Second || rl.RetryAfter > 5*time.Second {
+		t.Errorf("RetryAfter = %s, want ~4.4s", rl.RetryAfter)
+	}
+	snap, _ := reg.Get("c")
+	if snap.Bytes != int64(len(body)) || snap.RateLimited != 1 {
+		t.Errorf("snapshot bytes=%d ratelimited=%d", snap.Bytes, snap.RateLimited)
+	}
+	advance(6 * time.Second)
+	if _, err := reg.Ingest("c", strings.NewReader(ndocs(1))); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+}
+
+func TestQuotaPerCollectionOverrideAndUpdate(t *testing.T) {
+	// Registry default unlimited; one collection pins a tight quota.
+	reg := New(Options{})
+	defer reg.Close()
+	fakeClock(reg)
+
+	q := Quota{DocsPerSec: 5}
+	if _, _, err := reg.Create("tight", CollectionOptions{Quota: &q}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Ingest("tight", strings.NewReader(ndocs(50))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Ingest("tight", &readRecorder{t: t, what: "tight"}); err == nil {
+		t.Fatal("tight collection must be rate-limited")
+	}
+	// Sibling collections under the unlimited default are unaffected.
+	for i := 0; i < 3; i++ {
+		if _, err := reg.Ingest("open", strings.NewReader(ndocs(100))); err != nil {
+			t.Fatalf("open collection ingest %d: %v", i, err)
+		}
+	}
+
+	// Create on the live collection re-targets the quota (the PUT
+	// ?quota= override): lifting it readmits immediately.
+	lifted := Quota{}
+	if _, created, err := reg.Create("tight", CollectionOptions{Quota: &lifted}); err != nil || created {
+		t.Fatalf("quota update: created=%v err=%v", created, err)
+	}
+	snap, _ := reg.Get("tight")
+	if snap.Quota.Limited() {
+		t.Errorf("quota after lift = %v, want unlimited", snap.Quota)
+	}
+	if _, err := reg.Ingest("tight", strings.NewReader(ndocs(1))); err != nil {
+		t.Fatalf("ingest after quota lift: %v", err)
+	}
+
+	// And tightening it to an already-overdrawn-able rate limits again
+	// after a charge.
+	tight := Quota{DocsPerSec: 1}
+	reg.Create("tight", CollectionOptions{Quota: &tight})
+	if _, err := reg.Ingest("tight", strings.NewReader(ndocs(10))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Ingest("tight", &readRecorder{t: t, what: "re-tightened"}); err == nil {
+		t.Fatal("re-tightened collection must be rate-limited")
+	}
+}
+
+// TestQuotaIngestCreatesWithOverride pins that an ingest creating a
+// collection honours CollectionOptions.Quota, while an override on an
+// existing collection is inert (updates go through Create).
+func TestQuotaIngestCreatesWithOverride(t *testing.T) {
+	reg := New(Options{})
+	defer reg.Close()
+	fakeClock(reg)
+	q := Quota{DocsPerSec: 2}
+	if _, err := reg.IngestWith("c", strings.NewReader(ndocs(20)), CollectionOptions{Quota: &q}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Ingest("c", &readRecorder{t: t, what: "created-with-quota"}); err == nil {
+		t.Fatal("collection created with a quota must enforce it")
+	}
+	// An override on a later ingest does not silently lift the limit.
+	open := Quota{}
+	if _, err := reg.IngestWith("c", &readRecorder{t: t, what: "inert override"}, CollectionOptions{Quota: &open}); err == nil {
+		t.Fatal("ingest-time quota override on an existing collection must not lift the limit")
+	}
+}
+
+// TestQuotaStatsAggregation: bytes and rate-limited rejections roll up
+// into registry-wide stats.
+func TestQuotaStatsAggregation(t *testing.T) {
+	reg := New(Options{Quota: Quota{DocsPerSec: 1}})
+	defer reg.Close()
+	fakeClock(reg)
+	body := ndocs(5)
+	reg.Ingest("a", strings.NewReader(body))
+	reg.Ingest("b", strings.NewReader(body))
+	reg.Ingest("a", strings.NewReader(body)) // rejected: debt
+	st := reg.Stats()
+	if st.Bytes != int64(2*len(body)) {
+		t.Errorf("stats bytes = %d, want %d", st.Bytes, 2*len(body))
+	}
+	if st.RateLimited != 1 {
+		t.Errorf("stats rate-limited = %d, want 1", st.RateLimited)
+	}
+}
+
+// TestQuotaErrorKeepsCollectionUsable: a rejected ingest leaves no
+// trace in the schema and the collection serves normally.
+func TestQuotaErrorKeepsCollectionUsable(t *testing.T) {
+	reg := New(Options{Quota: Quota{DocsPerSec: 1}})
+	defer reg.Close()
+	advance := fakeClock(reg)
+	reg.Ingest("c", strings.NewReader(`{"a": 1}`+"\n"+`{"a": 2}`+"\n"))
+	before, _ := reg.Get("c")
+	if _, err := reg.Ingest("c", strings.NewReader(`{"b": true}`+"\n")); err == nil {
+		t.Fatal("want rate limit")
+	}
+	after, _ := reg.Get("c")
+	if after.Type.StringCounted() != before.Type.StringCounted() || after.Docs != before.Docs {
+		t.Errorf("rejected ingest mutated the collection: %s -> %s", before.Type, after.Type)
+	}
+	advance(5 * time.Second)
+	if _, err := reg.Ingest("c", strings.NewReader(`{"b": true}`+"\n")); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+	final, _ := reg.Get("c")
+	if final.Type.String() != "{a: Int, b?: Bool}" && !strings.Contains(final.Type.String(), "b") {
+		t.Errorf("recovered schema = %s", final.Type)
+	}
+}

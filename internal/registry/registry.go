@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/infer"
 	"repro/internal/jsontext"
@@ -35,6 +36,11 @@ type Options struct {
 	// Tokenizer picks the ingest pipeline's lexing machinery; the zero
 	// value is the mison structural-index fast path.
 	Tokenizer infer.Tokenizer
+	// Quota is the default ingest rate limit for new collections (the
+	// daemon's -rate-docs/-rate-bytes flags); the zero value is
+	// unlimited. Collections can pin their own via
+	// CollectionOptions.Quota.
+	Quota Quota
 }
 
 // CollectionOptions override registry-wide defaults for one collection.
@@ -47,6 +53,12 @@ type CollectionOptions struct {
 	// never silently coerced — mixing equivalences in one accumulator
 	// would make the schema depend on request order.
 	Equiv *typelang.Equiv
+	// Quota, when non-nil, sets the collection's ingest rate limit
+	// instead of the registry default. Unlike Equiv it is an operator
+	// knob, not an identity: Create on an existing collection with a
+	// Quota override updates the live quota in place (Ingest overrides
+	// only apply when the ingest creates the collection).
+	Quota *Quota
 }
 
 // ErrEquivMismatch reports a per-collection equivalence override that
@@ -59,6 +71,7 @@ var ErrEquivMismatch = errors.New("equivalence differs from the collection's")
 type Registry struct {
 	opts    Options
 	symbols *jsontext.SymbolTable
+	now     func() time.Time // quota clock; swapped in tests
 
 	mu   sync.RWMutex // guards cols (the map, not the collections)
 	cols map[string]*collection
@@ -72,9 +85,12 @@ type collection struct {
 	name    string
 	equiv   typelang.Equiv // fixed at creation
 	col     *infer.ShardedCollector
+	lim     *limiter
 	version atomic.Uint64 // completed ingests
 	ingests atomic.Int64  // ingest requests finished (with or without error)
 	errors  atomic.Int64  // ingest requests that ended in an error
+	bytesIn atomic.Int64  // decoded payload bytes read by finished ingests
+	limited atomic.Int64  // ingest requests rejected by the quota
 
 	// life guards the collector against Delete: ingests hold the read
 	// side for their whole run, Delete takes the write side before
@@ -90,6 +106,7 @@ func New(opts Options) *Registry {
 	return &Registry{
 		opts:    opts,
 		symbols: jsontext.NewSymbolTable(),
+		now:     time.Now,
 		cols:    make(map[string]*collection),
 	}
 }
@@ -104,6 +121,10 @@ func (r *Registry) resolve(name string, co CollectionOptions) (c *collection, cr
 	if co.Equiv != nil {
 		want = *co.Equiv
 	}
+	quota := r.opts.Quota
+	if co.Quota != nil {
+		quota = *co.Quota
+	}
 	r.mu.RLock()
 	c = r.cols[name]
 	r.mu.RUnlock()
@@ -114,6 +135,7 @@ func (r *Registry) resolve(name string, co CollectionOptions) (c *collection, cr
 				name:  name,
 				equiv: want,
 				col:   infer.NewShardedCollector(r.opts.Shards, want),
+				lim:   newLimiter(quota, r.now()),
 			}
 			r.cols[name] = c
 			created = true
@@ -137,6 +159,11 @@ func (r *Registry) Create(name string, co CollectionOptions) (Snapshot, bool, er
 	if err != nil {
 		return Snapshot{}, false, err
 	}
+	if !created && co.Quota != nil {
+		// Quota is an operator knob: a Create (the daemon's PUT) on an
+		// existing collection re-targets the live limiter.
+		c.lim.setQuota(*co.Quota, r.now())
+	}
 	return c.snapshot(), created, nil
 }
 
@@ -149,6 +176,9 @@ type IngestResult struct {
 	Docs int
 	// TotalDocs is the collection's document count including this call.
 	TotalDocs int64
+	// Bytes is the number of payload bytes this call read — decoded
+	// bytes, when the caller hands the registry a decompressing reader.
+	Bytes int64
 	// Version is the collection version after this call.
 	Version uint64
 }
@@ -171,9 +201,13 @@ func (r *Registry) Ingest(name string, rd io.Reader) (IngestResult, error) {
 }
 
 // IngestWith is Ingest with per-collection overrides: the collection is
-// created under co's pinned equivalence when it does not exist yet, and
-// an override that disagrees with an existing collection's equivalence
-// is rejected (ErrEquivMismatch, wrapped) before any byte is read.
+// created under co's pinned equivalence (and quota) when it does not
+// exist yet, and an override that disagrees with an existing
+// collection's equivalence is rejected (ErrEquivMismatch, wrapped)
+// before any byte is read. A collection over its quota is likewise
+// rejected before any byte is read: the error is a *RateLimitError
+// carrying the retry delay, the rejection is counted, and rd is
+// untouched.
 func (r *Registry) IngestWith(name string, rd io.Reader, co CollectionOptions) (IngestResult, error) {
 	var c *collection
 	for {
@@ -190,7 +224,13 @@ func (r *Registry) IngestWith(name string, rd io.Reader, co CollectionOptions) (
 		c.life.RUnlock()
 	}
 	defer c.life.RUnlock()
-	n, err := infer.InferStreamInto(rd, infer.Options{
+	if rlErr := c.lim.admit(name, r.now()); rlErr != nil {
+		c.limited.Add(1)
+		_, total := c.col.Snapshot()
+		return IngestResult{Collection: name, TotalDocs: total, Version: c.version.Load()}, rlErr
+	}
+	cr := &countReader{r: rd}
+	n, err := infer.InferStreamInto(cr, infer.Options{
 		Equiv:     c.equiv,
 		Workers:   r.opts.Workers,
 		Batch:     r.opts.Batch,
@@ -198,6 +238,9 @@ func (r *Registry) IngestWith(name string, rd io.Reader, co CollectionOptions) (
 		Symbols:   r.symbols,
 	}, c.col)
 	c.col.Flush()
+	bytes := cr.n.Load()
+	c.lim.charge(int64(n), bytes, r.now())
+	c.bytesIn.Add(bytes)
 	c.ingests.Add(1)
 	if err != nil {
 		c.errors.Add(1)
@@ -205,7 +248,21 @@ func (r *Registry) IngestWith(name string, rd io.Reader, co CollectionOptions) (
 	}
 	v := c.version.Add(1)
 	_, total := c.col.Snapshot()
-	return IngestResult{Collection: name, Docs: n, TotalDocs: total, Version: v}, err
+	return IngestResult{Collection: name, Docs: n, TotalDocs: total, Bytes: bytes, Version: v}, err
+}
+
+// countReader counts payload bytes for the quota charge and the ingest
+// byte counters. The count is atomic: the pipeline's reader goroutine
+// writes it while the ingest call's goroutine reads it afterwards.
+type countReader struct {
+	r io.Reader
+	n atomic.Int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
 }
 
 // Snapshot is a point-in-time view of one collection. Type is immutable
@@ -228,6 +285,13 @@ type Snapshot struct {
 	// them ended in an error.
 	Ingests int64
 	Errors  int64
+	// Bytes counts the decoded payload bytes finished ingests read.
+	Bytes int64
+	// RateLimited counts ingest calls rejected by the quota.
+	RateLimited int64
+	// Quota is the collection's current ingest rate limit (zero =
+	// unlimited).
+	Quota Quota
 }
 
 // Get returns a snapshot of the named collection. It never blocks
@@ -249,13 +313,16 @@ func (c *collection) snapshot() Snapshot {
 	v := c.version.Load()
 	t, docs := c.col.Snapshot()
 	return Snapshot{
-		Name:    c.name,
-		Equiv:   c.equiv,
-		Type:    t,
-		Docs:    docs,
-		Version: v,
-		Ingests: c.ingests.Load(),
-		Errors:  c.errors.Load(),
+		Name:        c.name,
+		Equiv:       c.equiv,
+		Type:        t,
+		Docs:        docs,
+		Version:     v,
+		Ingests:     c.ingests.Load(),
+		Errors:      c.errors.Load(),
+		Bytes:       c.bytesIn.Load(),
+		RateLimited: c.limited.Load(),
+		Quota:       c.lim.quota(),
 	}
 }
 
@@ -315,6 +382,11 @@ type Stats struct {
 	Docs        int64
 	Ingests     int64
 	Errors      int64
+	// Bytes is the decoded payload bytes read by finished ingests
+	// across live collections.
+	Bytes int64
+	// RateLimited counts ingest calls rejected by collection quotas.
+	RateLimited int64
 	// Symbols is the number of distinct field names interned across all
 	// workers, requests and collections.
 	Symbols int
@@ -334,6 +406,8 @@ func (r *Registry) Stats() Stats {
 		s.Docs += snap.Docs
 		s.Ingests += snap.Ingests
 		s.Errors += snap.Errors
+		s.Bytes += snap.Bytes
+		s.RateLimited += snap.RateLimited
 		s.SchemaNodes += snap.Type.Size()
 	}
 	return s

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/genjson"
@@ -149,9 +150,76 @@ func TestConcurrentIngestStorm(t *testing.T) {
 			}(name, w)
 		}
 	}
+
+	// Churn collections ride alongside the deterministic ones: delete
+	// racing ingest, equiv-pinned creates (matching and conflicting),
+	// and a tight quota rejecting most writers. None of these touch the
+	// col-* collections, so the byte-identical assertions below are
+	// unaffected — the point is that the interleavings survive the race
+	// detector and fail only in the sanctioned ways.
+	churnDoc := []byte(`{"churn": true}` + "\n")
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := 0; s < slices; s++ {
+				if _, err := reg.Ingest("churn-del", bytes.NewReader(churnDoc)); err != nil {
+					t.Errorf("churn-del ingest: %v", err)
+				}
+				if w == 0 {
+					reg.Delete("churn-del") // may or may not hit a live one
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		match, clash := typelang.EquivLabel, typelang.EquivKind
+		for s := 0; s < writers*slices; s++ {
+			if _, _, err := reg.Create("churn-equiv", CollectionOptions{Equiv: &match}); err != nil {
+				t.Errorf("churn-equiv create: %v", err)
+			}
+			if _, _, err := reg.Create("churn-equiv", CollectionOptions{Equiv: &clash}); !errors.Is(err, ErrEquivMismatch) {
+				t.Errorf("conflicting create: err = %v, want ErrEquivMismatch", err)
+			}
+		}
+	}()
+	tight := Quota{DocsPerSec: 1}
+	if _, _, err := reg.Create("churn-rl", CollectionOptions{Quota: &tight}); err != nil {
+		t.Fatal(err)
+	}
+	var admitted, limited atomic.Int64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := 0; s < slices; s++ {
+				_, err := reg.Ingest("churn-rl", bytes.NewReader(churnDoc))
+				var rl *RateLimitError
+				switch {
+				case err == nil:
+					admitted.Add(1)
+				case errors.As(err, &rl):
+					limited.Add(1)
+				default:
+					t.Errorf("churn-rl: unexpected error kind: %v", err)
+				}
+			}
+		}()
+	}
 	wg.Wait()
 	close(stopReads)
 	readers.Wait()
+
+	// The quota admitted at least the first request and the counters
+	// agree with what the writers observed.
+	if admitted.Load() < 1 {
+		t.Error("rate-limited collection admitted nothing")
+	}
+	if snap, ok := reg.Get("churn-rl"); !ok || snap.RateLimited != limited.Load() {
+		t.Errorf("churn-rl RateLimited = %d, writers saw %d rejections", snap.RateLimited, limited.Load())
+	}
 
 	for c := 0; c < collections; c++ {
 		name := fmt.Sprintf("col-%d", c)
@@ -173,8 +241,11 @@ func TestConcurrentIngestStorm(t *testing.T) {
 				name, snap.Version, snap.Ingests, snap.Errors, writers*slices, writers*slices)
 		}
 	}
-	if st := reg.Stats(); st.Collections != collections || st.Symbols == 0 {
-		t.Errorf("stats = %+v, want %d collections and a non-empty symbol table", st, collections)
+	// col-* plus churn-equiv and churn-rl survive; churn-del may or may
+	// not, depending on how the last delete raced the last ingest.
+	if st := reg.Stats(); st.Collections < collections+2 || st.Collections > collections+3 || st.Symbols == 0 {
+		t.Errorf("stats = %+v, want %d-%d collections and a non-empty symbol table",
+			st, collections+2, collections+3)
 	}
 }
 
@@ -207,6 +278,49 @@ func TestIngestErrorKeepsPrefix(t *testing.T) {
 	}
 	if snap.Docs != 2 || snap.Version != 2 {
 		t.Errorf("docs=%d version=%d after recovery, want 2/2", snap.Docs, snap.Version)
+	}
+}
+
+// stutterReader delivers its payload then fails with a transport-style
+// error — an io.Reader dying mid-body, as a dropped connection does.
+type stutterReader struct {
+	data []byte
+	off  int
+}
+
+func (s *stutterReader) Read(p []byte) (int, error) {
+	if s.off >= len(s.data) {
+		return 0, fmt.Errorf("transport: connection reset mid-body")
+	}
+	n := copy(p, s.data[s.off:])
+	s.off += n
+	return n, nil
+}
+
+// TestIngestReaderErrorMidBody: when the body reader itself fails —
+// not malformed JSON, a transport error — the documents delivered
+// before the failure are committed, the error is counted, and the
+// collection remains usable.
+func TestIngestReaderErrorMidBody(t *testing.T) {
+	reg := New(Options{})
+	defer reg.Close()
+	res, err := reg.Ingest("c", &stutterReader{data: []byte("{\"a\": 1}\n{\"a\": 2}\n")})
+	if err == nil || !strings.Contains(err.Error(), "connection reset") {
+		t.Fatalf("err = %v, want the transport error surfaced", err)
+	}
+	if res.Docs != 2 {
+		t.Errorf("committed docs = %d, want the 2 delivered before the failure", res.Docs)
+	}
+	snap, _ := reg.Get("c")
+	if snap.Errors != 1 || snap.Docs != 2 {
+		t.Errorf("errors=%d docs=%d, want 1/2", snap.Errors, snap.Docs)
+	}
+	if _, err := reg.Ingest("c", strings.NewReader("{\"b\": true}\n")); err != nil {
+		t.Fatalf("ingest after transport error: %v", err)
+	}
+	snap, _ = reg.Get("c")
+	if snap.Docs != 3 {
+		t.Errorf("docs after recovery = %d, want 3", snap.Docs)
 	}
 }
 

@@ -1,52 +1,90 @@
 #!/usr/bin/env bash
-# Daemon smoke test: boot jsinferd, POST a checked-in fixture, and
-# assert the served schema is byte-identical to batch `jsinfer -stream`
-# over the same file (the acceptance criterion of the registry layer).
-# Run from anywhere; used by `make smoke-daemon` and CI.
+# Daemon smoke test: boot jsinferd, POST a checked-in fixture (identity
+# and gzip-encoded), and assert the served schemas are byte-identical to
+# batch `jsinfer -stream` over the same file, then assert /metrics
+# serves ingest counters that add up. Run from anywhere; used by
+# `make smoke-daemon` and CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fixture=testdata/tweets.ndjson
-addr=127.0.0.1:18787
-base="http://$addr"
+fixture_docs=25
 
 bindir=$(mktemp -d)
 pid=""
 cleanup() {
-    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    if [ -n "$pid" ]; then
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
     rm -rf "$bindir"
 }
 trap cleanup EXIT
 
 go build -o "$bindir" ./cmd/jsinferd ./cmd/jsinfer
 
-"$bindir/jsinferd" -addr "$addr" &
-pid=$!
-
-for _ in $(seq 1 100); do
-    if curl -fsS "$base/healthz" >/dev/null 2>&1; then
-        break
-    fi
-    if ! kill -0 "$pid" 2>/dev/null; then
-        echo "smoke: jsinferd exited before becoming healthy" >&2
-        exit 1
-    fi
-    sleep 0.1
+# Boot with port-collision retry: a daemon that dies before becoming
+# healthy (typically EADDRINUSE from a stale run) moves to the next
+# candidate port instead of failing the smoke.
+base=""
+for port in 18787 28787 38787 48787; do
+    addr=127.0.0.1:$port
+    "$bindir/jsinferd" -addr "$addr" &
+    pid=$!
+    for _ in $(seq 1 50); do
+        if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then
+            base="http://$addr"
+            break
+        fi
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    [ -n "$base" ] && break
+    echo "smoke: port $port unavailable, retrying on the next" >&2
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    pid=""
 done
-curl -fsS "$base/healthz" >/dev/null
-
-echo "smoke: ingesting $fixture"
-curl -fsS -X POST --data-binary "@$fixture" "$base/v1/collections/smoke/ingest"
-
-served=$(curl -fsS "$base/v1/collections/smoke/schema")
-batch=$("$bindir/jsinfer" -stream "$fixture")
-
-if [ "$served" != "$batch" ]; then
-    echo "smoke: schema mismatch" >&2
-    echo "  daemon:  $served" >&2
-    echo "  jsinfer: $batch" >&2
+if [ -z "$base" ]; then
+    echo "smoke: jsinferd never became healthy on any candidate port" >&2
     exit 1
 fi
+
+echo "smoke: ingesting $fixture (identity)"
+curl -fsS -X POST --data-binary "@$fixture" "$base/v1/collections/smoke/ingest"
+
+echo "smoke: ingesting $fixture (gzip)"
+gzip -c "$fixture" | curl -fsS -X POST -H 'Content-Encoding: gzip' \
+    --data-binary @- "$base/v1/collections/smoke-gz/ingest"
+
+batch=$("$bindir/jsinfer" -stream "$fixture")
+for col in smoke smoke-gz; do
+    served=$(curl -fsS "$base/v1/collections/$col/schema")
+    if [ "$served" != "$batch" ]; then
+        echo "smoke: schema mismatch on $col" >&2
+        echo "  daemon:  $served" >&2
+        echo "  jsinfer: $batch" >&2
+        exit 1
+    fi
+done
+echo "smoke: gzip-encoded ingest schema is byte-identical to identity"
+
+metrics=$(curl -fsS "$base/metrics")
+echo "$metrics" | grep -q '^# TYPE jsinferd_ingest_docs_total counter$' || {
+    echo "smoke: /metrics lacks the ingest counter TYPE line" >&2
+    exit 1
+}
+want_docs=$((2 * fixture_docs))
+echo "$metrics" | grep -q "^jsinferd_ingest_docs_total $want_docs\$" || {
+    echo "smoke: jsinferd_ingest_docs_total != $want_docs" >&2
+    echo "$metrics" | grep '^jsinferd_ingest' >&2
+    exit 1
+}
+echo "$metrics" | grep -q 'jsinferd_http_requests_total{route="POST /v1/collections/{name}/ingest",code="200"} 2' || {
+    echo "smoke: /metrics lacks the metered ingest route" >&2
+    exit 1
+}
+echo "smoke: /metrics counters reconcile ($want_docs docs across 2 encodings)"
 
 stats=$(curl -fsS "$base/v1/stats")
 echo "smoke: stats $stats"
