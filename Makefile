@@ -37,13 +37,13 @@ bench-stream:
 
 # Perf trajectory: the E3 streamed rows (ns/op, MB/s, allocs/op) as a
 # machine-readable JSON report — `go test -bench -json` post-processed
-# by cmd/jsbenchjson into BENCH_8.json, which CI uploads as an artifact
+# by cmd/jsbenchjson into BENCH_9.json, which CI uploads as an artifact
 # so every build leaves a comparable benchmark record. The fixture set
 # now includes the sparse/deep adversarial corpora, so the rows cover
 # record-group churn and deep-nesting costs too.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkE3StreamingInference' -benchtime 200ms -benchmem -json . \
-		| $(GO) run repro/cmd/jsbenchjson -out BENCH_8.json
+		| $(GO) run repro/cmd/jsbenchjson -out BENCH_9.json
 
 # Documentation smoke: formatting is clean, vet is clean, and every
 # documented package still renders a doc page.

@@ -9,7 +9,7 @@
 //	        [-output type|jsonschema|typescript|swift|report]
 //	        [-workers N] [-stream] [-tokenizer scan|mison]
 //	        [-map fused|refmap|indexed] [-precision] [-counted]
-//	        [-cpuprofile f] [-memprofile f] [file.ndjson ...]
+//	        [-stats] [-cpuprofile f] [-memprofile f] [file.ndjson ...]
 //
 // The parametric engines run their map/reduce over N workers
 // (-workers, default GOMAXPROCS). With -stream the input is never
@@ -31,6 +31,13 @@
 // cannot be re-read). Flag combinations that could only fail after the
 // (potentially huge) first pass are rejected up front.
 //
+// -stats (streamed runs only) prints the pipeline's flight recorder to
+// stderr after inference: per-stage wall clocks (read, split, map,
+// reduce, fuse) and the stage counters — chunks split, bytes lexed,
+// documents absorbed, index fast-path vs token-fallback records, chunk
+// parity rejections, collector publishes, root fuses and seals. The
+// schema on stdout is unaffected, so -stats composes with scripts.
+//
 // -cpuprofile and -memprofile write pprof profiles covering the
 // inference pass (the heap profile is taken after it completes), so
 // absorption-path work is profileable without editing benchmarks:
@@ -44,6 +51,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -65,6 +73,7 @@ func main() {
 	tokenizer := flag.String("tokenizer", "mison", "with -stream: lexing machinery, mison (default) or scan")
 	mapMode := flag.String("map", "fused", "with -stream: map phase, fused (default), indexed or refmap")
 	precision := flag.Bool("precision", false, "with -stream: compute precision in a second pass over the input files")
+	stats := flag.Bool("stats", false, "with -stream: print pipeline stage stats to stderr after inference")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the inference pass to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after inference) to this file")
 	flag.Parse()
@@ -144,12 +153,21 @@ func main() {
 	// Flag-only validation happens before any input is read: a bad
 	// combination must exit non-zero immediately, not after a
 	// potentially huge inference pass (or, worse, be silently ignored).
-	if err := validateStreamFlags(*stream, *precision, tokenizerSet, mapSet, *output, flag.NArg()); err != nil {
+	if err := validateStreamFlags(*stream, *precision, tokenizerSet, mapSet, *stats, *output, flag.NArg()); err != nil {
 		fatal(err)
 	}
 	if *stream {
+		var pstats *core.PipelineStats
+		if *stats {
+			pstats = &core.PipelineStats{}
+		}
 		var err error
-		result, ndocs, err = streamInput(flag.Args(), eng, core.StreamOptions{Workers: *workers, Tokenizer: tz, Map: mm})
+		result, ndocs, err = streamInput(flag.Args(), eng, core.StreamOptions{Workers: *workers, Tokenizer: tz, Map: mm, Stats: pstats})
+		if pstats != nil {
+			// Stats go to stderr even on an error exit: the partial
+			// counters cover exactly the work done before the failure.
+			printStats(os.Stderr, pstats.Snapshot())
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -226,10 +244,11 @@ func main() {
 // validateStreamFlags rejects stream-flag combinations up front, before
 // any input is read: -precision re-reads the input for the report's
 // precision column, so it needs -stream, the report output and
-// re-readable file arguments (stdin cannot be re-read); -tokenizer and
-// -map configure the streamed engines, so explicitly setting either
-// without -stream is a mistake rather than something to ignore.
-func validateStreamFlags(stream, precision, tokenizerSet, mapSet bool, output string, nArgs int) error {
+// re-readable file arguments (stdin cannot be re-read); -tokenizer,
+// -map and -stats configure the streamed engines, so explicitly setting
+// any of them without -stream is a mistake rather than something to
+// ignore.
+func validateStreamFlags(stream, precision, tokenizerSet, mapSet, stats bool, output string, nArgs int) error {
 	if !stream {
 		if precision {
 			return fmt.Errorf("-precision requires -stream (a materialised report always includes precision)")
@@ -239,6 +258,9 @@ func validateStreamFlags(stream, precision, tokenizerSet, mapSet bool, output st
 		}
 		if mapSet {
 			return fmt.Errorf("-map selects the streamed map phase; add -stream")
+		}
+		if stats {
+			return fmt.Errorf("-stats reports the streamed pipeline's counters; add -stream")
 		}
 		return nil
 	}
@@ -269,6 +291,23 @@ func readInput(files []string) ([]*jsonvalue.Value, error) {
 		docs = append(docs, part...)
 	}
 	return docs, nil
+}
+
+// printStats renders the pipeline flight recorder as a per-stage table
+// — the CLI face of the same counters jsinferd serves from /v1/stats
+// and /metrics. The stages overlap in real time (the reader splits
+// while the workers absorb), so the times answer "where did each
+// stage's goroutines spend their time", not fractions of the wall.
+func printStats(w io.Writer, s core.StatsSnapshot) {
+	ms := func(n int64) string { return fmt.Sprintf("%.3fms", float64(n)/1e6) }
+	fmt.Fprintln(w, "pipeline stats:")
+	fmt.Fprintf(w, "  %-7s %12s  %s\n", "stage", "time", "counters")
+	fmt.Fprintf(w, "  %-7s %12s  chunks_split=%d\n", "read", ms(s.ReadNanos), s.ChunksSplit)
+	fmt.Fprintf(w, "  %-7s %12s\n", "split", ms(s.SplitNanos))
+	fmt.Fprintf(w, "  %-7s %12s  docs_absorbed=%d bytes_lexed=%d index_records=%d fallback_records=%d parity_rejects=%d scan_delegations=%d\n",
+		"map", ms(s.MapNanos), s.DocsAbsorbed, s.BytesLexed, s.IndexRecords, s.FallbackRecords, s.ParityRejects, s.ScanDelegations)
+	fmt.Fprintf(w, "  %-7s %12s  batch_publishes=%d\n", "reduce", ms(s.ReduceNanos), s.BatchPublishes)
+	fmt.Fprintf(w, "  %-7s %12s  root_fuses=%d seals=%d\n", "fuse", ms(s.FuseNanos), s.RootFuses, s.Seals)
 }
 
 // streamInput runs streaming-parallel inference over stdin or the

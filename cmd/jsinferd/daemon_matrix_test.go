@@ -135,6 +135,14 @@ func TestDaemonMatrix(t *testing.T) {
 			wantStatus: 200, wantBody: `"collections"`},
 		{name: "unmatched-404", method: "GET", path: "/v1/nope",
 			wantStatus: 404},
+		{name: "debug-traces-200", method: "GET", path: "/debug/traces",
+			wantStatus: 200, wantBody: `"traces"`},
+		// pprof is the -debug-addr listener's surface only (see
+		// TestDebugHandlerServesPprof); the API mux must not know it.
+		{name: "pprof-absent-from-api-404", method: "GET", path: "/debug/pprof/",
+			wantStatus: 404},
+		{name: "pprof-profile-absent-from-api-404", method: "GET", path: "/debug/pprof/profile",
+			wantStatus: 404},
 
 		{name: "put-create-201", method: "PUT", path: "/v1/collections/c",
 			wantStatus: 201, wantBody: `"created": true`},
@@ -625,6 +633,58 @@ func TestMetricsReconcileWithStats(t *testing.T) {
 		if got := metricValue(t, exp, metric); got != float64(want.Int()) {
 			t.Errorf("%s = %v, /v1/stats %s = %d — counters must reconcile", metric, got, stat, want.Int())
 		}
+	}
+	// The pipeline flight recorder reconciles field for field: the
+	// jsinferd_pipeline_* gauges read the same registry snapshots the
+	// /v1/stats "pipeline" object serializes, so after quiesce they are
+	// equal — counters exactly, stage clocks under the same nanos→seconds
+	// conversion.
+	pv, ok := sv.Get("pipeline")
+	if !ok {
+		t.Fatal(`/v1/stats lacks "pipeline"`)
+	}
+	for metric, stat := range map[string]string{
+		"jsinferd_pipeline_chunks_split_total":     "chunks_split",
+		"jsinferd_pipeline_bytes_lexed_total":      "bytes_lexed",
+		"jsinferd_pipeline_docs_absorbed_total":    "docs_absorbed",
+		"jsinferd_pipeline_index_records_total":    "index_records",
+		"jsinferd_pipeline_fallback_records_total": "fallback_records",
+		"jsinferd_pipeline_parity_rejects_total":   "parity_rejects",
+		"jsinferd_pipeline_scan_delegations_total": "scan_delegations",
+		"jsinferd_pipeline_batch_publishes_total":  "batch_publishes",
+		"jsinferd_pipeline_root_fuses_total":       "root_fuses",
+		"jsinferd_pipeline_seals_total":            "seals",
+	} {
+		want, ok := pv.Get(stat)
+		if !ok {
+			t.Fatalf("/v1/stats pipeline lacks %q", stat)
+		}
+		if got := metricValue(t, exp, metric); got != float64(want.Int()) {
+			t.Errorf("%s = %v, /v1/stats pipeline.%s = %d — counters must reconcile",
+				metric, got, stat, want.Int())
+		}
+	}
+	for metric, stat := range map[string]string{
+		"jsinferd_pipeline_read_seconds_total":   "read_nanos",
+		"jsinferd_pipeline_split_seconds_total":  "split_nanos",
+		"jsinferd_pipeline_map_seconds_total":    "map_nanos",
+		"jsinferd_pipeline_reduce_seconds_total": "reduce_nanos",
+		"jsinferd_pipeline_fuse_seconds_total":   "fuse_nanos",
+	} {
+		want, ok := pv.Get(stat)
+		if !ok {
+			t.Fatalf("/v1/stats pipeline lacks %q", stat)
+		}
+		if got := metricValue(t, exp, metric); got != float64(want.Int())/1e9 {
+			t.Errorf("%s = %v, /v1/stats pipeline.%s = %dns — clocks must reconcile",
+				metric, got, stat, want.Int())
+		}
+	}
+	// The mixed workload left its signature in the recorder: documents
+	// were absorbed (successes plus the 400's kept prefix) and bytes
+	// lexed, and the counters agree with the registry's own accounting.
+	if da, _ := pv.Get("docs_absorbed"); da.Int() == 0 {
+		t.Error("pipeline.docs_absorbed = 0 after successful ingests")
 	}
 	// The middleware metered the ingest route with its status codes.
 	for _, series := range []string{

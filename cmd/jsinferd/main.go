@@ -8,7 +8,25 @@
 //
 //	jsinferd [-addr :8787] [-engine parametric-L|parametric-K]
 //	         [-workers N] [-shards N] [-tokenizer mison|scan]
+//	         [-map fused|indexed|refmap]
 //	         [-max-body N] [-rate-docs N] [-rate-bytes N]
+//	         [-log-format text|json] [-slow-request D]
+//	         [-trace-buffer N] [-debug-addr addr]
+//
+// Observability (see docs/ARCHITECTURE.md, "Observability"):
+//
+//   - Logs go to stderr through log/slog; -log-format picks text
+//     (default) or json. Every request logs one line with method, route
+//     pattern, status, duration and trace ID; a request slower than
+//     -slow-request additionally logs at warning level (0 disables).
+//   - Every request runs under a span tracer: an incoming W3C
+//     traceparent header is joined (the response echoes the daemon's
+//     own traceparent either way), ingest requests grow child spans per
+//     stage (admission → decode → quota → ingest → flush) with document,
+//     byte and index-fallback attributes, and the last -trace-buffer
+//     finished traces are served as JSON from GET /debug/traces.
+//   - -debug-addr (off by default) serves net/http/pprof on a separate
+//     listener, keeping profiling off the public API surface.
 //
 // API:
 //
@@ -53,17 +71,25 @@
 //	    type/counted/typescript/swift, application/json for jsonschema.
 //	    With ?meta=1, a JSON envelope with docs/version/schema instead.
 //	GET /v1/collections
-//	    JSON list of collections with docs/version/error counters.
+//	    JSON list of collections with docs/version/error counters and
+//	    each collection's pipeline stage counters.
 //	GET /v1/stats
 //	    Registry-wide aggregates (collections, docs, bytes, ingests,
 //	    errors, rate-limited rejections, interned symbols, sealed
-//	    schema nodes).
+//	    schema nodes) plus the aggregated pipeline flight recorder:
+//	    chunk/doc counters, index fast-path vs token-fallback records,
+//	    parity rejections, collector publishes and fuses, and
+//	    per-stage clocks.
+//	GET /debug/traces
+//	    The most recent finished request traces (JSON, oldest first):
+//	    span trees with per-stage timings and ingest attributes.
 //	GET /metrics
 //	    Prometheus text exposition (format 0.0.4): ingest volume and
 //	    error counters, per-route request totals and latency
-//	    histograms, and live registry gauges. The ingest counters
-//	    reconcile exactly with /v1/stats once in-flight requests
-//	    quiesce.
+//	    histograms, live registry gauges, pipeline stage counters and
+//	    runtime (goroutine/heap) gauges. The ingest and pipeline
+//	    figures reconcile exactly with /v1/stats once in-flight
+//	    requests quiesce.
 //	GET /healthz
 //	    Liveness.
 //
@@ -78,11 +104,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -91,6 +120,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/daemon/intake"
 	"repro/internal/daemon/metrics"
+	"repro/internal/daemon/trace"
 	"repro/internal/jsontext"
 	"repro/internal/jsonvalue"
 	"repro/internal/registry"
@@ -103,10 +133,21 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel chunk workers per ingest request (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "leaf collectors per collection (0 = auto)")
 	tokenizer := flag.String("tokenizer", "mison", "streamed lexing machinery: mison or scan")
+	mapMode := flag.String("map", "fused", "ingest map phase: fused (default), indexed or refmap")
 	maxBody := flag.Int64("max-body", 0, "max ingest request body in bytes (decoded, for compressed bodies); 0 disables the limit")
 	rateDocs := flag.Float64("rate-docs", 0, "default per-collection ingest quota in documents/sec; 0 disables the limit")
 	rateBytes := flag.Float64("rate-bytes", 0, "default per-collection ingest quota in decoded bytes/sec; 0 disables the limit")
+	logFormat := flag.String("log-format", "text", "log line format: text or json")
+	slowReq := flag.Duration("slow-request", 0, "log a warning for requests slower than this (0 disables)")
+	traceBuf := flag.Int("trace-buffer", trace.DefaultCapacity, "finished request traces kept for /debug/traces")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this extra listener (empty disables)")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsinferd: %v\n", err)
+		os.Exit(1)
+	}
 
 	opts := registry.Options{
 		Workers: *workers,
@@ -119,7 +160,8 @@ func main() {
 	case "parametric-K":
 		opts.Equiv = typelang.EquivKind
 	default:
-		log.Fatalf("jsinferd: unknown engine %q (want parametric-L or parametric-K)", *engine)
+		logger.Error("unknown engine (want parametric-L or parametric-K)", "engine", *engine)
+		os.Exit(1)
 	}
 	switch *tokenizer {
 	case "mison":
@@ -127,40 +169,118 @@ func main() {
 	case "scan":
 		opts.Tokenizer = core.TokenizerScan
 	default:
-		log.Fatalf("jsinferd: unknown tokenizer %q (want mison or scan)", *tokenizer)
+		logger.Error("unknown tokenizer (want mison or scan)", "tokenizer", *tokenizer)
+		os.Exit(1)
+	}
+	switch *mapMode {
+	case "fused":
+		opts.Map = core.MapFused
+	case "indexed":
+		opts.Map = core.MapIndexed
+	case "refmap":
+		opts.Map = core.MapReference
+	default:
+		logger.Error("unknown map mode (want fused, indexed or refmap)", "map", *mapMode)
+		os.Exit(1)
 	}
 
 	reg := registry.New(opts)
-	srv := &http.Server{Addr: *addr, Handler: newHandler(reg, *maxBody)}
+	srv := &http.Server{Handler: newHandler(reg, handlerConfig{
+		maxBody: *maxBody,
+		logger:  logger,
+		tracer:  trace.New(*traceBuf),
+		slow:    *slowReq,
+	})}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Println("jsinferd: shutting down")
+		logger.Info("shutting down")
 		// Drain in-flight ingests: an interrupted POST would leave the
 		// client unable to tell which prefix of its body was merged.
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("jsinferd: shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
 		}
 	}()
-	log.Printf("jsinferd: engine %s, tokenizer %s, listening on %s", *engine, *tokenizer, *addr)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("jsinferd: %v", err)
+
+	if *debugAddr != "" {
+		// pprof lives on its own listener, never on the API mux: an
+		// operator opts in with -debug-addr (typically bound to
+		// localhost) and profiling stays off the public surface.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Error("debug listen", "addr", *debugAddr, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("debug server listening (pprof)", "addr", dln.Addr().String())
+		go func() {
+			if err := http.Serve(dln, newDebugHandler()); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug server", "err", err)
+			}
+		}()
+	}
+
+	// Bind before announcing: the "listening" line only appears once the
+	// socket is actually accepting, so scripts that wait for it (the
+	// smoke test, container healthchecks) cannot race the bind — and a
+	// bind failure is reported instead of a premature success line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	logger.Info("listening", "engine", *engine, "tokenizer", *tokenizer, "addr", ln.Addr().String())
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("serve", "err", err)
+		os.Exit(1)
 	}
 	<-done
 }
 
+// newLogger builds the daemon's slog logger on stderr in the requested
+// line format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}
+
+// handlerConfig carries the daemon handler's cross-cutting dependencies
+// — the seam that lets tests run with a discarded logger and a private
+// tracer.
+type handlerConfig struct {
+	// maxBody > 0 caps the ingest request body in *decoded* bytes (the
+	// -max-body backpressure flag); 0 means unlimited.
+	maxBody int64
+	// logger receives the per-request and slow-request lines; nil
+	// discards them.
+	logger *slog.Logger
+	// tracer records request traces; nil mints a private tracer.
+	tracer *trace.Tracer
+	// slow is the slow-request warning threshold; 0 disables it.
+	slow time.Duration
+}
+
 // newHandler builds the daemon's routing table over reg, instrumented
-// end to end: every route is metered by the metrics middleware, and the
-// ingest path feeds the volume counters /metrics serves. It is the seam
-// the tests drive through httptest. maxBody > 0 caps the ingest request
-// body in *decoded* bytes (the -max-body backpressure flag); 0 means
-// unlimited.
-func newHandler(reg *registry.Registry, maxBody int64) http.Handler {
+// end to end: every route is traced and metered, and the ingest path
+// feeds the volume counters /metrics serves. It is the seam the tests
+// drive through httptest.
+func newHandler(reg *registry.Registry, cfg handlerConfig) http.Handler {
+	if cfg.logger == nil {
+		cfg.logger = slog.New(slog.DiscardHandler)
+	}
+	if cfg.tracer == nil {
+		cfg.tracer = trace.New(0)
+	}
 	prom := metrics.NewRegistry()
 	// The ingest counters mirror the registry's own accounting, fed from
 	// the same IngestResult, so after in-flight requests quiesce they
@@ -184,6 +304,28 @@ func newHandler(reg *registry.Registry, maxBody int64) http.Handler {
 		func() float64 { return float64(reg.Stats().SchemaNodes) })
 	prom.Gauge("jsinferd_registry_symbols", "Interned key symbols in the shared symbol table.",
 		func() float64 { return float64(reg.Stats().Symbols) })
+	// The pipeline flight recorder, aggregated across live collections.
+	// Function-backed gauges reading the same registry snapshots
+	// /v1/stats serves, so the two surfaces reconcile exactly once
+	// ingest quiesces (counters reset when a collection is deleted,
+	// exactly like the registry's own per-collection accounting).
+	pipelineGauges(prom, func() core.StatsSnapshot { return reg.Stats().Pipeline })
+	// Runtime gauges back the -debug-addr pprof endpoints: the scrape
+	// shows *that* goroutines or heap grew, the profiles show *why*.
+	prom.Gauge("jsinferd_goroutines", "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	prom.Gauge("jsinferd_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	prom.Gauge("jsinferd_heap_objects", "Allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapObjects)
+		})
 
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", prom.Handler())
@@ -201,7 +343,17 @@ func newHandler(reg *registry.Registry, maxBody int64) http.Handler {
 			"rate_limited", st.RateLimited,
 			"symbols", st.Symbols,
 			"schema_nodes", st.SchemaNodes,
+			"pipeline", pipelineMeta(st.Pipeline),
 		))
+	})
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		recent := cfg.tracer.Recent()
+		items := make([]*jsonvalue.Value, len(recent))
+		for i, tr := range recent {
+			items[i] = traceMeta(tr.Info())
+		}
+		writeJSON(w, http.StatusOK, jsonvalue.ObjectFromPairs(
+			"traces", jsonvalue.NewArray(items...)))
 	})
 	mux.HandleFunc("GET /v1/collections", func(w http.ResponseWriter, r *http.Request) {
 		snaps := reg.List()
@@ -235,24 +387,49 @@ func newHandler(reg *registry.Registry, maxBody int64) http.Handler {
 		writeJSON(w, status, snapshotMeta(snap).WithField("created", jsonvalue.FromGo(created)))
 	})
 	mux.HandleFunc("POST /v1/collections/{name}/ingest", func(w http.ResponseWriter, r *http.Request) {
+		tr := traceFrom(r.Context())
+		admission := tr.StartSpan("admission", nil)
 		name := r.PathValue("name")
 		if name == "" {
+			admission.End()
 			writeError(w, http.StatusBadRequest, "empty collection name")
 			return
 		}
 		co, err := collectionOpts(r)
+		admission.End()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		// intake.Body is lazy — headers only — so quota and equivalence
 		// admission below still happen before any body byte is read.
-		body, err := intake.Body(w, r, maxBody)
+		decode := tr.StartSpan("decode", nil)
+		body, err := intake.Body(w, r, cfg.maxBody)
+		decode.End()
 		if err != nil {
 			writeError(w, http.StatusUnsupportedMediaType, err.Error())
 			return
 		}
+		if tr != nil {
+			// The registry's stage observer hangs the quota/ingest/flush
+			// spans off this request's trace; the registry itself stays
+			// tracing-agnostic.
+			co.Observer = func(stage string) func() {
+				if stage == "pipeline" {
+					stage = "ingest"
+				}
+				return tr.StartSpan(stage, nil).End
+			}
+		}
 		res, err := reg.IngestWith(name, body, co)
+		if root := tr.Root(); root != nil {
+			root.SetAttr("collection", name)
+			root.SetAttr("docs", int64(res.Docs))
+			root.SetAttr("bytes", res.Bytes)
+			root.SetAttr("index_records", res.Stats.IndexRecords)
+			root.SetAttr("fallback_records", res.Stats.FallbackRecords)
+			root.SetAttr("parity_rejects", res.Stats.ParityRejects)
+		}
 		// Kept prefixes of failed ingests count too: the documents are
 		// merged, so the counters reflect them (and reconcile with
 		// /v1/stats, which sees the same IngestResult accounting).
@@ -348,8 +525,104 @@ func newHandler(reg *registry.Registry, maxBody int64) http.Handler {
 			fmt.Fprintln(w, s)
 		}
 	})
-	return metrics.NewHTTP(prom, "jsinferd").Wrap(mux)
+	// Trace outermost: it clones the request to attach the trace
+	// context, and the mux records the matched pattern on that clone, so
+	// everything reading r.Pattern afterwards must sit inside the clone.
+	return traceRequests(cfg, metrics.NewHTTP(prom, "jsinferd").Wrap(mux))
 }
+
+// newDebugHandler is the -debug-addr surface: net/http/pprof wired onto
+// an explicit mux (never http.DefaultServeMux, never the API mux).
+func newDebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// traceKey carries the request's *trace.Trace through the context.
+type traceKey struct{}
+
+// traceFrom returns the request's trace, or nil outside the middleware
+// (trace.Trace methods are nil-tolerant, so handlers never check).
+func traceFrom(ctx context.Context) *trace.Trace {
+	tr, _ := ctx.Value(traceKey{}).(*trace.Trace)
+	return tr
+}
+
+// traceRequests wraps next so every request runs under a span: an
+// incoming W3C traceparent joins the caller's trace, the response
+// carries the daemon's own traceparent, the finished trace lands in the
+// /debug/traces ring, and each request logs one structured line
+// (warning-level past the -slow-request threshold).
+func traceRequests(cfg handlerConfig, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		parent, _ := trace.ParseTraceparent(r.Header.Get("Traceparent"))
+		tr := cfg.tracer.StartTrace(r.Method+" "+r.URL.Path, parent)
+		w.Header().Set("Traceparent", tr.Root().Context().Traceparent())
+		sw := &statusRecorder{ResponseWriter: w}
+		r2 := r.WithContext(context.WithValue(r.Context(), traceKey{}, tr))
+		next.ServeHTTP(sw, r2)
+		// A matched pattern already carries its method ("GET /healthz");
+		// only the unmatched bucket needs it prefixed.
+		route := r2.Pattern
+		name := route
+		if route == "" {
+			route = "unmatched"
+			name = r.Method + " unmatched"
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		root := tr.Root()
+		root.SetName(name)
+		root.SetAttr("method", r.Method)
+		root.SetAttr("route", route)
+		root.SetAttr("status", int64(status))
+		tr.Finish()
+		dur := tr.Duration()
+		attrs := []any{
+			"method", r.Method,
+			"route", route,
+			"status", status,
+			"duration_ms", float64(dur.Nanoseconds()) / 1e6,
+			"trace_id", tr.ID().String(),
+		}
+		cfg.logger.Info("request", attrs...)
+		if cfg.slow > 0 && dur >= cfg.slow {
+			cfg.logger.Warn("slow request",
+				append(attrs, "threshold_ms", float64(cfg.slow.Nanoseconds())/1e6)...)
+		}
+	})
+}
+
+// statusRecorder records the status code a handler wrote, for the trace
+// attributes and the request log line. Unwrap keeps
+// http.ResponseController features reachable.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusRecorder) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // collectionOpts parses the per-collection override parameters of a
 // create or ingest request: ?equiv=K|L (the jsinfer engine names
@@ -438,6 +711,111 @@ func renderSchema(t *core.Type, output string) (any, error) {
 	}
 }
 
+// pipelineGauges registers the pipeline flight recorder's counters and
+// stage clocks as function-backed families over snap — the /metrics
+// face of the same numbers /v1/stats serves.
+func pipelineGauges(prom *metrics.Registry, snap func() core.StatsSnapshot) {
+	type row struct {
+		name, help string
+		get        func(core.StatsSnapshot) float64
+	}
+	rows := []row{
+		{"jsinferd_pipeline_chunks_split_total", "Document-aligned byte chunks emitted to ingest worker pools.",
+			func(s core.StatsSnapshot) float64 { return float64(s.ChunksSplit) }},
+		{"jsinferd_pipeline_bytes_lexed_total", "Payload bytes handed to the map phase.",
+			func(s core.StatsSnapshot) float64 { return float64(s.BytesLexed) }},
+		{"jsinferd_pipeline_docs_absorbed_total", "Documents absorbed by the map phase (kept prefixes of failed ingests included).",
+			func(s core.StatsSnapshot) float64 { return float64(s.DocsAbsorbed) }},
+		{"jsinferd_pipeline_index_records_total", "Records absorbed entirely off the mison structural index.",
+			func(s core.StatsSnapshot) float64 { return float64(s.IndexRecords) }},
+		{"jsinferd_pipeline_fallback_records_total", "Records the index walk delegated to the token walker.",
+			func(s core.StatsSnapshot) float64 { return float64(s.FallbackRecords) }},
+		{"jsinferd_pipeline_parity_rejects_total", "Chunks the structural index rejected outright (odd quote parity).",
+			func(s core.StatsSnapshot) float64 { return float64(s.ParityRejects) }},
+		{"jsinferd_pipeline_scan_delegations_total", "Tokens the mison fast paths handed to the reference scanner.",
+			func(s core.StatsSnapshot) float64 { return float64(s.ScanDelegations) }},
+		{"jsinferd_pipeline_batch_publishes_total", "Collector-leaf publishes of sealed partials.",
+			func(s core.StatsSnapshot) float64 { return float64(s.BatchPublishes) }},
+		{"jsinferd_pipeline_root_fuses_total", "Root fuse passes over collector leaf partials.",
+			func(s core.StatsSnapshot) float64 { return float64(s.RootFuses) }},
+		{"jsinferd_pipeline_seals_total", "Accumulator seals across map, leaf publish and root fuse.",
+			func(s core.StatsSnapshot) float64 { return float64(s.Seals) }},
+		{"jsinferd_pipeline_read_seconds_total", "Reader-goroutine time blocked reading request bodies.",
+			func(s core.StatsSnapshot) float64 { return float64(s.ReadNanos) / 1e9 }},
+		{"jsinferd_pipeline_split_seconds_total", "Reader-goroutine time finding chunk boundaries.",
+			func(s core.StatsSnapshot) float64 { return float64(s.SplitNanos) / 1e9 }},
+		{"jsinferd_pipeline_map_seconds_total", "Worker time lexing and absorbing chunks.",
+			func(s core.StatsSnapshot) float64 { return float64(s.MapNanos) / 1e9 }},
+		{"jsinferd_pipeline_reduce_seconds_total", "Collector-leaf time absorbing committed results.",
+			func(s core.StatsSnapshot) float64 { return float64(s.ReduceNanos) / 1e9 }},
+		{"jsinferd_pipeline_fuse_seconds_total", "Root time fusing leaf partials.",
+			func(s core.StatsSnapshot) float64 { return float64(s.FuseNanos) / 1e9 }},
+	}
+	for _, r := range rows {
+		get := r.get
+		prom.Gauge(r.name, r.help, func() float64 { return get(snap()) })
+	}
+}
+
+// pipelineMeta is the JSON envelope of a pipeline stats snapshot — the
+// shape shared by /v1/stats ("pipeline") and each collection's entry in
+// /v1/collections.
+func pipelineMeta(p core.StatsSnapshot) *jsonvalue.Value {
+	return jsonvalue.ObjectFromPairs(
+		"chunks_split", p.ChunksSplit,
+		"bytes_lexed", p.BytesLexed,
+		"docs_absorbed", p.DocsAbsorbed,
+		"index_records", p.IndexRecords,
+		"fallback_records", p.FallbackRecords,
+		"parity_rejects", p.ParityRejects,
+		"scan_delegations", p.ScanDelegations,
+		"batch_publishes", p.BatchPublishes,
+		"root_fuses", p.RootFuses,
+		"seals", p.Seals,
+		"read_nanos", p.ReadNanos,
+		"split_nanos", p.SplitNanos,
+		"map_nanos", p.MapNanos,
+		"reduce_nanos", p.ReduceNanos,
+		"fuse_nanos", p.FuseNanos,
+	)
+}
+
+// traceMeta is the JSON envelope of one finished trace for
+// /debug/traces: the root duration up front, then every span with its
+// offsets and attributes.
+func traceMeta(info trace.TraceInfo) *jsonvalue.Value {
+	spans := make([]*jsonvalue.Value, len(info.Spans))
+	var start time.Time
+	if len(info.Spans) > 0 {
+		start = info.Spans[0].Start
+	}
+	for i, sp := range info.Spans {
+		attrs := make(map[string]any, len(sp.Attrs))
+		for _, a := range sp.Attrs {
+			attrs[a.Key] = a.Value
+		}
+		spans[i] = jsonvalue.ObjectFromPairs(
+			"name", sp.Name,
+			"span_id", sp.SpanID,
+			"parent_id", sp.ParentID,
+			"offset_us", sp.Start.Sub(start).Microseconds(),
+			"duration_us", sp.Duration.Microseconds(),
+			"attrs", attrs,
+		)
+	}
+	meta := jsonvalue.ObjectFromPairs(
+		"trace_id", info.TraceID,
+		"remote", info.Remote,
+		"spans", jsonvalue.NewArray(spans...),
+	)
+	if len(info.Spans) > 0 {
+		meta = meta.WithField("name", jsonvalue.FromGo(info.Spans[0].Name)).
+			WithField("start", jsonvalue.FromGo(start.UTC().Format(time.RFC3339Nano))).
+			WithField("duration_us", jsonvalue.FromGo(info.Spans[0].Duration.Microseconds()))
+	}
+	return meta
+}
+
 // snapshotMeta is the JSON envelope of one collection snapshot, minus
 // the schema itself.
 func snapshotMeta(s registry.Snapshot) *jsonvalue.Value {
@@ -452,6 +830,7 @@ func snapshotMeta(s registry.Snapshot) *jsonvalue.Value {
 		"rate_limited", s.RateLimited,
 		"quota", s.Quota.String(),
 		"schema_nodes", s.Type.Size(),
+		"pipeline", pipelineMeta(s.Pipeline),
 	)
 }
 

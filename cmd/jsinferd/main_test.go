@@ -27,7 +27,7 @@ func newTestServer(t *testing.T, opts registry.Options) (*httptest.Server, *regi
 func newTestServerMaxBody(t *testing.T, opts registry.Options, maxBody int64) (*httptest.Server, *registry.Registry) {
 	t.Helper()
 	reg := registry.New(opts)
-	srv := httptest.NewServer(newHandler(reg, maxBody))
+	srv := httptest.NewServer(newHandler(reg, handlerConfig{maxBody: maxBody}))
 	t.Cleanup(func() {
 		srv.Close()
 		reg.Close()

@@ -271,7 +271,18 @@ type StreamOptions struct {
 	// (MapReference is the per-document-type A/B baseline, MapIndexed
 	// the index-driven fast path).
 	Map MapMode
+	// Stats, when non-nil, receives the pipeline's stage counters and
+	// clocks (see infer.PipelineStats); nil keeps recording entirely
+	// off the hot path.
+	Stats *PipelineStats
 }
+
+// PipelineStats re-exports the streamed engines' flight recorder, and
+// StatsSnapshot its point-in-time copy.
+type PipelineStats = infer.PipelineStats
+
+// StatsSnapshot is a point-in-time copy of PipelineStats counters.
+type StatsSnapshot = infer.StatsSnapshot
 
 // InferSchemaStream infers a parametric schema from a stream of JSON
 // documents (NDJSON or concatenated JSON) on r without materialising
@@ -310,6 +321,7 @@ func InferSchemaStreamWith(r io.Reader, engine Engine, opts StreamOptions) (*Inf
 		Tokenizer:    opts.Tokenizer,
 		ReduceShards: opts.ReduceShards,
 		Map:          opts.Map,
+		Stats:        opts.Stats,
 	})
 	return &Inference{
 		Engine:     engine,

@@ -1,0 +1,381 @@
+// Package trace is jsinferd's dependency-free request tracer: W3C
+// traceparent in, spans around the stages of each request (admission →
+// quota → decode → ingest → flush), and a fixed-size ring of recent
+// traces served as JSON from /debug/traces. It is a flight recorder,
+// not a distributed-tracing client: nothing is exported anywhere, the
+// ring is bounded memory, and the only wire format spoken is the
+// traceparent header — parsed so an ingest joins its caller's trace,
+// rendered so logs and clients can correlate with it.
+//
+// The concurrency model mirrors the daemon's: one Trace per request,
+// built by the request goroutine; a Trace's own mutex makes span
+// recording safe anyway (registry stage observers run on the request
+// goroutine today, but nothing breaks if that changes). The tracer's
+// ring takes one short lock per finished request and per /debug/traces
+// read.
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// TraceID is the 16-byte W3C trace ID; the zero value is invalid.
+type TraceID [16]byte
+
+// SpanID is the 8-byte W3C span ID; the zero value is invalid.
+type SpanID [8]byte
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String renders the ID as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsValid reports whether the ID is non-zero, per the W3C rules.
+func (id TraceID) IsValid() bool { return id != TraceID{} }
+
+// IsValid reports whether the ID is non-zero, per the W3C rules.
+func (id SpanID) IsValid() bool { return id != SpanID{} }
+
+// Context identifies a position in a trace: the trace and the span that
+// new work should attach under. The zero value is "no trace context".
+type Context struct {
+	TraceID TraceID
+	SpanID  SpanID
+	// Sampled is the traceparent sampled flag. The recorder keeps every
+	// trace it is handed regardless — the flag only round-trips.
+	Sampled bool
+	// Remote marks a context parsed from an incoming traceparent
+	// header, as opposed to one minted locally.
+	Remote bool
+}
+
+// Valid reports whether the context names a trace and span.
+func (c Context) Valid() bool { return c.TraceID.IsValid() && c.SpanID.IsValid() }
+
+// Traceparent renders the context as a W3C traceparent header value
+// (version 00).
+func (c Context) Traceparent() string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = hex.AppendEncode(b, c.TraceID[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, c.SpanID[:])
+	if c.Sampled {
+		b = append(b, "-01"...)
+	} else {
+		b = append(b, "-00"...)
+	}
+	return string(b)
+}
+
+// ParseTraceparent parses a W3C traceparent header value
+// ("00-<32 hex>-<16 hex>-<2 hex>"). It accepts any known-length version
+// field except the reserved "ff", per the spec's forward-compatibility
+// rule, and rejects zero trace or span IDs. ok is false for anything
+// malformed; callers then start a fresh trace.
+func ParseTraceparent(h string) (Context, bool) {
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return Context{}, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return Context{}, false
+	}
+	if !isHexLower(h[:2]) || h[:2] == "ff" {
+		return Context{}, false
+	}
+	// Version 00 must be exactly 55 bytes; later versions may append
+	// fields after a dash.
+	if h[:2] == "00" && len(h) != 55 {
+		return Context{}, false
+	}
+	var c Context
+	if !isHexLower(h[3:35]) || !isHexLower(h[36:52]) || !isHexLower(h[53:55]) {
+		return Context{}, false
+	}
+	hex.Decode(c.TraceID[:], []byte(h[3:35]))
+	hex.Decode(c.SpanID[:], []byte(h[36:52]))
+	var flags [1]byte
+	hex.Decode(flags[:], []byte(h[53:55]))
+	c.Sampled = flags[0]&1 == 1
+	c.Remote = true
+	if !c.Valid() {
+		return Context{}, false
+	}
+	return c, true
+}
+
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Attr is one span attribute. Values are kept as the concrete types the
+// daemon records (string, int64, bool) and serialise as themselves.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one timed operation inside a trace. Spans are created by
+// Trace.StartSpan and closed by End; attributes may be set until the
+// owning trace finishes.
+type Span struct {
+	tr     *Trace
+	name   string
+	id     SpanID
+	parent SpanID
+	start  time.Time
+	end    time.Time
+	attrs  []Attr
+}
+
+// SetName renames the span — how the request middleware upgrades a
+// provisional URL-path name to the route pattern the mux matched.
+func (s *Span) SetName(name string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.name = name
+	s.tr.mu.Unlock()
+}
+
+// SetAttr records an attribute on the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.tr.mu.Unlock()
+}
+
+// End closes the span. A second End is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.tr.mu.Unlock()
+}
+
+// Context returns the span's position in the trace, for propagation or
+// log correlation.
+func (s *Span) Context() Context {
+	if s == nil {
+		return Context{}
+	}
+	return Context{TraceID: s.tr.id, SpanID: s.id, Sampled: true}
+}
+
+// Trace is one request's recording: a root span and its children. It is
+// created by Tracer.StartTrace and published into the tracer's ring by
+// Finish.
+type Trace struct {
+	tracer *Tracer
+	id     TraceID
+	remote bool // joined an incoming traceparent
+
+	mu    sync.Mutex
+	root  *Span
+	spans []*Span // includes root, in start order
+	done  bool
+}
+
+// ID returns the trace ID.
+func (t *Trace) ID() TraceID { return t.id }
+
+// Root returns the root span (nil on a nil trace, so handlers outside
+// the tracing middleware degrade to no-ops).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// StartSpan opens a child span under parent (nil: under the root). On a
+// nil trace it returns a nil span, whose methods are all no-ops.
+func (t *Trace) StartSpan(name string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	pid := t.root.id
+	if parent != nil {
+		pid = parent.id
+	}
+	s := &Span{tr: t, name: name, id: newSpanID(), parent: pid, start: time.Now()}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Finish ends the root span (and any still-open children, at the same
+// instant) and publishes the trace into the tracer's ring. A second
+// Finish is a no-op.
+func (t *Trace) Finish() {
+	now := time.Now()
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return
+	}
+	t.done = true
+	for _, s := range t.spans {
+		if s.end.IsZero() {
+			s.end = now
+		}
+	}
+	t.mu.Unlock()
+	t.tracer.keep(t)
+}
+
+// Duration returns the root span's length (Finish-to-start before
+// Finish is called).
+func (t *Trace) Duration() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.root.end.IsZero() {
+		return time.Since(t.root.start)
+	}
+	return t.root.end.Sub(t.root.start)
+}
+
+// Tracer mints traces and keeps the last `capacity` finished ones in a
+// ring. All methods are safe for concurrent use.
+type Tracer struct {
+	capacity int
+
+	mu   sync.Mutex
+	ring []*Trace // ring[next] is the oldest slot
+	next int
+}
+
+// DefaultCapacity is the ring size New uses for capacity <= 0.
+const DefaultCapacity = 128
+
+// New returns a tracer keeping the last capacity finished traces
+// (DefaultCapacity when <= 0).
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{capacity: capacity}
+}
+
+// StartTrace opens a trace named name. A valid parent (an incoming
+// traceparent) is joined: the trace keeps the caller's trace ID and the
+// root span hangs under the caller's span. Otherwise a fresh trace ID
+// is minted.
+func (t *Tracer) StartTrace(name string, parent Context) *Trace {
+	tr := &Trace{tracer: t}
+	var parentSpan SpanID
+	if parent.Valid() {
+		tr.id = parent.TraceID
+		tr.remote = parent.Remote
+		parentSpan = parent.SpanID
+	} else {
+		tr.id = newTraceID()
+	}
+	tr.root = &Span{tr: tr, name: name, id: newSpanID(), parent: parentSpan, start: time.Now()}
+	tr.spans = []*Span{tr.root}
+	return tr
+}
+
+// keep publishes a finished trace into the ring, evicting the oldest.
+func (t *Tracer) keep(tr *Trace) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, tr)
+		t.next = len(t.ring) % t.capacity
+		return
+	}
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % t.capacity
+}
+
+// Recent returns the finished traces in the ring, oldest first.
+func (t *Tracer) Recent() []*Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Trace, 0, len(t.ring))
+	if len(t.ring) < t.capacity {
+		return append(out, t.ring...)
+	}
+	out = append(out, t.ring[t.next:]...)
+	return append(out, t.ring[:t.next]...)
+}
+
+// SpanInfo is an immutable copy of one span, for rendering.
+type SpanInfo struct {
+	Name     string
+	SpanID   string
+	ParentID string // "" for a local root
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// TraceInfo is an immutable copy of one trace, for rendering. Spans[0]
+// is the root.
+type TraceInfo struct {
+	TraceID string
+	Remote  bool // joined an incoming traceparent
+	Spans   []SpanInfo
+}
+
+// Info copies the trace out for rendering (the /debug/traces handler
+// turns this into JSON; the trace package itself speaks no JSON).
+func (t *Trace) Info() TraceInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	info := TraceInfo{TraceID: t.id.String(), Remote: t.remote, Spans: make([]SpanInfo, len(t.spans))}
+	for i, s := range t.spans {
+		end := s.end
+		if end.IsZero() {
+			end = time.Now()
+		}
+		si := SpanInfo{
+			Name:     s.name,
+			SpanID:   s.id.String(),
+			Start:    s.start,
+			Duration: end.Sub(s.start),
+			Attrs:    append([]Attr(nil), s.attrs...),
+		}
+		if s.parent.IsValid() {
+			si.ParentID = s.parent.String()
+		}
+		info.Spans[i] = si
+	}
+	return info
+}
+
+func newTraceID() TraceID {
+	var id TraceID
+	for !id.IsValid() {
+		rand.Read(id[:])
+	}
+	return id
+}
+
+func newSpanID() SpanID {
+	var id SpanID
+	for !id.IsValid() {
+		rand.Read(id[:])
+	}
+	return id
+}

@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseTraceparentRoundTrip(t *testing.T) {
+	c := Context{Sampled: true}
+	copy(c.TraceID[:], []byte("0123456789abcdef"))
+	copy(c.SpanID[:], []byte("fedcba98"))
+	h := c.Traceparent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("rendered traceparent %q is not a version-00 header", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("round-trip parse failed for %q", h)
+	}
+	if got.TraceID != c.TraceID || got.SpanID != c.SpanID || !got.Sampled {
+		t.Errorf("round trip: got %+v, want %+v", got, c)
+	}
+	if !got.Remote {
+		t.Error("parsed context must be marked Remote")
+	}
+
+	// Unsampled flag round-trips too.
+	c.Sampled = false
+	if got, ok := ParseTraceparent(c.Traceparent()); !ok || got.Sampled {
+		t.Errorf("unsampled round trip: ok=%v sampled=%v", ok, got.Sampled)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	valid := "00-0102030405060708090a0b0c0d0e0f10-0102030405060708-01"
+	if _, ok := ParseTraceparent(valid); !ok {
+		t.Fatalf("control header rejected: %q", valid)
+	}
+	bad := map[string]string{
+		"empty":            "",
+		"truncated":        valid[:54],
+		"zero trace id":    "00-00000000000000000000000000000000-0102030405060708-01",
+		"zero span id":     "00-0102030405060708090a0b0c0d0e0f10-0000000000000000-01",
+		"uppercase hex":    strings.ToUpper(valid),
+		"reserved ff":      "ff" + valid[2:],
+		"bad separator":    strings.Replace(valid, "-", "_", 1),
+		"non-hex trace id": "00-0102030405060708090a0b0c0d0e0fzz-0102030405060708-01",
+		"v00 with suffix":  valid + "-extra",
+		"long no dash":     valid + "x",
+	}
+	for name, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("%s: %q parsed, want rejection", name, h)
+		}
+	}
+	// A later version may carry a dash-separated suffix.
+	if _, ok := ParseTraceparent("01" + valid[2:] + "-future"); !ok {
+		t.Error("version 01 with suffix rejected; the spec requires forward compatibility")
+	}
+}
+
+func TestTraceJoinsRemoteParent(t *testing.T) {
+	tracer := New(4)
+	parent, ok := ParseTraceparent("00-0102030405060708090a0b0c0d0e0f10-0102030405060708-01")
+	if !ok {
+		t.Fatal("control parse failed")
+	}
+	tr := tracer.StartTrace("POST /ingest", parent)
+	if tr.ID() != parent.TraceID {
+		t.Errorf("joined trace has ID %s, want the caller's %s", tr.ID(), parent.TraceID)
+	}
+	info := tr.Info()
+	if !info.Remote {
+		t.Error("joined trace must be marked remote")
+	}
+	if info.Spans[0].ParentID != parent.SpanID.String() {
+		t.Errorf("root hangs under %q, want the caller's span %s", info.Spans[0].ParentID, parent.SpanID)
+	}
+
+	// Without a parent: fresh ID, local root.
+	fresh := tracer.StartTrace("GET /stats", Context{})
+	if !fresh.ID().IsValid() || fresh.ID() == parent.TraceID {
+		t.Errorf("fresh trace ID %s invalid or collides with the parent", fresh.ID())
+	}
+	if info := fresh.Info(); info.Remote || info.Spans[0].ParentID != "" {
+		t.Errorf("fresh trace: remote=%v rootParent=%q, want local root", info.Remote, info.Spans[0].ParentID)
+	}
+}
+
+func TestSpansParentingAndAttrs(t *testing.T) {
+	tracer := New(4)
+	tr := tracer.StartTrace("req", Context{})
+	a := tr.StartSpan("admission", nil)
+	a.SetAttr("collection", "c")
+	a.End()
+	ingest := tr.StartSpan("ingest", nil)
+	child := tr.StartSpan("flush", ingest)
+	child.End()
+	ingest.SetAttr("docs", int64(42))
+	ingest.End()
+	tr.Root().SetAttr("status", int64(200))
+	tr.Finish()
+
+	info := tr.Info()
+	if len(info.Spans) != 4 {
+		t.Fatalf("%d spans, want 4 (root + 3)", len(info.Spans))
+	}
+	root := info.Spans[0]
+	byName := map[string]SpanInfo{}
+	for _, s := range info.Spans {
+		byName[s.Name] = s
+	}
+	if byName["admission"].ParentID != root.SpanID || byName["ingest"].ParentID != root.SpanID {
+		t.Error("admission/ingest must hang under the root")
+	}
+	if byName["flush"].ParentID != byName["ingest"].SpanID {
+		t.Error("flush must hang under ingest, not the root")
+	}
+	if byName["ingest"].Attrs[0].Key != "docs" || byName["ingest"].Attrs[0].Value != int64(42) {
+		t.Errorf("ingest attrs = %+v, want docs=42", byName["ingest"].Attrs)
+	}
+	if root.Attrs[0].Key != "status" {
+		t.Errorf("root attrs = %+v", root.Attrs)
+	}
+}
+
+func TestFinishClosesOpenSpansOnce(t *testing.T) {
+	tracer := New(4)
+	tr := tracer.StartTrace("req", Context{})
+	open := tr.StartSpan("never-ended", nil)
+	tr.Finish()
+	d := tr.Duration()
+	time.Sleep(2 * time.Millisecond)
+	if tr.Duration() != d {
+		t.Error("Duration moved after Finish")
+	}
+	info := tr.Info()
+	if info.Spans[1].Duration < 0 {
+		t.Errorf("open span closed with negative duration %v", info.Spans[1].Duration)
+	}
+	_ = open
+	tr.Finish() // idempotent
+	if got := len(tracer.Recent()); got != 1 {
+		t.Errorf("double Finish published %d traces, want 1", got)
+	}
+}
+
+func TestNilTraceAndSpanAreInert(t *testing.T) {
+	var tr *Trace
+	if tr.Root() != nil {
+		t.Error("nil trace root must be nil")
+	}
+	s := tr.StartSpan("x", nil)
+	if s != nil {
+		t.Error("nil trace must mint nil spans")
+	}
+	// All nil-span methods are no-ops.
+	s.SetName("y")
+	s.SetAttr("k", 1)
+	s.End()
+	if c := s.Context(); c.Valid() {
+		t.Errorf("nil span context %+v, want invalid", c)
+	}
+}
+
+func TestRingEvictsOldestFirst(t *testing.T) {
+	tracer := New(3)
+	for i := 0; i < 5; i++ {
+		tr := tracer.StartTrace(fmt.Sprintf("req-%d", i), Context{})
+		tr.Finish()
+	}
+	recent := tracer.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring holds %d, want capacity 3", len(recent))
+	}
+	for i, tr := range recent {
+		if want := fmt.Sprintf("req-%d", i+2); tr.Info().Spans[0].Name != want {
+			t.Errorf("ring[%d] = %s, want %s (oldest first)", i, tr.Info().Spans[0].Name, want)
+		}
+	}
+
+	// Under capacity: everything, in order.
+	small := New(8)
+	small.StartTrace("only", Context{}).Finish()
+	if got := small.Recent(); len(got) != 1 || got[0].Info().Spans[0].Name != "only" {
+		t.Errorf("under-capacity ring: %d traces", len(got))
+	}
+}
+
+func TestTracerConcurrentUse(t *testing.T) {
+	tracer := New(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr := tracer.StartTrace("req", Context{})
+				s := tr.StartSpan("stage", nil)
+				s.SetAttr("i", int64(i))
+				s.End()
+				tr.Finish()
+				tracer.Recent()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tracer.Recent()); got != 16 {
+		t.Errorf("ring holds %d, want full capacity 16", got)
+	}
+}

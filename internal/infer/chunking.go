@@ -82,8 +82,10 @@ const chunkReadSize = 256 << 10
 // readChunks splits the stream into document-aligned byte chunks of
 // roughly docsPerChunk top-level documents each and hands them to emit
 // (which reports false to stop early). Split candidates come from sp;
-// this loop only batches them into chunks and manages the buffer.
-func readChunks(r io.Reader, docsPerChunk int, sp docSplitter, emit func(byteChunk) bool) error {
+// this loop only batches them into chunks and manages the buffer. When
+// st is non-nil the read (io) and split (boundary-finding) stage clocks
+// and the chunk counter record into it, flushed once per emitted chunk.
+func readChunks(r io.Reader, docsPerChunk int, sp docSplitter, st *PipelineStats, emit func(byteChunk) bool) error {
 	var (
 		pending   []byte
 		scanned   int // pending[:scanned] has been handed to the splitter
@@ -94,6 +96,7 @@ func readChunks(r io.Reader, docsPerChunk int, sp docSplitter, emit func(byteChu
 		splitBuf  []int
 		readErr   error
 		sawEOF    bool
+		frame     statsFrame
 	)
 	emitUpTo := func(end int) bool {
 		if end <= lastSplit {
@@ -103,6 +106,10 @@ func readChunks(r io.Reader, docsPerChunk int, sp docSplitter, emit func(byteChu
 		index++
 		docs = 0
 		lastSplit = end
+		if st != nil {
+			frame.ChunksSplit++
+			frame.flush(st)
+		}
 		return emit(ch)
 	}
 	for {
@@ -113,7 +120,9 @@ func readChunks(r io.Reader, docsPerChunk int, sp docSplitter, emit func(byteChu
 			copy(grown, pending)
 			pending = grown
 		}
+		readStart := statsClock(st)
 		n, err := r.Read(pending[len(pending) : len(pending)+chunkReadSize])
+		statsSince(st, &frame.ReadNanos, readStart)
 		pending = pending[:len(pending)+n]
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
@@ -123,11 +132,14 @@ func readChunks(r io.Reader, docsPerChunk int, sp docSplitter, emit func(byteChu
 		}
 		// Find boundaries in the new bytes, emitting at every ripe split
 		// point.
+		splitStart := statsClock(st)
 		splitBuf = sp.Splits(pending[scanned:], splitBuf[:0])
+		statsSince(st, &frame.SplitNanos, splitStart)
 		for _, rel := range splitBuf {
 			docs++
 			if docs >= docsPerChunk {
 				if !emitUpTo(scanned + rel) {
+					frame.flush(st)
 					return readErr
 				}
 			}
@@ -135,6 +147,7 @@ func readChunks(r io.Reader, docsPerChunk int, sp docSplitter, emit func(byteChu
 		scanned = len(pending)
 		if sawEOF {
 			emitUpTo(len(pending))
+			frame.flush(st)
 			return readErr
 		}
 		// Drop emitted bytes; chunks alias the old array, which is

@@ -133,7 +133,7 @@ func TestReadChunksEquivalence(t *testing.T) {
 		}
 		collect := func(sp docSplitter) []chunk {
 			var out []chunk
-			err := readChunks(bytes.NewReader(data), docsPerChunk, sp, func(ch byteChunk) bool {
+			err := readChunks(bytes.NewReader(data), docsPerChunk, sp, nil, func(ch byteChunk) bool {
 				out = append(out, chunk{ch.index, ch.base, string(ch.data)})
 				return true
 			})

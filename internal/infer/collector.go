@@ -5,6 +5,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/typelang"
 )
@@ -71,13 +72,14 @@ type leafCollector struct {
 	done  chan struct{}
 }
 
-func (l *leafCollector) run(e typelang.Equiv, poke chan<- struct{}) {
+func (l *leafCollector) run(e typelang.Equiv, poke chan<- struct{}, st *PipelineStats) {
 	defer close(l.done)
 	var (
 		acc     = typelang.NewAccum(e)
 		docs    int64
 		gen     uint64
 		pending int // chunk types absorbed since the last publish
+		frame   statsFrame
 	)
 	publish := func() {
 		if pending == 0 {
@@ -89,7 +91,14 @@ func (l *leafCollector) run(e typelang.Equiv, poke chan<- struct{}) {
 		}
 		pending = 0
 		gen++
+		sealStart := statsClock(st)
 		l.state.Store(&leafState{acc: acc.Seal(), docs: docs, gen: gen})
+		statsSince(st, &frame.ReduceNanos, sealStart)
+		if st != nil {
+			frame.BatchPublishes++
+			frame.Seals++
+			frame.flush(st)
+		}
 		select {
 		case poke <- struct{}{}: // wake the root fuser
 		default: // a fuse is already pending; it will see this publish
@@ -101,6 +110,7 @@ func (l *leafCollector) run(e typelang.Equiv, poke chan<- struct{}) {
 			msg.wg.Done()
 			continue
 		}
+		absorbStart := statsClock(st)
 		if msg.t != nil {
 			acc.Absorb(msg.t)
 			pending++
@@ -109,6 +119,7 @@ func (l *leafCollector) run(e typelang.Equiv, poke chan<- struct{}) {
 			acc.Absorb(t)
 			pending++
 		}
+		statsSince(st, &frame.ReduceNanos, absorbStart)
 		docs += msg.docs
 		if pending >= collectorBatch {
 			publish()
@@ -146,6 +157,11 @@ type ShardedCollector struct {
 		gens  []uint64 // leaf generation vector when t was fused
 		valid bool
 	}
+
+	// stats, when non-nil, receives the reduce-side counters — leaf
+	// publishes and seals, reduce/fuse clocks, root fuses. A long-lived
+	// collection points this at its cumulative PipelineStats.
+	stats *PipelineStats
 }
 
 // NewShardedCollector builds a tree of `shards` leaf collectors folding
@@ -153,6 +169,13 @@ type ShardedCollector struct {
 // (GOMAXPROCS capped at maxAutoShards). A single-leaf tree is valid and
 // degenerates to one background folder.
 func NewShardedCollector(shards int, e typelang.Equiv) *ShardedCollector {
+	return NewShardedCollectorStats(shards, e, nil)
+}
+
+// NewShardedCollectorStats is NewShardedCollector with the tree's
+// reduce-side counters reporting into st (nil: recording off) — the
+// collector half of the pipeline's flight recorder.
+func NewShardedCollectorStats(shards int, e typelang.Equiv, st *PipelineStats) *ShardedCollector {
 	if shards <= 0 {
 		shards = min(runtime.GOMAXPROCS(0), maxAutoShards)
 	}
@@ -161,6 +184,7 @@ func NewShardedCollector(shards int, e typelang.Equiv) *ShardedCollector {
 		leaves: make([]*leafCollector, shards),
 		poke:   make(chan struct{}, 1),
 		fused:  make(chan struct{}),
+		stats:  st,
 	}
 	for i := range c.leaves {
 		l := &leafCollector{
@@ -169,7 +193,7 @@ func NewShardedCollector(shards int, e typelang.Equiv) *ShardedCollector {
 		}
 		l.state.Store(&leafState{acc: typelang.Bottom})
 		c.leaves[i] = l
-		go l.run(e, c.poke)
+		go l.run(e, c.poke, st)
 	}
 	go c.rootLoop()
 	return c
@@ -272,11 +296,19 @@ func (c *ShardedCollector) Snapshot() (*typelang.Type, int64) {
 	// readers are never stuck behind it; each fuse folds the (at most
 	// `shards`) sealed leaf partials through a fresh accumulator, so
 	// concurrent fuses share nothing mutable.
+	fuseStart := statsClock(c.stats)
 	ra := typelang.NewAccum(c.equiv)
 	for _, alt := range alts {
 		ra.Absorb(alt)
 	}
 	t := ra.Seal()
+	if st := c.stats; st != nil {
+		// Direct atomic adds: snapshots race, so there is no per-site
+		// frame to batch into.
+		st.rootFuses.Add(1)
+		st.seals.Add(1)
+		st.fuseNanos.Add(time.Since(fuseStart).Nanoseconds())
+	}
 	c.root.mu.Lock()
 	// Per-leaf generations are monotone, so an elementwise-newer vector
 	// is a strictly newer view: a concurrent fuse that saw more

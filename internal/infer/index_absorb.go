@@ -54,6 +54,13 @@ type IndexAbsorber struct {
 	// O(1) and simultaneously proves no structural character was
 	// skipped over unexamined.
 	next int
+
+	// idxRecords/fbRecords count documents absorbed entirely off the
+	// index versus ones delegated to the token walker (fallback attempts
+	// count whether or not the walker then accepts), harvested per chunk
+	// by the pipeline's stage stats (TakeRecordCounts).
+	idxRecords int64
+	fbRecords  int64
 }
 
 // NewIndexAbsorber returns an empty absorber; bind it to a chunk with
@@ -112,10 +119,26 @@ func AbsorbFromIndex(a *IndexAbsorber, acc *typelang.Accum) error {
 		// walker re-absorbs the record from its first byte and is
 		// authoritative for both acceptance and errors.
 		a.pos = start
+		a.fbRecords++
 		return a.fallbackRecord(acc)
 	}
+	a.idxRecords++
 	return nil
 }
+
+// TakeRecordCounts returns the number of documents absorbed off the
+// index and the number delegated to the token walker since the last
+// call, and resets both — the harvest point of the per-chunk stage
+// stats.
+func (a *IndexAbsorber) TakeRecordCounts() (idx, fallback int64) {
+	idx, fallback = a.idxRecords, a.fbRecords
+	a.idxRecords, a.fbRecords = 0, 0
+	return idx, fallback
+}
+
+// TakeScanDelegations returns (and resets) the walker's count of spans
+// delegated to the reference scanner since the last call.
+func (a *IndexAbsorber) TakeScanDelegations() int64 { return a.w.TakeDelegations() }
 
 // fallbackRecord absorbs one document starting at the current position
 // through the token walker, then re-syncs the index cursors past it.

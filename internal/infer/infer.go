@@ -123,6 +123,11 @@ type Options struct {
 	// workers (and, in the registry, across requests) instead of once
 	// per worker.
 	Symbols *jsontext.SymbolTable
+	// Stats, when non-nil, receives the streamed engines' pipeline
+	// counters and per-stage clocks (see PipelineStats). Recording is
+	// lock-free and flushed at chunk granularity; nil keeps the pipeline
+	// entirely uninstrumented.
+	Stats *PipelineStats
 }
 
 func (o Options) workers() int {

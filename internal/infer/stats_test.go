@@ -1,0 +1,338 @@
+package infer
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/genjson"
+	"repro/internal/jsontext"
+	"repro/internal/typelang"
+)
+
+// statsOptions is the base configuration of the stats tests: one worker
+// keeps chunk arithmetic deterministic, the equivalence is immaterial.
+func statsOptions(m MapMode, tz Tokenizer, st *PipelineStats) Options {
+	return Options{Equiv: typelang.EquivLabel, Workers: 1, Map: m, Tokenizer: tz, Stats: st}
+}
+
+// TestStatsCleanInputPinned pins the flight recorder's counters on
+// input the index must never bail on: every document is absorbed, every
+// byte is lexed, and — in MapIndexed mode — every record takes the
+// index fast path, with zero fallbacks and zero parity rejections.
+// That last part is the acceptance criterion's "fixtures where the
+// index must not bail": a non-zero fallback count on these inputs means
+// the fast path silently regressed.
+func TestStatsCleanInputPinned(t *testing.T) {
+	inputs := map[string]string{
+		"plain":         strings.Repeat(`{"a": 1, "b": "x"}`+"\n", 7),
+		"escaped-name":  `{"a\nb": 1}` + "\n",
+		"escaped-value": `{"a": "x\ny"}` + "\n",
+		"float":         `{"a": 1.5e3}` + "\n",
+		"scalar-root":   "42\n",
+		"array-root":    `[1, {"k": true}]` + "\n",
+		"nested":        `{"a": {"b": [1, 2, {"c": null}]}}` + "\n",
+	}
+	for name, input := range inputs {
+		docs := int64(strings.Count(input, "\n"))
+		for _, mode := range []MapMode{MapFused, MapIndexed, MapReference} {
+			for _, tz := range []Tokenizer{TokenizerMison, TokenizerScan} {
+				var st PipelineStats
+				_, n, err := InferStreamParallel(strings.NewReader(input), statsOptions(mode, tz, &st))
+				if err != nil {
+					t.Fatalf("%s/%v/%v: %v", name, mode, tz, err)
+				}
+				if int64(n) != docs {
+					t.Fatalf("%s/%v/%v: n=%d, want %d", name, mode, tz, n, docs)
+				}
+				s := st.Snapshot()
+				if s.DocsAbsorbed != docs {
+					t.Errorf("%s/%v/%v: DocsAbsorbed=%d, want %d", name, mode, tz, s.DocsAbsorbed, docs)
+				}
+				if s.BytesLexed != int64(len(input)) {
+					t.Errorf("%s/%v/%v: BytesLexed=%d, want %d", name, mode, tz, s.BytesLexed, len(input))
+				}
+				// One worker + scan + a token map delegates to the
+				// unchunked sequential engine; everything else chunks.
+				sequential := tz == TokenizerScan && mode != MapIndexed
+				if sequential {
+					if s.ChunksSplit != 0 {
+						t.Errorf("%s/%v/%v: ChunksSplit=%d on the sequential path, want 0", name, mode, tz, s.ChunksSplit)
+					}
+				} else if s.ChunksSplit < 1 {
+					t.Errorf("%s/%v/%v: ChunksSplit=%d, want >= 1", name, mode, tz, s.ChunksSplit)
+				}
+				if s.FallbackRecords != 0 || s.ParityRejects != 0 {
+					t.Errorf("%s/%v/%v: fallbacks=%d parity=%d on clean input, want 0/0",
+						name, mode, tz, s.FallbackRecords, s.ParityRejects)
+				}
+				wantIdx := int64(0)
+				if mode == MapIndexed {
+					wantIdx = docs
+				}
+				if s.IndexRecords != wantIdx {
+					t.Errorf("%s/%v/%v: IndexRecords=%d, want %d", name, mode, tz, s.IndexRecords, wantIdx)
+				}
+				// One seal per worker chunk fold plus the final fold seal.
+				if s.Seals < s.ChunksSplit {
+					t.Errorf("%s/%v/%v: Seals=%d < ChunksSplit=%d", name, mode, tz, s.Seals, s.ChunksSplit)
+				}
+			}
+		}
+	}
+}
+
+// TestStatsAdversarialCountersPinned pins the two counters that make
+// the indexed map's fallback discipline observable, on inputs built to
+// trigger exactly one each:
+//
+//   - a malformed literal ("trve") survives the structural index (its
+//     quotes and braces are fine) so the walk starts, bails at the
+//     literal, and delegates the record to the token walker —
+//     FallbackRecords pins at 1 whether or not the walker then accepts
+//     (here it rejects, which is the authoritative error).
+//   - an unterminated string flips the chunk's unescaped-quote parity,
+//     so the structural index rejects the chunk outright before any
+//     record is walked — ParityRejects pins at 1, counted once per
+//     chunk even though both the index absorber and the mison
+//     tokenizer bounce it on the way to the token path.
+func TestStatsAdversarialCountersPinned(t *testing.T) {
+	t.Run("bad-literal-falls-back", func(t *testing.T) {
+		var st PipelineStats
+		input := `{"a": 1}` + "\n" + `{"a": trve}` + "\n"
+		_, n, err := InferStreamParallel(strings.NewReader(input), statsOptions(MapIndexed, TokenizerMison, &st))
+		if err == nil {
+			t.Fatal("malformed literal was accepted")
+		}
+		if n != 1 {
+			t.Fatalf("n=%d, want 1 (the prefix)", n)
+		}
+		s := st.Snapshot()
+		if s.FallbackRecords != 1 {
+			t.Errorf("FallbackRecords=%d, want 1", s.FallbackRecords)
+		}
+		if s.IndexRecords != 1 {
+			t.Errorf("IndexRecords=%d, want 1 (the clean prefix record)", s.IndexRecords)
+		}
+		if s.ParityRejects != 0 {
+			t.Errorf("ParityRejects=%d, want 0 (parity is fine, the literal is not)", s.ParityRejects)
+		}
+	})
+	t.Run("odd-parity-rejects-chunk", func(t *testing.T) {
+		for _, mode := range []MapMode{MapIndexed, MapFused} {
+			var st PipelineStats
+			input := `{"a": "unterminated` + "\n"
+			_, _, err := InferStreamParallel(strings.NewReader(input), statsOptions(mode, TokenizerMison, &st))
+			if err == nil {
+				t.Fatalf("%v: unterminated string was accepted", mode)
+			}
+			s := st.Snapshot()
+			if s.ParityRejects != 1 {
+				t.Errorf("%v: ParityRejects=%d, want exactly 1 per chunk", mode, s.ParityRejects)
+			}
+			if s.FallbackRecords != 0 || s.IndexRecords != 0 {
+				t.Errorf("%v: fallbacks=%d index=%d, want 0/0 (no record was ever walked)",
+					mode, s.FallbackRecords, s.IndexRecords)
+			}
+		}
+	})
+	t.Run("scan-tokenizer-never-parity-rejects", func(t *testing.T) {
+		// The scan tokenizer has no structural index, so the same input
+		// fails with the counter untouched — parity rejection is a
+		// mison-layer concept and must not leak.
+		var st PipelineStats
+		input := `{"a": "unterminated` + "\n"
+		_, _, err := InferStreamParallel(strings.NewReader(input), statsOptions(MapFused, TokenizerScan, &st))
+		if err == nil {
+			t.Fatal("unterminated string was accepted")
+		}
+		if s := st.Snapshot(); s.ParityRejects != 0 {
+			t.Errorf("ParityRejects=%d under the scan tokenizer, want 0", s.ParityRejects)
+		}
+	})
+}
+
+// TestStatsScanDelegationsPinned: escapes and non-plain numbers are the
+// spans the mison fast paths hand to the reference scanner; clean plain
+// input delegates nothing.
+func TestStatsScanDelegationsPinned(t *testing.T) {
+	var clean PipelineStats
+	if _, _, err := InferStreamParallel(strings.NewReader(`{"a": 1}`+"\n"),
+		statsOptions(MapIndexed, TokenizerMison, &clean)); err != nil {
+		t.Fatal(err)
+	}
+	if s := clean.Snapshot(); s.ScanDelegations != 0 {
+		t.Errorf("clean input ScanDelegations=%d, want 0", s.ScanDelegations)
+	}
+	var esc PipelineStats
+	if _, _, err := InferStreamParallel(strings.NewReader(`{"a": "x\ny", "b": 1.5}`+"\n"),
+		statsOptions(MapIndexed, TokenizerMison, &esc)); err != nil {
+		t.Fatal(err)
+	}
+	if s := esc.Snapshot(); s.ScanDelegations < 2 {
+		t.Errorf("escaped string + float ScanDelegations=%d, want >= 2", s.ScanDelegations)
+	}
+}
+
+// TestStatsSequentialEngine: the unchunked engine reports through the
+// same recorder — whole stream as one map fold, lexer offset standing
+// in for chunk bytes.
+func TestStatsSequentialEngine(t *testing.T) {
+	input := strings.Repeat(`{"a": 1, "b": [true, null]}`+"\n", 11)
+	var st PipelineStats
+	_, n, err := InferStream(strings.NewReader(input), Options{Equiv: typelang.EquivLabel, Stats: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.Snapshot()
+	if s.DocsAbsorbed != int64(n) || int64(n) != 11 {
+		t.Errorf("DocsAbsorbed=%d n=%d, want 11", s.DocsAbsorbed, n)
+	}
+	if s.BytesLexed != int64(len(input)) {
+		t.Errorf("BytesLexed=%d, want %d", s.BytesLexed, len(input))
+	}
+	if s.Seals != 1 {
+		t.Errorf("Seals=%d, want exactly 1 (one unchunked fold)", s.Seals)
+	}
+	if s.ChunksSplit != 0 {
+		t.Errorf("ChunksSplit=%d, want 0 (no reader goroutine)", s.ChunksSplit)
+	}
+}
+
+// TestStatsShardedCollector: the collector tree reports its reduce-side
+// counters — leaf publishes, seals, root fuses — into the stats it was
+// built with.
+func TestStatsShardedCollector(t *testing.T) {
+	var st PipelineStats
+	col := NewShardedCollectorStats(2, typelang.EquivLabel, &st)
+	docs := genjson.Collection(genjson.Twitter{Seed: 7}, 64)
+	data := jsontext.MarshalLines(docs)
+	if _, err := InferStreamInto(bytes.NewReader(data), Options{
+		Equiv: typelang.EquivLabel, Workers: 2, Batch: 8, Stats: &st,
+	}, col); err != nil {
+		t.Fatal(err)
+	}
+	col.Flush()
+	if _, n := col.Snapshot(); n != 64 {
+		t.Fatalf("collector holds %d docs, want 64", n)
+	}
+	s := st.Snapshot()
+	if s.BatchPublishes < 1 {
+		t.Errorf("BatchPublishes=%d, want >= 1", s.BatchPublishes)
+	}
+	if s.RootFuses < 1 {
+		t.Errorf("RootFuses=%d, want >= 1 (Snapshot fused the leaves)", s.RootFuses)
+	}
+	// Every publish and every fuse seals; so does every worker chunk.
+	if s.Seals < s.BatchPublishes+s.RootFuses {
+		t.Errorf("Seals=%d < publishes+fuses=%d", s.Seals, s.BatchPublishes+s.RootFuses)
+	}
+	col.Close()
+}
+
+// TestStatsSnapshotMonotoneUnderLoad is the race-detector workout the
+// issue asks for: snapshots taken while the pipeline runs must be
+// monotone field by field — the recording discipline publishes with
+// atomic adds only, never resets mid-run.
+func TestStatsSnapshotMonotoneUnderLoad(t *testing.T) {
+	docs := genjson.Collection(genjson.Twitter{Seed: 3}, 600)
+	data := jsontext.MarshalLines(docs)
+	var st PipelineStats
+	stop := make(chan struct{})
+	var watcher sync.WaitGroup
+	watcher.Add(1)
+	go func() {
+		defer watcher.Done()
+		var last StatsSnapshot
+		for {
+			s := st.Snapshot()
+			for _, pair := range [][2]int64{
+				{s.ChunksSplit, last.ChunksSplit},
+				{s.BytesLexed, last.BytesLexed},
+				{s.DocsAbsorbed, last.DocsAbsorbed},
+				{s.IndexRecords, last.IndexRecords},
+				{s.FallbackRecords, last.FallbackRecords},
+				{s.ParityRejects, last.ParityRejects},
+				{s.ScanDelegations, last.ScanDelegations},
+				{s.BatchPublishes, last.BatchPublishes},
+				{s.RootFuses, last.RootFuses},
+				{s.Seals, last.Seals},
+				{s.ReadNanos, last.ReadNanos},
+				{s.SplitNanos, last.SplitNanos},
+				{s.MapNanos, last.MapNanos},
+				{s.ReduceNanos, last.ReduceNanos},
+				{s.FuseNanos, last.FuseNanos},
+			} {
+				if pair[0] < pair[1] {
+					t.Errorf("counter regressed: %d after %d", pair[0], pair[1])
+					return
+				}
+			}
+			last = s
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		_, n, err := InferStreamParallel(bytes.NewReader(data), Options{
+			Equiv: typelang.EquivLabel, Workers: 4, Batch: 16, Map: MapIndexed, Stats: &st,
+		})
+		if err != nil || n != 600 {
+			t.Fatalf("pass %d: n=%d err=%v", i, n, err)
+		}
+	}
+	close(stop)
+	watcher.Wait()
+	s := st.Snapshot()
+	if s.DocsAbsorbed != 4*600 {
+		t.Errorf("DocsAbsorbed=%d across 4 passes, want %d", s.DocsAbsorbed, 4*600)
+	}
+	if s.IndexRecords != 4*600 || s.FallbackRecords != 0 || s.ParityRejects != 0 {
+		t.Errorf("index=%d fallback=%d parity=%d, want %d/0/0 on clean input",
+			s.IndexRecords, s.FallbackRecords, s.ParityRejects, 4*600)
+	}
+	if s.BytesLexed != 4*int64(len(data)) {
+		t.Errorf("BytesLexed=%d, want %d", s.BytesLexed, 4*int64(len(data)))
+	}
+}
+
+// TestStatsSnapshotArithmetic covers the plain-value surface: Add sums
+// field by field, AddSnapshot folds a delta in, and the nil recorder is
+// inert everywhere.
+func TestStatsSnapshotArithmetic(t *testing.T) {
+	a := StatsSnapshot{ChunksSplit: 1, BytesLexed: 10, DocsAbsorbed: 2, IndexRecords: 2,
+		FallbackRecords: 1, ParityRejects: 1, ScanDelegations: 3, BatchPublishes: 1,
+		RootFuses: 1, Seals: 4, ReadNanos: 5, SplitNanos: 6, MapNanos: 7, ReduceNanos: 8, FuseNanos: 9}
+	b := a
+	b.Add(a)
+	want := StatsSnapshot{ChunksSplit: 2, BytesLexed: 20, DocsAbsorbed: 4, IndexRecords: 4,
+		FallbackRecords: 2, ParityRejects: 2, ScanDelegations: 6, BatchPublishes: 2,
+		RootFuses: 2, Seals: 8, ReadNanos: 10, SplitNanos: 12, MapNanos: 14, ReduceNanos: 16, FuseNanos: 18}
+	if b != want {
+		t.Errorf("Add: got %+v, want %+v", b, want)
+	}
+
+	var p PipelineStats
+	p.AddSnapshot(a)
+	p.AddSnapshot(a)
+	if got := p.Snapshot(); got != want {
+		t.Errorf("AddSnapshot twice: got %+v, want %+v", got, want)
+	}
+
+	var nilStats *PipelineStats
+	if got := nilStats.Snapshot(); got != (StatsSnapshot{}) {
+		t.Errorf("nil Snapshot = %+v, want zero", got)
+	}
+	nilStats.AddSnapshot(a) // must not panic
+
+	// A nil recorder through the full pipeline: same answer, no stats.
+	input := `{"a": 1}` + "\n"
+	if _, n, err := InferStreamParallel(strings.NewReader(input),
+		Options{Equiv: typelang.EquivLabel, Workers: 2}); err != nil || n != 1 {
+		t.Fatalf("nil-stats run: n=%d err=%v", n, err)
+	}
+}

@@ -293,7 +293,21 @@ func InferStream(r io.Reader, opts Options) (*typelang.Type, int, error) {
 	if opts.Symbols != nil {
 		tr.SetSymbolTable(opts.Symbols)
 	}
-	return newStreamFold(opts).run(tr)
+	st := opts.Stats
+	start := statsClock(st)
+	t, n, err := newStreamFold(opts).run(tr)
+	if st != nil {
+		// The sequential engine has no chunking; the whole stream is one
+		// map fold sealed once, with the lexer's input offset standing in
+		// for the chunked engines' emitted-bytes count.
+		var frame statsFrame
+		statsSince(st, &frame.MapNanos, start)
+		frame.BytesLexed = int64(tr.InputOffset())
+		frame.DocsAbsorbed = int64(n)
+		frame.Seals = 1
+		frame.flush(st)
+	}
+	return t, n, err
 }
 
 // byteChunk is one work unit of the parallel token engine: a run of
@@ -348,27 +362,32 @@ func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error)
 	if workers <= 1 && opts.Tokenizer == TokenizerScan && opts.Map != MapIndexed {
 		return InferStream(r, opts)
 	}
+	st := opts.Stats
 	if shards := opts.reduceShards(); shards > 1 {
 		// Sharded reduce: committed chunk results distribute across the
 		// collector tree, so the merge work that used to serialise on
 		// this goroutine runs on the leaf collectors in parallel.
-		col := NewShardedCollector(shards, opts.Equiv)
+		col := NewShardedCollectorStats(shards, opts.Equiv, st)
 		n, err := inferStreamChunks(r, opts, func(ts []*typelang.Type, docs int) {
 			col.AddBatch(ts, int64(docs))
 		})
 		acc, _ := col.Close()
 		return acc, n, err
 	}
+	var frame statsFrame
 	if opts.ReduceShards == 1 {
 		// Explicit single collector: the legacy in-line ordered Merge
 		// fold, kept selectable as the A/B reference for both the tree
 		// and the accumulator (like TokenizerScan for the tokenizer).
 		acc := typelang.Bottom
 		n, err := inferStreamChunks(r, opts, func(ts []*typelang.Type, _ int) {
+			start := statsClock(st)
 			for _, t := range ts {
 				acc = typelang.Merge(acc, t, opts.Equiv)
 			}
+			statsSince(st, &frame.ReduceNanos, start)
 		})
+		frame.flush(st)
 		return acc, n, err
 	}
 	// Auto-sized single collector (narrow pool): the in-line ordered
@@ -376,11 +395,20 @@ func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error)
 	// per-chunk re-canonicalisation of the accumulated schema.
 	acc := typelang.NewAccum(opts.Equiv)
 	n, err := inferStreamChunks(r, opts, func(ts []*typelang.Type, _ int) {
+		start := statsClock(st)
 		for _, t := range ts {
 			acc.Absorb(t)
 		}
+		statsSince(st, &frame.ReduceNanos, start)
 	})
-	return acc.Seal(), n, err
+	start := statsClock(st)
+	t := acc.Seal()
+	statsSince(st, &frame.ReduceNanos, start)
+	if st != nil {
+		frame.Seals++
+		frame.flush(st)
+	}
+	return t, n, err
 }
 
 // InferStreamInto is InferStreamParallel folding into a caller-owned
@@ -424,7 +452,7 @@ func inferStreamChunks(r io.Reader, opts Options, commit func([]*typelang.Type, 
 	// Reader: split the stream into document-aligned chunks.
 	readErrCh := make(chan error, 1)
 	go func() {
-		readErrCh <- readChunks(r, opts.batch(), newSplitter(opts.Tokenizer), func(ch byteChunk) bool {
+		readErrCh <- readChunks(r, opts.batch(), newSplitter(opts.Tokenizer), opts.Stats, func(ch byteChunk) bool {
 			select {
 			case work <- ch:
 				return true
@@ -463,30 +491,63 @@ func inferStreamChunks(r io.Reader, opts Options, commit func([]*typelang.Type, 
 				}
 			}
 			fold := newStreamFold(opts)
+			st := opts.Stats
+			var frame statsFrame
 			for ch := range work {
+				frame.BytesLexed += int64(len(ch.data))
+				rejected := false
 				if ia != nil {
 					if err := ia.Reset(ch.data, ch.base); err == nil {
+						mapStart := statsClock(st)
 						t, n, err := fold.runIndexed(ia)
+						statsSince(st, &frame.MapNanos, mapStart)
+						if st != nil {
+							idx, fb := ia.TakeRecordCounts()
+							frame.IndexRecords += idx
+							frame.FallbackRecords += fb
+							frame.ScanDelegations += ia.TakeScanDelegations()
+							frame.DocsAbsorbed += int64(n)
+							frame.Seals++
+							frame.flush(st)
+						}
 						results <- chunkResult{index: ch.index, t: t, n: n, err: err}
 						continue
 					}
 					// Index rejected the chunk outright (odd quote
 					// parity, unbalanced nesting): the token path below
 					// reports the authoritative error.
+					rejected = true
 				}
 				var src jsontext.TokenSource
 				if ms != nil {
 					if err := ms.Reset(ch.data, ch.base); err == nil {
 						src = ms
+					} else {
+						// On rejection the plain lexer below reports the
+						// authoritative error for whatever is wrong.
+						rejected = true
 					}
-					// On rejection the plain lexer below reports the
-					// authoritative error for whatever is wrong.
+				}
+				if rejected {
+					// One reject per chunk, however many index layers
+					// bounced it before the token path took over.
+					frame.ParityRejects++
 				}
 				if src == nil {
 					tr.ResetBytes(ch.data, ch.base)
 					src = tr
 				}
+				mapStart := statsClock(st)
 				t, n, err := fold.run(src)
+				statsSince(st, &frame.MapNanos, mapStart)
+				if st != nil {
+					if src == ms {
+						frame.ScanDelegations += ms.TakeDelegations()
+					}
+					frame.DocsAbsorbed += int64(n)
+					frame.Seals++
+					frame.flush(st)
+				}
 				results <- chunkResult{index: ch.index, t: t, n: n, err: err}
 			}
 		}()

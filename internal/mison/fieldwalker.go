@@ -48,6 +48,11 @@ type FieldWalker struct {
 	scan    jsontext.Scanner
 	intern  map[string]string
 	symbols *jsontext.SymbolTable
+
+	// delegations counts spans handed to the reference scanner instead
+	// of certified positionally (ScanValueAt calls), harvested per chunk
+	// by the pipeline's stage stats (TakeDelegations).
+	delegations int64
 }
 
 // NewFieldWalker returns an empty walker; bind it to a chunk with
@@ -193,6 +198,15 @@ func (w *FieldWalker) InternSpan(lo, hi int) string {
 	return s
 }
 
+// TakeDelegations returns the number of spans delegated to the
+// reference scanner since the last call, and resets the count — the
+// harvest point of the pipeline's per-chunk stage stats.
+func (w *FieldWalker) TakeDelegations() int64 {
+	n := w.delegations
+	w.delegations = 0
+	return n
+}
+
 // PlainInt resolves a plain integer literal at pos — no fraction, no
 // exponent, at most 18 digits — returning its end position and float64
 // value, mirroring the reference lexer's allocation-free skip-mode
@@ -245,6 +259,7 @@ func (w *FieldWalker) PlainInt(pos int) (end int, f float64, ok bool) {
 // stream), the chunk-relative position of the first byte after it, and
 // any error (also rebased).
 func (w *FieldWalker) ScanValueAt(pos int, skip bool) (jsontext.Token, int, error) {
+	w.delegations++
 	tok, end, err := w.scan.ScanAt(w.data, pos, skip)
 	if err != nil {
 		if se, ok := err.(*jsontext.SyntaxError); ok {

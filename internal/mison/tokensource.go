@@ -49,6 +49,11 @@ type TokenSource struct {
 	scan    jsontext.Scanner
 	intern  map[string]string
 	symbols *jsontext.SymbolTable
+
+	// delegations counts tokens handed to the reference scanner instead
+	// of resolved positionally — the fast path's miss counter, harvested
+	// per chunk by the pipeline's stage stats (TakeDelegations).
+	delegations int64
 }
 
 // TokenSource implements the TokenReader pull contract.
@@ -300,9 +305,19 @@ func (ts *TokenSource) fastNumber(pos int, skip bool) (jsontext.Token, bool) {
 	return jsontext.Token{Kind: jsontext.TokNumber, Num: float64(v), Offset: ts.base + pos}, true
 }
 
+// TakeDelegations returns the number of tokens delegated to the
+// reference scanner since the last call, and resets the count — the
+// harvest point of the pipeline's per-chunk stage stats.
+func (ts *TokenSource) TakeDelegations() int64 {
+	n := ts.delegations
+	ts.delegations = 0
+	return n
+}
+
 // delegate hands the token at pos to the reference lexer and rebases
 // its offsets onto the stream.
 func (ts *TokenSource) delegate(pos int, skip bool) (jsontext.Token, error) {
+	ts.delegations++
 	tok, end, err := ts.scan.ScanAt(ts.data, pos, skip)
 	if err != nil {
 		if se, ok := err.(*jsontext.SyntaxError); ok {

@@ -36,6 +36,11 @@ type Options struct {
 	// Tokenizer picks the ingest pipeline's lexing machinery; the zero
 	// value is the mison structural-index fast path.
 	Tokenizer infer.Tokenizer
+	// Map picks the ingest pipeline's map phase; the zero value is the
+	// fused token absorber (infer.MapIndexed absorbs straight off the
+	// structural index, falling back per record — the fallback and
+	// parity counters in Snapshot.Pipeline track how often).
+	Map infer.MapMode
 	// Quota is the default ingest rate limit for new collections (the
 	// daemon's -rate-docs/-rate-bytes flags); the zero value is
 	// unlimited. Collections can pin their own via
@@ -59,7 +64,17 @@ type CollectionOptions struct {
 	// Quota override updates the live quota in place (Ingest overrides
 	// only apply when the ingest creates the collection).
 	Quota *Quota
+	// Observer, when non-nil, watches the stages of this ingest call;
+	// see StageObserver. Create ignores it.
+	Observer StageObserver
 }
+
+// StageObserver observes the phases of one ingest call: it is invoked
+// with a stage name ("quota", "pipeline", "flush") as the stage begins
+// and the func it returns is called when that stage ends. The daemon's
+// request tracer hangs spans off this hook; the registry itself knows
+// nothing about tracing.
+type StageObserver func(stage string) func()
 
 // ErrEquivMismatch reports a per-collection equivalence override that
 // disagrees with the equivalence the collection was created under.
@@ -91,6 +106,12 @@ type collection struct {
 	errors  atomic.Int64  // ingest requests that ended in an error
 	bytesIn atomic.Int64  // decoded payload bytes read by finished ingests
 	limited atomic.Int64  // ingest requests rejected by the quota
+
+	// stats is the collection's cumulative pipeline flight recorder:
+	// the collector tree reports its reduce-side counters straight into
+	// it, and each ingest call's map-side delta is folded in on
+	// completion (IngestWith).
+	stats infer.PipelineStats
 
 	// life guards the collector against Delete: ingests hold the read
 	// side for their whole run, Delete takes the write side before
@@ -134,9 +155,9 @@ func (r *Registry) resolve(name string, co CollectionOptions) (c *collection, cr
 			c = &collection{
 				name:  name,
 				equiv: want,
-				col:   infer.NewShardedCollector(r.opts.Shards, want),
 				lim:   newLimiter(quota, r.now()),
 			}
+			c.col = infer.NewShardedCollectorStats(r.opts.Shards, want, &c.stats)
 			r.cols[name] = c
 			created = true
 		}
@@ -181,6 +202,12 @@ type IngestResult struct {
 	Bytes int64
 	// Version is the collection version after this call.
 	Version uint64
+	// Stats is this call's pipeline delta — the map-side counters and
+	// clocks of exactly this ingest (reduce-side counters accrue on the
+	// collection's shared collector and appear in Snapshot.Pipeline).
+	// The daemon's tracer and slow-request log read fallback and parity
+	// figures from here.
+	Stats infer.StatsSnapshot
 }
 
 // Ingest streams the documents on rd (NDJSON or concatenated JSON) into
@@ -224,20 +251,42 @@ func (r *Registry) IngestWith(name string, rd io.Reader, co CollectionOptions) (
 		c.life.RUnlock()
 	}
 	defer c.life.RUnlock()
-	if rlErr := c.lim.admit(name, r.now()); rlErr != nil {
+	stage := func(name string) func() {
+		if co.Observer == nil {
+			return func() {}
+		}
+		return co.Observer(name)
+	}
+	endQuota := stage("quota")
+	rlErr := c.lim.admit(name, r.now())
+	endQuota()
+	if rlErr != nil {
 		c.limited.Add(1)
 		_, total := c.col.Snapshot()
 		return IngestResult{Collection: name, TotalDocs: total, Version: c.version.Load()}, rlErr
 	}
+	// Each call records into a private flight recorder so its snapshot
+	// is an exact per-request delta; the delta then folds into the
+	// collection's cumulative stats (the collector tree reports its
+	// reduce-side counters there directly).
+	var st infer.PipelineStats
 	cr := &countReader{r: rd}
+	endPipeline := stage("pipeline")
 	n, err := infer.InferStreamInto(cr, infer.Options{
 		Equiv:     c.equiv,
 		Workers:   r.opts.Workers,
 		Batch:     r.opts.Batch,
 		Tokenizer: r.opts.Tokenizer,
+		Map:       r.opts.Map,
 		Symbols:   r.symbols,
+		Stats:     &st,
 	}, c.col)
+	endPipeline()
+	endFlush := stage("flush")
 	c.col.Flush()
+	endFlush()
+	delta := st.Snapshot()
+	c.stats.AddSnapshot(delta)
 	bytes := cr.n.Load()
 	c.lim.charge(int64(n), bytes, r.now())
 	c.bytesIn.Add(bytes)
@@ -248,7 +297,7 @@ func (r *Registry) IngestWith(name string, rd io.Reader, co CollectionOptions) (
 	}
 	v := c.version.Add(1)
 	_, total := c.col.Snapshot()
-	return IngestResult{Collection: name, Docs: n, TotalDocs: total, Bytes: bytes, Version: v}, err
+	return IngestResult{Collection: name, Docs: n, TotalDocs: total, Bytes: bytes, Version: v, Stats: delta}, err
 }
 
 // countReader counts payload bytes for the quota charge and the ingest
@@ -292,6 +341,12 @@ type Snapshot struct {
 	// Quota is the collection's current ingest rate limit (zero =
 	// unlimited).
 	Quota Quota
+	// Pipeline is the collection's cumulative pipeline flight recorder:
+	// map-side deltas of every finished ingest plus the collector
+	// tree's reduce-side counters. Once ingest quiesces it reconciles
+	// exactly with the sum of the per-call IngestResult.Stats deltas
+	// (plus the collector's own publishes and fuses).
+	Pipeline infer.StatsSnapshot
 }
 
 // Get returns a snapshot of the named collection. It never blocks
@@ -323,6 +378,7 @@ func (c *collection) snapshot() Snapshot {
 		Bytes:       c.bytesIn.Load(),
 		RateLimited: c.limited.Load(),
 		Quota:       c.lim.quota(),
+		Pipeline:    c.stats.Snapshot(),
 	}
 }
 
@@ -394,6 +450,9 @@ type Stats struct {
 	// schemas across all collections — the aggregate schema size the
 	// registry currently serves.
 	SchemaNodes int
+	// Pipeline aggregates the live collections' pipeline flight
+	// recorders (see Snapshot.Pipeline).
+	Pipeline infer.StatsSnapshot
 }
 
 // Stats returns registry-wide aggregates without blocking ingest. The
@@ -409,6 +468,7 @@ func (r *Registry) Stats() Stats {
 		s.Bytes += snap.Bytes
 		s.RateLimited += snap.RateLimited
 		s.SchemaNodes += snap.Type.Size()
+		s.Pipeline.Add(snap.Pipeline)
 	}
 	return s
 }

@@ -119,6 +119,7 @@ func TestConcurrentIngestStorm(t *testing.T) {
 	go func() {
 		defer readers.Done()
 		var lastDocs int64
+		var lastPipe infer.StatsSnapshot
 		for {
 			select {
 			case <-stopReads:
@@ -130,6 +131,17 @@ func TestConcurrentIngestStorm(t *testing.T) {
 						return
 					}
 					lastDocs = snap.Docs
+					// The flight recorder is monotone under load too:
+					// per-call deltas and direct reduce-side adds only
+					// ever increase the cumulative counters.
+					p := snap.Pipeline
+					if p.DocsAbsorbed < lastPipe.DocsAbsorbed || p.BytesLexed < lastPipe.BytesLexed ||
+						p.ChunksSplit < lastPipe.ChunksSplit || p.Seals < lastPipe.Seals ||
+						p.BatchPublishes < lastPipe.BatchPublishes || p.RootFuses < lastPipe.RootFuses {
+						t.Errorf("pipeline stats regressed: %+v after %+v", p, lastPipe)
+						return
+					}
+					lastPipe = p
 				}
 			}
 		}
@@ -235,6 +247,14 @@ func TestConcurrentIngestStorm(t *testing.T) {
 		}
 		if snap.Docs != int64(wantN) {
 			t.Errorf("%s: docs=%d, want %d", name, snap.Docs, wantN)
+		}
+		// After quiesce the flight recorder reconciles exactly with the
+		// registry's own accounting: every ingested document was
+		// absorbed exactly once, none fell back (the corpus is clean).
+		if p := snap.Pipeline; p.DocsAbsorbed != snap.Docs || p.BytesLexed != snap.Bytes ||
+			p.FallbackRecords != 0 || p.ParityRejects != 0 {
+			t.Errorf("%s: pipeline stats do not reconcile: absorbed=%d/%d lexed=%d/%d fallback=%d parity=%d",
+				name, p.DocsAbsorbed, snap.Docs, p.BytesLexed, snap.Bytes, p.FallbackRecords, p.ParityRejects)
 		}
 		if snap.Version != writers*slices || snap.Ingests != writers*slices || snap.Errors != 0 {
 			t.Errorf("%s: version=%d ingests=%d errors=%d, want %d/%d/0",
@@ -552,5 +572,137 @@ func TestCreateCollection(t *testing.T) {
 	// The rejected create did not replace the collection.
 	if snap, ok := reg.Get("c"); !ok || snap.Equiv != typelang.EquivLabel {
 		t.Errorf("collection after rejected create: %+v", snap)
+	}
+}
+
+// TestPipelineStatsReconcile pins the flight recorder's accounting
+// identity: once ingest quiesces, a collection's cumulative
+// Snapshot.Pipeline equals the sum of the per-call IngestResult.Stats
+// deltas on every map-side counter (the reduce-side counters — leaf
+// publishes, root fuses and their seals/clocks — accrue on the shared
+// collector directly, so the cumulative figures can only exceed the
+// deltas there), and the registry-wide Stats().Pipeline is the sum over
+// live collections. The same identity is what makes /metrics reconcile
+// with /v1/stats on the daemon.
+func TestPipelineStatsReconcile(t *testing.T) {
+	for _, mode := range []infer.MapMode{infer.MapFused, infer.MapIndexed} {
+		reg := New(Options{Equiv: typelang.EquivLabel, Workers: 2, Shards: 2, Map: mode})
+
+		var sum infer.StatsSnapshot
+		var wantDocs, wantBytes int64
+		for i := 0; i < 4; i++ {
+			data := jsontext.MarshalLines(genjson.Collection(genjson.Twitter{Seed: int64(i)}, 50))
+			res, err := reg.Ingest("c", bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("%v: ingest %d: %v", mode, i, err)
+			}
+			if res.Stats.DocsAbsorbed != int64(res.Docs) {
+				t.Errorf("%v: per-call delta DocsAbsorbed=%d, want %d", mode, res.Stats.DocsAbsorbed, res.Docs)
+			}
+			sum.Add(res.Stats)
+			wantDocs += int64(res.Docs)
+			wantBytes += res.Bytes
+		}
+
+		snap, ok := reg.Get("c")
+		if !ok {
+			t.Fatal("collection missing")
+		}
+		p := snap.Pipeline
+		// Map-side counters: exact equality with the delta sum.
+		exact := [][3]int64{
+			{p.ChunksSplit, sum.ChunksSplit, 0},
+			{p.BytesLexed, sum.BytesLexed, 1},
+			{p.DocsAbsorbed, sum.DocsAbsorbed, 2},
+			{p.IndexRecords, sum.IndexRecords, 3},
+			{p.FallbackRecords, sum.FallbackRecords, 4},
+			{p.ParityRejects, sum.ParityRejects, 5},
+			{p.ScanDelegations, sum.ScanDelegations, 6},
+			{p.ReadNanos, sum.ReadNanos, 7},
+			{p.SplitNanos, sum.SplitNanos, 8},
+			{p.MapNanos, sum.MapNanos, 9},
+		}
+		for _, e := range exact {
+			if e[0] != e[1] {
+				t.Errorf("%v: map-side field %d: cumulative=%d, delta sum=%d", mode, e[2], e[0], e[1])
+			}
+		}
+		// The work accounted matches the registry's own accounting.
+		if p.DocsAbsorbed != wantDocs || wantDocs != snap.Docs {
+			t.Errorf("%v: DocsAbsorbed=%d, ingested=%d, snapshot docs=%d — must all agree",
+				mode, p.DocsAbsorbed, wantDocs, snap.Docs)
+		}
+		if p.BytesLexed != wantBytes || wantBytes != snap.Bytes {
+			t.Errorf("%v: BytesLexed=%d, ingested bytes=%d, snapshot bytes=%d — must all agree",
+				mode, p.BytesLexed, wantBytes, snap.Bytes)
+		}
+		if mode == infer.MapIndexed {
+			if p.IndexRecords != wantDocs || p.FallbackRecords != 0 {
+				t.Errorf("indexed: IndexRecords=%d fallbacks=%d on clean input, want %d/0",
+					p.IndexRecords, p.FallbackRecords, wantDocs)
+			}
+		} else if p.IndexRecords != 0 {
+			t.Errorf("fused: IndexRecords=%d, want 0", p.IndexRecords)
+		}
+		// Reduce-side counters accrue on the shared collector: at least
+		// the deltas, and at least one leaf publish for committed work.
+		if p.BatchPublishes < 1 {
+			t.Errorf("%v: BatchPublishes=%d, want >= 1", mode, p.BatchPublishes)
+		}
+		if p.Seals < sum.Seals {
+			t.Errorf("%v: cumulative Seals=%d < delta sum %d", mode, p.Seals, sum.Seals)
+		}
+
+		// A second collection: registry-wide Stats aggregates both.
+		if _, err := reg.Ingest("d", strings.NewReader(`{"x": 1}`+"\n")); err != nil {
+			t.Fatal(err)
+		}
+		snapD, _ := reg.Get("d")
+		agg := reg.Stats().Pipeline
+		var want infer.StatsSnapshot
+		// Re-snapshot c: the Get above fused its root, which the
+		// reduce-side counters record.
+		snapC, _ := reg.Get("c")
+		want.Add(snapC.Pipeline)
+		want.Add(snapD.Pipeline)
+		if agg.DocsAbsorbed != want.DocsAbsorbed || agg.BytesLexed != want.BytesLexed ||
+			agg.IndexRecords != want.IndexRecords || agg.ChunksSplit != want.ChunksSplit {
+			t.Errorf("%v: Stats().Pipeline=%+v, want the sum over collections %+v", mode, agg, want)
+		}
+		reg.Close()
+	}
+}
+
+// TestPipelineStatsAdversarialThroughRegistry: the fallback and parity
+// counters surface through the registry exactly as through the bare
+// pipeline — a malformed literal delegates one record, an unterminated
+// string rejects one chunk, and both ride the per-call delta as well as
+// the cumulative snapshot.
+func TestPipelineStatsAdversarialThroughRegistry(t *testing.T) {
+	reg := New(Options{Equiv: typelang.EquivLabel, Map: infer.MapIndexed})
+	defer reg.Close()
+
+	res, err := reg.Ingest("c", strings.NewReader(`{"a": 1}`+"\n"+`{"a": trve}`+"\n"))
+	if err == nil {
+		t.Fatal("malformed literal was accepted")
+	}
+	if res.Stats.FallbackRecords != 1 || res.Stats.IndexRecords != 1 {
+		t.Errorf("bad literal delta: index=%d fallback=%d, want 1/1",
+			res.Stats.IndexRecords, res.Stats.FallbackRecords)
+	}
+	res2, err := reg.Ingest("c", strings.NewReader(`{"a": "unterminated`+"\n"))
+	if err == nil {
+		t.Fatal("unterminated string was accepted")
+	}
+	if res2.Stats.ParityRejects != 1 {
+		t.Errorf("unterminated delta: parity=%d, want 1", res2.Stats.ParityRejects)
+	}
+	snap, _ := reg.Get("c")
+	if snap.Pipeline.FallbackRecords != 1 || snap.Pipeline.ParityRejects != 1 {
+		t.Errorf("cumulative: fallback=%d parity=%d, want 1/1",
+			snap.Pipeline.FallbackRecords, snap.Pipeline.ParityRejects)
+	}
+	if snap.Errors != 2 {
+		t.Errorf("Errors=%d, want 2", snap.Errors)
 	}
 }

@@ -50,8 +50,10 @@ if [ -z "$base" ]; then
     exit 1
 fi
 
-echo "smoke: ingesting $fixture (identity)"
-curl -fsS -X POST --data-binary "@$fixture" "$base/v1/collections/smoke/ingest"
+trace_id=4bf92f3577b34da6a3ce929d0e0e4736
+echo "smoke: ingesting $fixture (identity, traced as $trace_id)"
+curl -fsS -X POST -H "Traceparent: 00-$trace_id-00f067aa0ba902b7-01" \
+    --data-binary "@$fixture" "$base/v1/collections/smoke/ingest"
 
 echo "smoke: ingesting $fixture (gzip)"
 gzip -c "$fixture" | curl -fsS -X POST -H 'Content-Encoding: gzip' \
@@ -86,6 +88,29 @@ echo "$metrics" | grep -q 'jsinferd_http_requests_total{route="POST /v1/collecti
 }
 echo "smoke: /metrics counters reconcile ($want_docs docs across 2 encodings)"
 
+# The traced ingest joined the caller's trace and landed in the ring
+# with the request's document count on its root span.
+traces=$(curl -fsS "$base/debug/traces")
+trace_block=$(echo "$traces" | sed -n "/\"trace_id\": \"$trace_id\"/,/\"trace_id\"/p")
+if [ -z "$trace_block" ]; then
+    echo "smoke: /debug/traces lacks the joined trace $trace_id" >&2
+    exit 1
+fi
+echo "$trace_block" | grep -q "\"docs\": $fixture_docs" || {
+    echo "smoke: traced ingest does not carry docs=$fixture_docs" >&2
+    echo "$trace_block" >&2
+    exit 1
+}
+echo "$trace_block" | grep -q '"remote": true' || {
+    echo "smoke: joined trace is not marked remote" >&2
+    exit 1
+}
+echo "smoke: /debug/traces shows the joined trace with $fixture_docs docs"
+
 stats=$(curl -fsS "$base/v1/stats")
 echo "smoke: stats $stats"
+echo "$stats" | grep -q "\"docs_absorbed\": $want_docs" || {
+    echo "smoke: /v1/stats pipeline.docs_absorbed != $want_docs" >&2
+    exit 1
+}
 echo "smoke ok: served schema is byte-identical to jsinfer -stream"
