@@ -27,23 +27,25 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
-# Short streaming benchmark — the dom/scan/mison triplets plus the
-# mison-vs-lexer token-throughput pair (allocs/op is the headline
-# metric); CI runs this as a non-blocking step so the numbers land in
-# every build log without gating merges on a noisy runner.
+# Short streaming benchmark — the dom/scan/mison triplets, the
+# reader-vs-bytes zero-copy pair, plus the mison-vs-lexer
+# token-throughput pair (allocs/op and B/op are the headline metrics);
+# CI runs this as a non-blocking step so the numbers land in every
+# build log without gating merges on a noisy runner.
 bench-stream:
 	$(GO) test -run '^$$' -bench 'BenchmarkE3StreamingInference' -benchtime 200ms -benchmem .
 	$(GO) test -run '^$$' -bench 'BenchmarkTokenSourceVsLexer' -benchtime 200ms -benchmem ./internal/mison/
 
-# Perf trajectory: the E3 streamed rows (ns/op, MB/s, allocs/op) as a
-# machine-readable JSON report — `go test -bench -json` post-processed
-# by cmd/jsbenchjson into BENCH_9.json, which CI uploads as an artifact
-# so every build leaves a comparable benchmark record. The fixture set
-# now includes the sparse/deep adversarial corpora, so the rows cover
-# record-group churn and deep-nesting costs too.
+# Perf trajectory: the E3 streamed rows (ns/op, MB/s, B/op, allocs/op)
+# as a machine-readable JSON report — `go test -bench -json`
+# post-processed by cmd/jsbenchjson into BENCH_10.json, which CI uploads
+# as an artifact so every build leaves a comparable benchmark record.
+# The rows now include the zero-copy -bytes/-mmap variants and the
+# large-corpus reader/bytes/mmap triplet over a 100MB jsgen-style
+# corpus (E3_CORPUS_BYTES, jsgen -target syntax).
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkE3StreamingInference' -benchtime 200ms -benchmem -json . \
-		| $(GO) run repro/cmd/jsbenchjson -out BENCH_9.json
+	E3_CORPUS_BYTES=100MB $(GO) test -run '^$$' -bench 'BenchmarkE3(StreamingInference|LargeCorpus)' -benchtime 200ms -benchmem -json . \
+		| $(GO) run repro/cmd/jsbenchjson -out BENCH_10.json
 
 # Documentation smoke: formatting is clean, vet is clean, and every
 # documented package still renders a doc page.

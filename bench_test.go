@@ -10,6 +10,8 @@ package repro_test
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/codegen"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/jsonvalue"
 	"repro/internal/jsound"
 	"repro/internal/mison"
+	"repro/internal/mmapio"
 	"repro/internal/mongoschema"
 	"repro/internal/normalize"
 	"repro/internal/profile"
@@ -124,9 +127,11 @@ func BenchmarkE3StreamingInference(b *testing.B) {
 	})
 	b.Run("mison-sequential", func(b *testing.B) {
 		// One worker, so the row isolates the tokenizer change from
-		// parallel speedup (the chunk pipeline itself stays on). The
-		// default map phase is fused (documents absorb straight into
-		// the chunk accumulator, no per-document type).
+		// parallel speedup: the entry point delegates to the sequential
+		// chunk engine (large byte-target chunks through one
+		// accumulator, one seal). The default map phase is fused
+		// (documents absorb straight into the chunk accumulator, no
+		// per-document type).
 		b.SetBytes(int64(len(raw)))
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -161,6 +166,51 @@ func BenchmarkE3StreamingInference(b *testing.B) {
 			}
 		}
 	})
+	b.Run("mison-sequential-bytes", func(b *testing.B) {
+		// The zero-copy byte engine against the reader row above: same
+		// pipeline, but chunks alias the input slice in place — no read
+		// buffers, no compaction copies, no pool churn. The B/op gap to
+		// mison-sequential is the cost of streaming through a reader.
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := infer.InferStreamParallelBytes(raw,
+				infer.Options{Equiv: typelang.EquivLabel, Workers: 1, Tokenizer: infer.TokenizerMison}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mison-sequential-mmap", func(b *testing.B) {
+		// The byte engine fed by a memory-mapped file — the full jsinfer
+		// `-stream -mmap on` data path minus argument parsing. The kernel
+		// pages the file in; the pipeline never copies it.
+		if !mmapio.Supported() {
+			b.Skip("mmap not supported on this platform")
+		}
+		name := filepath.Join(b.TempDir(), "corpus.ndjson")
+		if err := os.WriteFile(name, raw, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		f, err := os.Open(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		m, err := mmapio.Map(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := infer.InferStreamParallelBytes(m.Data(),
+				infer.Options{Equiv: typelang.EquivLabel, Workers: 1, Tokenizer: infer.TokenizerMison}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	for _, workers := range []int{2, 4, 8} {
 		workers := workers
 		b.Run(fmt.Sprintf("dom-parallel-%d", workers), func(b *testing.B) {
@@ -186,6 +236,18 @@ func BenchmarkE3StreamingInference(b *testing.B) {
 				}
 			})
 		}
+		// The zero-copy byte engine under parallelism: workers consume
+		// chunks that alias one shared input slice.
+		b.Run(fmt.Sprintf("mison-parallel-%d-bytes", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(raw)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := infer.InferStreamParallelBytes(raw,
+					infer.Options{Equiv: typelang.EquivLabel, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 		// The reference map phase under parallelism: per-document
 		// canonical types on every worker (MapReference), the A/B
 		// baseline for the fused map rows above.
@@ -264,6 +326,78 @@ func BenchmarkE3StreamingInference(b *testing.B) {
 			}
 		})
 	}
+}
+
+// E3 (large corpus): the zero-copy claims at the scale they were built
+// for — a corpus sized by E3_CORPUS_BYTES (jsgen -target syntax; the
+// Makefile's bench-json target passes 100MB, the default keeps local
+// `make bench` quick) streamed through the reader path, the byte-slice
+// path, and the mmap path. The corpus is generated in index order from
+// per-document seeds, so a given (seed, target) names the same bytes on
+// every run.
+func BenchmarkE3LargeCorpus(b *testing.B) {
+	target := int64(4 << 20)
+	if s := os.Getenv("E3_CORPUS_BYTES"); s != "" {
+		t, err := genjson.ParseSize(s)
+		if err != nil {
+			b.Fatalf("E3_CORPUS_BYTES: %v", err)
+		}
+		target = t
+	}
+	g := genjson.Twitter{Seed: 41}
+	var buf bytes.Buffer
+	buf.Grow(int(target) + (64 << 10))
+	for i := 0; int64(buf.Len()) < target; i++ {
+		buf.Write(jsontext.Marshal(g.Generate(i)))
+		buf.WriteByte('\n')
+	}
+	raw := buf.Bytes()
+	opts := infer.Options{Equiv: typelang.EquivLabel, Workers: 4, Tokenizer: infer.TokenizerMison}
+	b.Run("reader", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := infer.InferStreamParallel(bytes.NewReader(raw), opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bytes", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := infer.InferStreamParallelBytes(raw, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mmap", func(b *testing.B) {
+		if !mmapio.Supported() {
+			b.Skip("mmap not supported on this platform")
+		}
+		name := filepath.Join(b.TempDir(), "corpus.ndjson")
+		if err := os.WriteFile(name, raw, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		f, err := os.Open(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		m, err := mmapio.Map(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := infer.InferStreamParallelBytes(m.Data(), opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // E4: merged streaming analysis vs no-merge shape collection; metric

@@ -24,32 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro/internal/genjson"
 	"repro/internal/jsontext"
 )
-
-// parseSize parses a human-friendly size: a bare byte count or a number
-// with a K/M/G suffix (optionally followed by B), case-insensitive.
-func parseSize(s string) (int64, error) {
-	t := strings.TrimSuffix(strings.ToUpper(strings.TrimSpace(s)), "B")
-	mult := int64(1)
-	switch {
-	case strings.HasSuffix(t, "K"):
-		mult, t = 1<<10, t[:len(t)-1]
-	case strings.HasSuffix(t, "M"):
-		mult, t = 1<<20, t[:len(t)-1]
-	case strings.HasSuffix(t, "G"):
-		mult, t = 1<<30, t[:len(t)-1]
-	}
-	n, err := strconv.ParseInt(t, 10, 64)
-	if err != nil || n <= 0 {
-		return 0, fmt.Errorf("invalid size %q (want e.g. 64K, 100MB, 1G)", s)
-	}
-	return n * mult, nil
-}
 
 func main() {
 	kind := flag.String("kind", "twitter", "generator: twitter, github, opendata, orders, typedrift, skewed, nested, nyt, wide, sparse, deep, fields")
@@ -92,7 +70,7 @@ func main() {
 
 	var targetBytes int64
 	if *target != "" {
-		tb, err := parseSize(*target)
+		tb, err := genjson.ParseSize(*target)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "jsgen: %v\n", err)
 			os.Exit(1)

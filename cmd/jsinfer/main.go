@@ -8,7 +8,8 @@
 //	jsinfer [-engine parametric-L|parametric-K|spark|skinfer]
 //	        [-output type|jsonschema|typescript|swift|report]
 //	        [-workers N] [-stream] [-tokenizer scan|mison]
-//	        [-map fused|refmap|indexed] [-precision] [-counted]
+//	        [-map fused|refmap|indexed] [-mmap auto|on|off]
+//	        [-chunk-bytes SIZE] [-precision] [-counted]
 //	        [-stats] [-cpuprofile f] [-memprofile f] [file.ndjson ...]
 //
 // The parametric engines run their map/reduce over N workers
@@ -24,7 +25,14 @@
 // straight from tokens into the worker accumulators, "indexed" absorbs
 // straight off the structural index (separator tokens never
 // materialise), "refmap" materialises the canonical per-document type
-// first — identical results all three ways. Streaming is
+// first — identical results all three ways. With file arguments -mmap
+// routes the input: "auto" (default) memory-maps large regular files so
+// the zero-copy byte engines split and lex the file pages in place,
+// falling back to buffered reads for pipes, short files and platforms
+// without mmap; "on" requires mapping (and fails fast on stdin); "off"
+// forces the reader path. -chunk-bytes SIZE (64K, 4M, …) cuts chunks at
+// a byte target instead of every 256 documents — the knob for GB-scale
+// corpora. Streaming is
 // parametric-only. A streamed report has no precision column in its
 // single pass; -precision fills it by re-reading the input in a
 // bounded-memory second pass, which requires file arguments (stdin
@@ -57,6 +65,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/core"
+	"repro/internal/genjson"
 	"repro/internal/infer"
 	"repro/internal/jsontext"
 	"repro/internal/jsonvalue"
@@ -73,17 +82,21 @@ func main() {
 	tokenizer := flag.String("tokenizer", "mison", "with -stream: lexing machinery, mison (default) or scan")
 	mapMode := flag.String("map", "fused", "with -stream: map phase, fused (default), indexed or refmap")
 	precision := flag.Bool("precision", false, "with -stream: compute precision in a second pass over the input files")
+	mmap := flag.String("mmap", "auto", "with -stream and file arguments: memory-map inputs, auto (default), on, or off")
+	chunkBytes := flag.String("chunk-bytes", "", "with -stream: cut chunks at this byte size instead of every 256 documents (e.g. 4M)")
 	stats := flag.Bool("stats", false, "with -stream: print pipeline stage stats to stderr after inference")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the inference pass to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after inference) to this file")
 	flag.Parse()
-	tokenizerSet, mapSet := false, false
+	tokenizerSet, mapSet, mmapSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "tokenizer":
 			tokenizerSet = true
 		case "map":
 			mapSet = true
+		case "mmap":
+			mmapSet = true
 		}
 	})
 
@@ -150,10 +163,29 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown map mode %q", *mapMode))
 	}
+	var mmapMode core.MmapMode
+	switch *mmap {
+	case "auto":
+		mmapMode = core.MmapAuto
+	case "on":
+		mmapMode = core.MmapOn
+	case "off":
+		mmapMode = core.MmapOff
+	default:
+		fatal(fmt.Errorf("unknown mmap mode %q (want auto, on or off)", *mmap))
+	}
+	var chunkTarget int
+	if *chunkBytes != "" {
+		cb, err := genjson.ParseSize(*chunkBytes)
+		if err != nil {
+			fatal(fmt.Errorf("-chunk-bytes: %w", err))
+		}
+		chunkTarget = int(cb)
+	}
 	// Flag-only validation happens before any input is read: a bad
 	// combination must exit non-zero immediately, not after a
 	// potentially huge inference pass (or, worse, be silently ignored).
-	if err := validateStreamFlags(*stream, *precision, tokenizerSet, mapSet, *stats, *output, flag.NArg()); err != nil {
+	if err := validateStreamFlags(*stream, *precision, tokenizerSet, mapSet, *stats, mmapSet, *mmap, *chunkBytes != "", *output, flag.NArg()); err != nil {
 		fatal(err)
 	}
 	if *stream {
@@ -162,7 +194,7 @@ func main() {
 			pstats = &core.PipelineStats{}
 		}
 		var err error
-		result, ndocs, err = streamInput(flag.Args(), eng, core.StreamOptions{Workers: *workers, Tokenizer: tz, Map: mm, Stats: pstats})
+		result, ndocs, err = streamInput(flag.Args(), eng, core.StreamOptions{Workers: *workers, Tokenizer: tz, Map: mm, ChunkBytes: chunkTarget, Mmap: mmapMode, Stats: pstats})
 		if pstats != nil {
 			// Stats go to stderr even on an error exit: the partial
 			// counters cover exactly the work done before the failure.
@@ -245,10 +277,12 @@ func main() {
 // any input is read: -precision re-reads the input for the report's
 // precision column, so it needs -stream, the report output and
 // re-readable file arguments (stdin cannot be re-read); -tokenizer,
-// -map and -stats configure the streamed engines, so explicitly setting
-// any of them without -stream is a mistake rather than something to
-// ignore.
-func validateStreamFlags(stream, precision, tokenizerSet, mapSet, stats bool, output string, nArgs int) error {
+// -map, -mmap, -chunk-bytes and -stats configure the streamed engines,
+// so explicitly setting any of them without -stream is a mistake rather
+// than something to ignore. -mmap on additionally needs file arguments
+// — stdin is a pipe and cannot be memory-mapped, and "map or fail" must
+// fail here, not after a huge first pass.
+func validateStreamFlags(stream, precision, tokenizerSet, mapSet, stats, mmapSet bool, mmapMode string, chunkBytesSet bool, output string, nArgs int) error {
 	if !stream {
 		if precision {
 			return fmt.Errorf("-precision requires -stream (a materialised report always includes precision)")
@@ -262,6 +296,12 @@ func validateStreamFlags(stream, precision, tokenizerSet, mapSet, stats bool, ou
 		if stats {
 			return fmt.Errorf("-stats reports the streamed pipeline's counters; add -stream")
 		}
+		if mmapSet {
+			return fmt.Errorf("-mmap routes the streamed engines' file inputs; add -stream")
+		}
+		if chunkBytesSet {
+			return fmt.Errorf("-chunk-bytes sizes the streamed engines' chunks; add -stream")
+		}
 		return nil
 	}
 	if precision && output != "report" {
@@ -269,6 +309,9 @@ func validateStreamFlags(stream, precision, tokenizerSet, mapSet, stats bool, ou
 	}
 	if precision && nArgs == 0 {
 		return fmt.Errorf("-precision with -stream needs file arguments: stdin cannot be re-read")
+	}
+	if mmapMode == "on" && nArgs == 0 {
+		return fmt.Errorf("-mmap on needs file arguments: stdin is not a regular file and cannot be memory-mapped")
 	}
 	return nil
 }
@@ -302,8 +345,9 @@ func printStats(w io.Writer, s core.StatsSnapshot) {
 	ms := func(n int64) string { return fmt.Sprintf("%.3fms", float64(n)/1e6) }
 	fmt.Fprintln(w, "pipeline stats:")
 	fmt.Fprintf(w, "  %-7s %12s  %s\n", "stage", "time", "counters")
-	fmt.Fprintf(w, "  %-7s %12s  chunks_split=%d\n", "read", ms(s.ReadNanos), s.ChunksSplit)
-	fmt.Fprintf(w, "  %-7s %12s\n", "split", ms(s.SplitNanos))
+	fmt.Fprintf(w, "  %-7s %12s  chunks_split=%d reader_inputs=%d mmap_inputs=%d bytes_copied=%d buffers_recycled=%d\n",
+		"read", ms(s.ReadNanos), s.ChunksSplit, s.ReaderInputs, s.MmapInputs, s.BytesCopied, s.BuffersRecycled)
+	fmt.Fprintf(w, "  %-7s %12s  bytes_aliased=%d\n", "split", ms(s.SplitNanos), s.BytesAliased)
 	fmt.Fprintf(w, "  %-7s %12s  docs_absorbed=%d bytes_lexed=%d index_records=%d fallback_records=%d parity_rejects=%d scan_delegations=%d\n",
 		"map", ms(s.MapNanos), s.DocsAbsorbed, s.BytesLexed, s.IndexRecords, s.FallbackRecords, s.ParityRejects, s.ScanDelegations)
 	fmt.Fprintf(w, "  %-7s %12s  batch_publishes=%d\n", "reduce", ms(s.ReduceNanos), s.BatchPublishes)

@@ -740,6 +740,16 @@ func pipelineGauges(prom *metrics.Registry, snap func() core.StatsSnapshot) {
 			func(s core.StatsSnapshot) float64 { return float64(s.RootFuses) }},
 		{"jsinferd_pipeline_seals_total", "Accumulator seals across map, leaf publish and root fuse.",
 			func(s core.StatsSnapshot) float64 { return float64(s.Seals) }},
+		{"jsinferd_pipeline_bytes_aliased_total", "Chunk bytes emitted zero-copy, aliasing the input buffer.",
+			func(s core.StatsSnapshot) float64 { return float64(s.BytesAliased) }},
+		{"jsinferd_pipeline_bytes_copied_total", "Bytes moved during reader-path buffer compaction.",
+			func(s core.StatsSnapshot) float64 { return float64(s.BytesCopied) }},
+		{"jsinferd_pipeline_buffers_recycled_total", "Chunk arrays reacquired from the pool instead of allocated.",
+			func(s core.StatsSnapshot) float64 { return float64(s.BuffersRecycled) }},
+		{"jsinferd_pipeline_mmap_inputs_total", "Inputs served through a memory mapping.",
+			func(s core.StatsSnapshot) float64 { return float64(s.MmapInputs) }},
+		{"jsinferd_pipeline_reader_inputs_total", "Inputs served through the copying io.Reader path.",
+			func(s core.StatsSnapshot) float64 { return float64(s.ReaderInputs) }},
 		{"jsinferd_pipeline_read_seconds_total", "Reader-goroutine time blocked reading request bodies.",
 			func(s core.StatsSnapshot) float64 { return float64(s.ReadNanos) / 1e9 }},
 		{"jsinferd_pipeline_split_seconds_total", "Reader-goroutine time finding chunk boundaries.",
@@ -772,6 +782,11 @@ func pipelineMeta(p core.StatsSnapshot) *jsonvalue.Value {
 		"batch_publishes", p.BatchPublishes,
 		"root_fuses", p.RootFuses,
 		"seals", p.Seals,
+		"bytes_aliased", p.BytesAliased,
+		"bytes_copied", p.BytesCopied,
+		"buffers_recycled", p.BuffersRecycled,
+		"mmap_inputs", p.MmapInputs,
+		"reader_inputs", p.ReaderInputs,
 		"read_nanos", p.ReadNanos,
 		"split_nanos", p.SplitNanos,
 		"map_nanos", p.MapNanos,

@@ -14,6 +14,7 @@ import (
 	"repro/internal/jsontext"
 	"repro/internal/jsonvalue"
 	"repro/internal/jsound"
+	"repro/internal/mmapio"
 	"repro/internal/mongoschema"
 	"repro/internal/skinfer"
 	"repro/internal/sparkinfer"
@@ -256,6 +257,41 @@ const (
 	MapIndexed   = infer.MapIndexed
 )
 
+// MmapMode selects how the file-streaming engines read their inputs.
+type MmapMode uint8
+
+const (
+	// MmapAuto — the zero value — memory-maps regular files of at
+	// least mmapMinSize on supporting platforms and silently falls
+	// back to the reader path everywhere else (pipes, short files,
+	// platforms without the syscall).
+	MmapAuto MmapMode = iota
+	// MmapOn requires mapping: inputs that cannot be mapped (stdin,
+	// pipes, unsupported platforms) fail rather than fall back.
+	MmapOn
+	// MmapOff always uses the copying reader path.
+	MmapOff
+)
+
+// String names the mode.
+func (m MmapMode) String() string {
+	switch m {
+	case MmapAuto:
+		return "auto"
+	case MmapOn:
+		return "on"
+	case MmapOff:
+		return "off"
+	default:
+		return "unknown"
+	}
+}
+
+// mmapMinSize is the MmapAuto threshold: below it the mapping-setup
+// syscalls cost more than the copies they save, so short files keep
+// the reader path.
+const mmapMinSize = 1 << 20
+
 // StreamOptions tune the streamed inference engines.
 type StreamOptions struct {
 	// Workers bounds the parallel chunk workers; 0 means GOMAXPROCS.
@@ -271,10 +307,34 @@ type StreamOptions struct {
 	// (MapReference is the per-document-type A/B baseline, MapIndexed
 	// the index-driven fast path).
 	Map MapMode
+	// ChunkBytes, when positive, switches the chunking stage to a
+	// byte-size target: chunks are cut at the first document boundary
+	// at or past it, instead of every 256 documents — the knob that
+	// lets GB-scale inputs amortise per-chunk overhead over far larger
+	// chunks. 0 keeps the document-count default.
+	ChunkBytes int
+	// Mmap selects how the *Files engines read regular files: MmapAuto
+	// (the zero value) maps large regular files and falls back
+	// gracefully, MmapOn requires mapping, MmapOff forces the reader
+	// path. Mapped files stream through the zero-copy byte engines.
+	Mmap MmapMode
 	// Stats, when non-nil, receives the pipeline's stage counters and
 	// clocks (see infer.PipelineStats); nil keeps recording entirely
 	// off the hot path.
 	Stats *PipelineStats
+}
+
+// inferOptions lowers the facade options to the engine's option set.
+func (o StreamOptions) inferOptions(eq typelang.Equiv) infer.Options {
+	return infer.Options{
+		Equiv:        eq,
+		Workers:      o.Workers,
+		Tokenizer:    o.Tokenizer,
+		ReduceShards: o.ReduceShards,
+		Map:          o.Map,
+		ChunkBytes:   o.ChunkBytes,
+		Stats:        o.Stats,
+	}
 }
 
 // PipelineStats re-exports the streamed engines' flight recorder, and
@@ -315,14 +375,30 @@ func InferSchemaStreamWith(r io.Reader, engine Engine, opts StreamOptions) (*Inf
 	if !ok {
 		return nil, 0, fmt.Errorf("core: engine %s cannot infer from a stream", engine)
 	}
-	t, n, err := infer.InferStreamParallel(r, infer.Options{
-		Equiv:        eq,
-		Workers:      opts.Workers,
-		Tokenizer:    opts.Tokenizer,
-		ReduceShards: opts.ReduceShards,
-		Map:          opts.Map,
-		Stats:        opts.Stats,
-	})
+	t, n, err := infer.InferStreamParallel(r, opts.inferOptions(eq))
+	return &Inference{
+		Engine:     engine,
+		Type:       t,
+		JSONSchema: jsonschema.FromType(t),
+		Precision:  -1,
+		Size:       t.Size(),
+	}, n, err
+}
+
+// InferSchemaStreamBytesWith is InferSchemaStreamWith over an
+// in-memory buffer — the zero-copy entry point. The chunking stage
+// splits data in place (every chunk aliases the caller's buffer; no
+// pending array, no copies), which is how memory-mapped files stream
+// through the pipeline at index speed. The buffer must stay alive and
+// unmodified until the call returns; results, counts and error offsets
+// are byte-identical to InferSchemaStreamWith over a reader of the
+// same bytes.
+func InferSchemaStreamBytesWith(data []byte, engine Engine, opts StreamOptions) (*Inference, int, error) {
+	eq, ok := equivFor(engine)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: engine %s cannot infer from a stream", engine)
+	}
+	t, n, err := infer.InferStreamParallelBytes(data, opts.inferOptions(eq))
 	return &Inference{
 		Engine:     engine,
 		Type:       t,
@@ -392,6 +468,11 @@ func InferSchemaStreamFiles(files []string, engine Engine, workers int) (*Infere
 // the merge. Each file gets its own decoder, so a decode error names
 // the offending file; inference stops there and the error reports how
 // many documents were typed before it.
+//
+// Regular files route per opts.Mmap: mapped inputs stream through the
+// zero-copy byte engines (the raw file pages are split and lexed in
+// place), everything else through the buffered reader path — results
+// are byte-identical either way.
 func InferSchemaStreamFilesWith(files []string, engine Engine, opts StreamOptions) (*Inference, int, error) {
 	eq, ok := equivFor(engine)
 	if !ok {
@@ -400,12 +481,7 @@ func InferSchemaStreamFilesWith(files []string, engine Engine, opts StreamOption
 	acc := typelang.Bottom
 	total := 0
 	for _, name := range files {
-		f, err := os.Open(name)
-		if err != nil {
-			return nil, total, err
-		}
-		part, n, err := InferSchemaStreamWith(f, engine, opts)
-		f.Close()
+		part, n, err := streamOneFile(name, engine, opts)
 		total += n
 		if err != nil {
 			return nil, total, fmt.Errorf("%s: %w", name, err)
@@ -419,6 +495,58 @@ func InferSchemaStreamFilesWith(files []string, engine Engine, opts StreamOption
 		Precision:  -1,
 		Size:       acc.Size(),
 	}, total, nil
+}
+
+// streamOneFile infers one named file, routing it through a memory
+// mapping or the reader path per opts.Mmap.
+func streamOneFile(name string, engine Engine, opts StreamOptions) (*Inference, int, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	m, err := mapForStream(f, opts.Mmap)
+	if err != nil {
+		return nil, 0, err
+	}
+	if m != nil {
+		defer m.Close()
+		// The engines count reader inputs themselves (they own that
+		// path end to end); mapped inputs are a routing decision made
+		// here, so they are counted here.
+		opts.Stats.AddSnapshot(StatsSnapshot{MmapInputs: 1})
+		return InferSchemaStreamBytesWith(m.Data(), engine, opts)
+	}
+	return InferSchemaStreamWith(f, engine, opts)
+}
+
+// mapForStream decides whether f streams through a memory mapping:
+// never under MmapOff; unconditionally under MmapOn, surfacing the
+// mapping error if the input cannot be mapped; and opportunistically
+// under MmapAuto — regular files of at least mmapMinSize on supporting
+// platforms, with every failure (pipe, short file, no syscall, mmap
+// refusal) silently taking the reader path instead. A nil mapping with
+// a nil error means "use the reader".
+func mapForStream(f *os.File, mode MmapMode) (*mmapio.Mapping, error) {
+	switch mode {
+	case MmapOff:
+		return nil, nil
+	case MmapOn:
+		return mmapio.Map(f)
+	default:
+		if !mmapio.Supported() {
+			return nil, nil
+		}
+		fi, err := f.Stat()
+		if err != nil || !fi.Mode().IsRegular() || fi.Size() < mmapMinSize {
+			return nil, nil
+		}
+		m, err := mmapio.Map(f)
+		if err != nil {
+			return nil, nil
+		}
+		return m, nil
+	}
 }
 
 // AnalyzeStreaming runs the mongodb-schema style analyzer over a

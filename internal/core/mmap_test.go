@@ -1,0 +1,126 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/genjson"
+	"repro/internal/jsontext"
+	"repro/internal/mmapio"
+	"repro/internal/typelang"
+)
+
+// TestStreamFilesMmapEquivalence pins the mmap routing layer: forcing
+// the mapping on and forcing it off must infer the identical schema and
+// document count from the same files, and the stats must attribute each
+// input to the path that actually served it.
+func TestStreamFilesMmapEquivalence(t *testing.T) {
+	docs1 := genjson.Collection(genjson.Twitter{Seed: 301}, 200)
+	docs2 := genjson.Collection(genjson.Orders{Seed: 302}, 150)
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "a.ndjson")
+	f2 := filepath.Join(dir, "b.ndjson")
+	if err := os.WriteFile(f1, jsontext.MarshalLines(docs1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f2, jsontext.MarshalLines(docs2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	files := []string{f1, f2}
+
+	var offStats PipelineStats
+	off, offN, err := InferSchemaStreamFilesWith(files, ParametricL, StreamOptions{
+		Workers: 3, Mmap: MmapOff, Stats: &offStats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offN != 350 {
+		t.Fatalf("reader path typed %d docs, want 350", offN)
+	}
+	if s := offStats.Snapshot(); s.MmapInputs != 0 || s.ReaderInputs != 2 {
+		t.Errorf("MmapOff counted mmap_inputs=%d reader_inputs=%d, want 0/2", s.MmapInputs, s.ReaderInputs)
+	}
+
+	if !mmapio.Supported() {
+		if _, _, err := InferSchemaStreamFilesWith(files, ParametricL, StreamOptions{Mmap: MmapOn}); err == nil {
+			t.Error("MmapOn must fail where mmap is unsupported")
+		}
+		t.Skip("mmap not supported on this platform; reader path verified")
+	}
+
+	var onStats PipelineStats
+	on, onN, err := InferSchemaStreamFilesWith(files, ParametricL, StreamOptions{
+		Workers: 3, Mmap: MmapOn, Stats: &onStats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onN != offN {
+		t.Errorf("mmap path typed %d docs, reader path %d", onN, offN)
+	}
+	if !typelang.Equal(on.Type, off.Type) || on.Type.StringCounted() != off.Type.StringCounted() {
+		t.Errorf("mmap path diverges from reader path\n mmap:   %s\n reader: %s",
+			on.Type.StringCounted(), off.Type.StringCounted())
+	}
+	if s := onStats.Snapshot(); s.MmapInputs != 2 || s.ReaderInputs != 0 {
+		t.Errorf("MmapOn counted mmap_inputs=%d reader_inputs=%d, want 2/0", s.MmapInputs, s.ReaderInputs)
+	}
+	if s := onStats.Snapshot(); s.BytesCopied != 0 {
+		t.Errorf("mmap path copied %d bytes, want 0", s.BytesCopied)
+	}
+
+	// Auto on small files stays on the reader path (below the size
+	// threshold), so stdin-sized inputs never pay a mapping attempt.
+	var autoStats PipelineStats
+	_, autoN, err := InferSchemaStreamFilesWith(files, ParametricL, StreamOptions{Mmap: MmapAuto, Stats: &autoStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if autoN != offN {
+		t.Errorf("auto path typed %d docs, want %d", autoN, offN)
+	}
+	if s := autoStats.Snapshot(); s.MmapInputs != 0 || s.ReaderInputs != 2 {
+		t.Errorf("MmapAuto on small files counted mmap_inputs=%d reader_inputs=%d, want 0/2", s.MmapInputs, s.ReaderInputs)
+	}
+
+	// A decode error through the mmap path must still name the file.
+	bad := filepath.Join(dir, "bad.ndjson")
+	if err := os.WriteFile(bad, []byte("{\"a\": 1}\n{]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, n, err := InferSchemaStreamFilesWith([]string{f1, bad}, ParametricL, StreamOptions{Mmap: MmapOn}); err == nil {
+		t.Error("expected decode error through the mmap path")
+	} else {
+		if !strings.Contains(err.Error(), "bad.ndjson") {
+			t.Errorf("error does not name the file: %v", err)
+		}
+		if n != 201 {
+			t.Errorf("typed %d docs before the error, want 201", n)
+		}
+	}
+}
+
+// TestStreamBytesMatchesStreamReader pins the exported byte-slice
+// entrypoint against the reader entrypoint at the core layer.
+func TestStreamBytesMatchesStreamReader(t *testing.T) {
+	docs := genjson.Collection(genjson.NestedArrays{Seed: 303}, 180)
+	data := jsontext.MarshalLines(docs)
+	want, wantN, err := InferSchemaStreamWith(strings.NewReader(string(data)), ParametricL, StreamOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotN, err := InferSchemaStreamBytesWith(data, ParametricL, StreamOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantN != gotN || !typelang.Equal(want.Type, got.Type) {
+		t.Errorf("bytes entrypoint (%d docs, %s) diverges from reader (%d docs, %s)",
+			gotN, got.Type, wantN, want.Type)
+	}
+	if _, _, err := InferSchemaStreamBytesWith(data, Spark, StreamOptions{}); err == nil {
+		t.Error("Spark must reject byte streaming")
+	}
+}

@@ -21,9 +21,33 @@ package genjson
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"repro/internal/jsonvalue"
 )
+
+// ParseSize parses a human-friendly byte size: a bare byte count or a
+// number with a K/M/G suffix (optionally followed by B),
+// case-insensitive — the format jsgen's -target, jsinfer's -chunk-bytes
+// and the benchmark harness all speak.
+func ParseSize(s string) (int64, error) {
+	t := strings.TrimSuffix(strings.ToUpper(strings.TrimSpace(s)), "B")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "K"):
+		mult, t = 1<<10, t[:len(t)-1]
+	case strings.HasSuffix(t, "M"):
+		mult, t = 1<<20, t[:len(t)-1]
+	case strings.HasSuffix(t, "G"):
+		mult, t = 1<<30, t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("invalid size %q (want e.g. 64K, 100MB, 1G)", s)
+	}
+	return n * mult, nil
+}
 
 // Generator produces one document per call.
 type Generator interface {

@@ -133,8 +133,9 @@ func TestReadChunksEquivalence(t *testing.T) {
 		}
 		collect := func(sp docSplitter) []chunk {
 			var out []chunk
-			err := readChunks(bytes.NewReader(data), docsPerChunk, sp, nil, func(ch byteChunk) bool {
+			err := readChunks(bytes.NewReader(data), chunkTargets{docs: docsPerChunk}, sp, nil, func(ch byteChunk) bool {
 				out = append(out, chunk{ch.index, ch.base, string(ch.data)})
+				ch.buf.release()
 				return true
 			})
 			if err != nil {

@@ -75,9 +75,10 @@ const (
 	// are never materialised at all. Records the index cannot certify
 	// fall back to the token walker per record, and chunks the index
 	// rejects outright fall back whole, so schemas, counts and errors
-	// are byte-identical to MapFused's. Streamed-parallel engines only;
-	// the sequential InferStream (no chunk boundaries to index) treats
-	// it as MapFused.
+	// are byte-identical to MapFused's. All streamed engines honour it:
+	// the parallel engines index per worker chunk, and the sequential
+	// ones buffer document-aligned chunks through the same index-driven
+	// loop into one accumulator.
 	MapIndexed
 )
 
@@ -113,6 +114,13 @@ type Options struct {
 	// Map picks the streamed engines' map phase; the zero value is
 	// MapFused (MapReference is the per-document-type A/B baseline).
 	Map MapMode
+	// ChunkBytes, when positive, switches the chunking stage to a byte
+	// target: chunks are emitted at the first document boundary at or
+	// past ChunkBytes bytes instead of every Batch documents. GB-scale
+	// inputs want this — bigger chunks amortise the per-chunk pipeline
+	// overhead regardless of how small the documents are. 0 keeps the
+	// document-count trigger.
+	ChunkBytes int
 	// ReduceShards is the leaf count of the sharded collector tree that
 	// folds chunk results in InferStreamParallel: 0 sizes it
 	// automatically (workers capped at maxAutoShards), 1 selects the

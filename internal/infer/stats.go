@@ -63,6 +63,22 @@ type StatsSnapshot struct {
 	// Seals counts accumulator seals the pipeline performed: one per
 	// worker chunk fold, one per leaf publish, one per root fuse.
 	Seals int64
+	// BytesAliased counts chunk bytes emitted zero-copy — chunks that
+	// alias the caller's buffer (byte-slice engines, mmap'd files)
+	// instead of a reader-owned array.
+	BytesAliased int64
+	// BytesCopied counts bytes the reader path moved during buffer
+	// compaction (the unsplit tail carried between refills) — the copy
+	// tax the zero-copy path avoids.
+	BytesCopied int64
+	// BuffersRecycled counts chunk arrays the reader path reacquired
+	// from the run's pool instead of allocating fresh.
+	BuffersRecycled int64
+	// MmapInputs counts inputs served through a memory mapping.
+	MmapInputs int64
+	// ReaderInputs counts inputs served through the copying io.Reader
+	// path.
+	ReaderInputs int64
 
 	// Per-stage wall time, monotonic nanoseconds. The stages overlap in
 	// real time (the reader splits while workers absorb while leaves
@@ -88,6 +104,11 @@ func (s *StatsSnapshot) Add(other StatsSnapshot) {
 	s.BatchPublishes += other.BatchPublishes
 	s.RootFuses += other.RootFuses
 	s.Seals += other.Seals
+	s.BytesAliased += other.BytesAliased
+	s.BytesCopied += other.BytesCopied
+	s.BuffersRecycled += other.BuffersRecycled
+	s.MmapInputs += other.MmapInputs
+	s.ReaderInputs += other.ReaderInputs
 	s.ReadNanos += other.ReadNanos
 	s.SplitNanos += other.SplitNanos
 	s.MapNanos += other.MapNanos
@@ -111,6 +132,11 @@ type PipelineStats struct {
 	batchPublishes  atomic.Int64
 	rootFuses       atomic.Int64
 	seals           atomic.Int64
+	bytesAliased    atomic.Int64
+	bytesCopied     atomic.Int64
+	buffersRecycled atomic.Int64
+	mmapInputs      atomic.Int64
+	readerInputs    atomic.Int64
 	readNanos       atomic.Int64
 	splitNanos      atomic.Int64
 	mapNanos        atomic.Int64
@@ -136,6 +162,11 @@ func (p *PipelineStats) Snapshot() StatsSnapshot {
 		BatchPublishes:  p.batchPublishes.Load(),
 		RootFuses:       p.rootFuses.Load(),
 		Seals:           p.seals.Load(),
+		BytesAliased:    p.bytesAliased.Load(),
+		BytesCopied:     p.bytesCopied.Load(),
+		BuffersRecycled: p.buffersRecycled.Load(),
+		MmapInputs:      p.mmapInputs.Load(),
+		ReaderInputs:    p.readerInputs.Load(),
 		ReadNanos:       p.readNanos.Load(),
 		SplitNanos:      p.splitNanos.Load(),
 		MapNanos:        p.mapNanos.Load(),
@@ -161,6 +192,11 @@ func (p *PipelineStats) AddSnapshot(d StatsSnapshot) {
 	addNonZero(&p.batchPublishes, d.BatchPublishes)
 	addNonZero(&p.rootFuses, d.RootFuses)
 	addNonZero(&p.seals, d.Seals)
+	addNonZero(&p.bytesAliased, d.BytesAliased)
+	addNonZero(&p.bytesCopied, d.BytesCopied)
+	addNonZero(&p.buffersRecycled, d.BuffersRecycled)
+	addNonZero(&p.mmapInputs, d.MmapInputs)
+	addNonZero(&p.readerInputs, d.ReaderInputs)
 	addNonZero(&p.readNanos, d.ReadNanos)
 	addNonZero(&p.splitNanos, d.SplitNanos)
 	addNonZero(&p.mapNanos, d.MapNanos)
@@ -197,6 +233,11 @@ func (f *statsFrame) flush(p *PipelineStats) {
 		addNonZero(&p.batchPublishes, f.BatchPublishes)
 		addNonZero(&p.rootFuses, f.RootFuses)
 		addNonZero(&p.seals, f.Seals)
+		addNonZero(&p.bytesAliased, f.BytesAliased)
+		addNonZero(&p.bytesCopied, f.BytesCopied)
+		addNonZero(&p.buffersRecycled, f.BuffersRecycled)
+		addNonZero(&p.mmapInputs, f.MmapInputs)
+		addNonZero(&p.readerInputs, f.ReaderInputs)
 		addNonZero(&p.readNanos, f.ReadNanos)
 		addNonZero(&p.splitNanos, f.SplitNanos)
 		addNonZero(&p.mapNanos, f.MapNanos)

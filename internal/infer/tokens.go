@@ -284,10 +284,18 @@ func (sf *streamFold) runIndexed(a *IndexAbsorber) (*typelang.Type, int, error) 
 // It returns the inferred type and the number of documents typed; on a
 // syntax or I/O error the returned type covers every document typed
 // before it, and syntax errors carry absolute stream offsets.
-// MapIndexed needs chunked byte slices to index and so degrades to
-// MapFused here; use InferStreamParallel (any worker count) for the
-// index-driven map.
+//
+// Map: MapIndexed is honoured: the structural index needs whole byte
+// chunks, so the stream routes through a chunk-buffering loop that
+// absorbs each document-aligned chunk off the index into one shared
+// accumulator, sealed once — still the sequential accumulate → seal
+// shape, with schemas, counts and error offsets byte-identical to the
+// token walk's.
 func InferStream(r io.Reader, opts Options) (*typelang.Type, int, error) {
+	if opts.Map == MapIndexed {
+		opts = sequentialChunkOpts(opts)
+		return inferStreamSequentialChunks(readerChunkSource(r, opts), opts)
+	}
 	tr := jsontext.NewTokenReader(r)
 	tr.SetInternStrings(true)
 	if opts.Symbols != nil {
@@ -305,6 +313,40 @@ func InferStream(r io.Reader, opts Options) (*typelang.Type, int, error) {
 		frame.BytesLexed = int64(tr.InputOffset())
 		frame.DocsAbsorbed = int64(n)
 		frame.Seals = 1
+		frame.ReaderInputs = 1
+		frame.flush(st)
+	}
+	return t, n, err
+}
+
+// InferStreamBytes is InferStream over a caller-owned byte slice — the
+// zero-copy sequential engine. The lexer walks data in place (nothing
+// is buffered or copied; the caller keeps data alive and unmodified for
+// the duration of the call), so a memory-mapped file types at exactly
+// the cost of lexing it. Semantics are byte-identical to
+// InferStream(bytes.NewReader(data), opts): same schema, count, and
+// error offsets.
+func InferStreamBytes(data []byte, opts Options) (*typelang.Type, int, error) {
+	if opts.Map == MapIndexed {
+		opts = sequentialChunkOpts(opts)
+		return inferStreamSequentialChunks(bytesChunkSource(data, opts), opts)
+	}
+	tr := jsontext.NewTokenReaderBytes(data)
+	tr.SetInternStrings(true)
+	if opts.Symbols != nil {
+		tr.SetSymbolTable(opts.Symbols)
+	}
+	st := opts.Stats
+	start := statsClock(st)
+	t, n, err := newStreamFold(opts).run(tr)
+	if st != nil {
+		var frame statsFrame
+		statsSince(st, &frame.MapNanos, start)
+		frame.BytesLexed = int64(tr.InputOffset())
+		// Everything lexed was read in place from the caller's buffer.
+		frame.BytesAliased = frame.BytesLexed
+		frame.DocsAbsorbed = int64(n)
+		frame.Seals = 1
 		frame.flush(st)
 	}
 	return t, n, err
@@ -312,11 +354,38 @@ func InferStream(r io.Reader, opts Options) (*typelang.Type, int, error) {
 
 // byteChunk is one work unit of the parallel token engine: a run of
 // whole top-level documents, with the absolute stream offset of its
-// first byte for exact error attribution.
+// first byte for exact error attribution. Reader-path chunks alias a
+// pooled chunkBuf and hold a reference on it, released by the consumer
+// once the chunk's documents are absorbed; byte-mode chunks alias the
+// caller's buffer and carry no reference (buf is nil, release a no-op).
 type byteChunk struct {
 	index int
 	base  int
 	data  []byte
+	buf   *chunkBuf
+}
+
+// chunkSource drives the chunking stage of a streamed engine: it calls
+// emit once per document-aligned chunk, in stream order, stopping when
+// emit reports false, and returns the input's read error (nil for
+// in-memory sources). The two implementations are the pooled io.Reader
+// splitter and the zero-copy byte splitter; everything downstream —
+// workers, committer, the sequential indexed loop — is shared.
+type chunkSource func(emit func(byteChunk) bool) error
+
+// readerChunkSource chunks r through readChunks' pooled buffers.
+func readerChunkSource(r io.Reader, opts Options) chunkSource {
+	return func(emit func(byteChunk) bool) error {
+		return readChunks(r, opts.chunkTargets(), newSplitter(opts.Tokenizer), opts.Stats, emit)
+	}
+}
+
+// bytesChunkSource chunks a caller-owned slice zero-copy through
+// splitChunksBytes.
+func bytesChunkSource(data []byte, opts Options) chunkSource {
+	return func(emit func(byteChunk) bool) error {
+		return splitChunksBytes(data, opts.chunkTargets(), newSplitter(opts.Tokenizer), opts.Stats, emit)
+	}
 }
 
 // chunkResult is what a worker makes of one chunk: the merged type of
@@ -357,18 +426,65 @@ type chunkResult struct {
 // serialising on the committer goroutine; by associativity and
 // commutativity of the merge the tree's result is byte-identical to the
 // single ordered fold's (ReduceShards: 1).
+//
+// With a single worker there is no parallelism to buy, so the entry
+// point delegates to the cheapest sequential engine for the requested
+// shape: the plain token fold for scan input, the chunk-buffering
+// single-accumulator loop for mison or indexed input (one seal for the
+// whole stream instead of a seal per chunk plus a reduce of the chunk
+// types). MapReference keeps the worker pipeline even at one worker —
+// its per-document type materialisation is the A/B baseline the fused
+// rows are measured against.
 func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error) {
 	workers := opts.workers()
-	if workers <= 1 && opts.Tokenizer == TokenizerScan && opts.Map != MapIndexed {
-		return InferStream(r, opts)
+	if workers <= 1 {
+		if opts.Tokenizer == TokenizerScan && opts.Map != MapIndexed {
+			return InferStream(r, opts)
+		}
+		if opts.Map != MapReference {
+			opts = sequentialChunkOpts(opts)
+			return inferStreamSequentialChunks(readerChunkSource(r, opts), opts)
+		}
 	}
+	return inferStreamParallelFrom(readerChunkSource(r, opts), opts)
+}
+
+// InferStreamParallelBytes is InferStreamParallel over a caller-owned
+// byte slice — the zero-copy parallel engine. The chunking stage splits
+// data in place (every chunk aliases the caller's buffer; no pending
+// array, no compaction, no per-chunk allocation), so the reader
+// goroutine's only work is boundary finding and the workers lex the
+// input bytes exactly where they sit — a memory-mapped file streams
+// through the full parallel pipeline without ever being copied. The
+// caller keeps data alive and unmodified until the call returns.
+// Semantics are byte-identical to InferStreamParallel over a reader of
+// the same bytes: same schema, count, and error offsets.
+func InferStreamParallelBytes(data []byte, opts Options) (*typelang.Type, int, error) {
+	workers := opts.workers()
+	if workers <= 1 {
+		if opts.Tokenizer == TokenizerScan && opts.Map != MapIndexed {
+			return InferStreamBytes(data, opts)
+		}
+		if opts.Map != MapReference {
+			opts = sequentialChunkOpts(opts)
+			return inferStreamSequentialChunks(bytesChunkSource(data, opts), opts)
+		}
+	}
+	return inferStreamParallelFrom(bytesChunkSource(data, opts), opts)
+}
+
+// inferStreamParallelFrom is the engine body shared by the reader and
+// byte-slice parallel entry points: the chunk source feeds the worker
+// pool and the committed results fold through one of the three reduce
+// disciplines.
+func inferStreamParallelFrom(source chunkSource, opts Options) (*typelang.Type, int, error) {
 	st := opts.Stats
 	if shards := opts.reduceShards(); shards > 1 {
 		// Sharded reduce: committed chunk results distribute across the
 		// collector tree, so the merge work that used to serialise on
 		// this goroutine runs on the leaf collectors in parallel.
 		col := NewShardedCollectorStats(shards, opts.Equiv, st)
-		n, err := inferStreamChunks(r, opts, func(ts []*typelang.Type, docs int) {
+		n, err := inferStreamChunks(source, opts, func(ts []*typelang.Type, docs int) {
 			col.AddBatch(ts, int64(docs))
 		})
 		acc, _ := col.Close()
@@ -380,7 +496,7 @@ func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error)
 		// fold, kept selectable as the A/B reference for both the tree
 		// and the accumulator (like TokenizerScan for the tokenizer).
 		acc := typelang.Bottom
-		n, err := inferStreamChunks(r, opts, func(ts []*typelang.Type, _ int) {
+		n, err := inferStreamChunks(source, opts, func(ts []*typelang.Type, _ int) {
 			start := statsClock(st)
 			for _, t := range ts {
 				acc = typelang.Merge(acc, t, opts.Equiv)
@@ -394,7 +510,7 @@ func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error)
 	// fold through an accumulator — no collector goroutines, and no
 	// per-chunk re-canonicalisation of the accumulated schema.
 	acc := typelang.NewAccum(opts.Equiv)
-	n, err := inferStreamChunks(r, opts, func(ts []*typelang.Type, _ int) {
+	n, err := inferStreamChunks(source, opts, func(ts []*typelang.Type, _ int) {
 		start := statsClock(st)
 		for _, t := range ts {
 			acc.Absorb(t)
@@ -422,7 +538,7 @@ func InferStreamParallel(r io.Reader, opts Options) (*typelang.Type, int, error)
 // document the committed documents are precisely those before it. The
 // caller flushes or closes col to observe the result.
 func InferStreamInto(r io.Reader, opts Options, col *ShardedCollector) (int, error) {
-	return inferStreamChunks(r, opts, func(ts []*typelang.Type, docs int) {
+	return inferStreamChunks(readerChunkSource(r, opts), opts, func(ts []*typelang.Type, docs int) {
 		col.AddBatch(ts, int64(docs))
 	})
 }
@@ -436,27 +552,31 @@ func InferStreamInto(r io.Reader, opts Options, col *ShardedCollector) (int, err
 // is flushed before the error is recorded.
 const commitBatch = 8
 
-// inferStreamChunks runs the chunked token pipeline — reader goroutine
-// splitting the stream into document-aligned chunks, workers lexing and
-// typing them in parallel — and calls commit with batches of chunk
-// types (in stream order; ownership of the slice passes to commit).
-// Commits stop at the first error; the committed chunks are exactly
-// those before it. It returns the number of documents committed and
-// that first error.
-func inferStreamChunks(r io.Reader, opts Options, commit func([]*typelang.Type, int)) (int, error) {
+// inferStreamChunks runs the chunked token pipeline — a source
+// goroutine splitting the input into document-aligned chunks, workers
+// lexing and typing them in parallel — and calls commit with batches of
+// chunk types (in stream order; ownership of the slice passes to
+// commit). Commits stop at the first error; the committed chunks are
+// exactly those before it. It returns the number of documents committed
+// and that first error. Workers release each chunk's pooled buffer
+// reference once its documents are absorbed; because they drain the
+// work channel even after an early stop, every emitted chunk is
+// released on every path.
+func inferStreamChunks(source chunkSource, opts Options, commit func([]*typelang.Type, int)) (int, error) {
 	workers := opts.workers()
 	work := make(chan byteChunk, 2*workers)
 	results := make(chan chunkResult, workers)
 	stop := make(chan struct{})
 
-	// Reader: split the stream into document-aligned chunks.
+	// Source: split the input into document-aligned chunks.
 	readErrCh := make(chan error, 1)
 	go func() {
-		readErrCh <- readChunks(r, opts.batch(), newSplitter(opts.Tokenizer), opts.Stats, func(ch byteChunk) bool {
+		readErrCh <- source(func(ch byteChunk) bool {
 			select {
 			case work <- ch:
 				return true
 			case <-stop:
+				ch.buf.release()
 				return false
 			}
 		})
@@ -501,6 +621,7 @@ func inferStreamChunks(r io.Reader, opts Options, commit func([]*typelang.Type, 
 						mapStart := statsClock(st)
 						t, n, err := fold.runIndexed(ia)
 						statsSince(st, &frame.MapNanos, mapStart)
+						ch.buf.release()
 						if st != nil {
 							idx, fb := ia.TakeRecordCounts()
 							frame.IndexRecords += idx
@@ -540,6 +661,7 @@ func inferStreamChunks(r io.Reader, opts Options, commit func([]*typelang.Type, 
 				mapStart := statsClock(st)
 				t, n, err := fold.run(src)
 				statsSince(st, &frame.MapNanos, mapStart)
+				ch.buf.release()
 				if st != nil {
 					if src == ms {
 						frame.ScanDelegations += ms.TakeDelegations()
@@ -619,4 +741,130 @@ func inferStreamChunks(r io.Reader, opts Options, commit func([]*typelang.Type, 
 		firstErr = rerr
 	}
 	return total, firstErr
+}
+
+// inferStreamSequentialChunks is the sequential engine for the map
+// shapes that need whole byte chunks — the chunk-buffering loop that
+// closes the gap between "the structural index (and the mison lexer)
+// need document-aligned byte runs" and "the sequential engine has no
+// chunks": the source's chunks are absorbed one after another,
+// synchronously, into a single shared accumulator, sealed once at the
+// end — no per-chunk seal, no reduce of chunk types. Under MapIndexed
+// documents absorb off the structural index, with chunks the index
+// rejects outright falling back to the token path (mison tokenizer
+// first when selected, then the reference lexer) and per-record
+// fallback inside AbsorbFromIndex; under MapFused the chunks lex
+// straight through the mison tokenizer (reference lexer on rejected
+// chunks) — exactly the parallel workers' discipline, so schemas,
+// counts, and error offsets are byte-identical to every other mode's.
+// Processing stops at the first error; a read failure from the source
+// wins over a syntax error in the chunk it truncated, matching the
+// chunked committer's rule (the stop-at-first-error discipline makes
+// the errored chunk the last one the source emitted).
+func inferStreamSequentialChunks(source chunkSource, opts Options) (*typelang.Type, int, error) {
+	st := opts.Stats
+	var ia *IndexAbsorber
+	if opts.Map == MapIndexed {
+		ia = NewIndexAbsorber()
+		ia.SetInternStrings(true)
+	}
+	tr := jsontext.NewTokenReaderBytes(nil)
+	tr.SetInternStrings(true)
+	var ms *mison.TokenSource
+	if opts.Tokenizer == TokenizerMison {
+		ms = mison.NewTokenSource()
+		ms.SetInternStrings(true)
+	}
+	if opts.Symbols != nil {
+		tr.SetSymbolTable(opts.Symbols)
+		if ia != nil {
+			ia.SetSymbolTable(opts.Symbols)
+		}
+		if ms != nil {
+			ms.SetSymbolTable(opts.Symbols)
+		}
+	}
+	fold := typelang.NewAccum(opts.Equiv)
+	var (
+		frame  statsFrame
+		total  int
+		docErr error
+	)
+	rerr := source(func(ch byteChunk) bool {
+		frame.BytesLexed += int64(len(ch.data))
+		var (
+			n    int
+			err  error
+			done bool
+		)
+		mapStart := statsClock(st)
+		rejected := false
+		if ia != nil {
+			if ierr := ia.Reset(ch.data, ch.base); ierr == nil {
+				for err = AbsorbFromIndex(ia, fold); err == nil; err = AbsorbFromIndex(ia, fold) {
+					n++
+				}
+				statsSince(st, &frame.MapNanos, mapStart)
+				if st != nil {
+					idx, fb := ia.TakeRecordCounts()
+					frame.IndexRecords += idx
+					frame.FallbackRecords += fb
+					frame.ScanDelegations += ia.TakeScanDelegations()
+				}
+				done = true
+			} else {
+				rejected = true
+			}
+		}
+		if !done {
+			var src jsontext.TokenSource
+			if ms != nil {
+				if merr := ms.Reset(ch.data, ch.base); merr == nil {
+					src = ms
+				} else {
+					// On rejection the plain lexer below reports the
+					// authoritative error for whatever is wrong.
+					rejected = true
+				}
+			}
+			if rejected {
+				// One reject per chunk, however many index layers
+				// bounced it before the token path took over.
+				frame.ParityRejects++
+			}
+			if src == nil {
+				tr.ResetBytes(ch.data, ch.base)
+				src = tr
+			}
+			for err = AbsorbFromTokens(src, fold); err == nil; err = AbsorbFromTokens(src, fold) {
+				n++
+			}
+			statsSince(st, &frame.MapNanos, mapStart)
+			if st != nil && src == ms {
+				frame.ScanDelegations += ms.TakeDelegations()
+			}
+		}
+		ch.buf.release()
+		total += n
+		if st != nil {
+			frame.DocsAbsorbed += int64(n)
+			frame.flush(st)
+		}
+		if errors.Is(err, io.EOF) {
+			return true
+		}
+		docErr = err
+		return false
+	})
+	sealStart := statsClock(st)
+	t := fold.Seal()
+	if st != nil {
+		statsSince(st, &frame.MapNanos, sealStart)
+		frame.Seals = 1
+		frame.flush(st)
+	}
+	if rerr != nil {
+		docErr = rerr
+	}
+	return t, total, docErr
 }

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package mmapio
+
+import "os"
+
+// Supported reports whether this platform can memory-map files.
+func Supported() bool { return false }
+
+func mapFile(*os.File, int) ([]byte, error) { return nil, ErrUnsupported }
+
+func unmap([]byte) error { return nil }

@@ -1,0 +1,25 @@
+//go:build unix
+
+package mmapio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Supported reports whether this platform can memory-map files.
+func Supported() bool { return true }
+
+// mapFile maps size bytes of f read-only. MAP_PRIVATE suffices — the
+// mapping is never written, so no sharing semantics are at stake — and
+// keeps accidental writes from ever reaching the file.
+func mapFile(f *os.File, size int) ([]byte, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, fmt.Errorf("mmapio: %s: mmap: %w", f.Name(), err)
+	}
+	return data, nil
+}
+
+func unmap(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,82 @@
+package mmapio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMapRegularFile pins the happy path: the mapping exposes exactly
+// the file's bytes and Close is safe to call twice.
+func TestMapRegularFile(t *testing.T) {
+	if !Supported() {
+		t.Skip("mmap not supported on this platform")
+	}
+	want := bytes.Repeat([]byte("{\"a\": 1}\n"), 1000)
+	name := filepath.Join(t.TempDir(), "in.ndjson")
+	if err := os.WriteFile(name, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := Map(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Data(), want) {
+		t.Fatalf("mapped %d bytes that differ from the file's %d", len(m.Data()), len(want))
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close must be a no-op, got %v", err)
+	}
+}
+
+// TestMapEmptyFile pins the zero-length special case: mmap of length 0
+// is invalid at the syscall level, so Map must return an empty,
+// closeable mapping instead.
+func TestMapEmptyFile(t *testing.T) {
+	if !Supported() {
+		t.Skip("mmap not supported on this platform")
+	}
+	name := filepath.Join(t.TempDir(), "empty.ndjson")
+	if err := os.WriteFile(name, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := Map(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Data()) != 0 {
+		t.Fatalf("empty file mapped to %d bytes", len(m.Data()))
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapRejectsNonRegular pins the guard that keeps pipes and other
+// streams out of the mmap path: callers fall back to the reader rather
+// than getting a syscall error mid-inference.
+func TestMapRejectsNonRegular(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	defer w.Close()
+	if _, err := Map(r); err == nil {
+		t.Fatal("mapping a pipe must fail")
+	}
+}
